@@ -1,0 +1,144 @@
+(* The benchmark harness.
+
+     dune exec bench/main.exe                 -- reproduce every figure/table
+     dune exec bench/main.exe -- --quick      -- reduced scale (CI-sized)
+     dune exec bench/main.exe -- fig3 fig8    -- selected experiments only
+     dune exec bench/main.exe -- --bechamel   -- Bechamel micro-benchmarks of
+                                                 the protocol-critical paths
+
+   Experiment ids: fig3 fig4 fig5 fig6 fig7 fig8 gamma (see DESIGN.md §4 and
+   EXPERIMENTS.md for the paper-vs-measured record). *)
+
+module Experiments = Mdcc_workload.Experiments
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one per protocol-critical data structure. *)
+(* ------------------------------------------------------------------ *)
+
+module Bench_micro = struct
+  open Bechamel
+  open Toolkit
+
+  module Cmd = struct
+    type t = { id : string; commutes : bool }
+
+    let id c = c.id
+
+    let commutes a b = a.commutes && b.commutes
+  end
+
+  module C = Mdcc_paxos.Cstruct.Make (Cmd)
+
+  let cstruct_append =
+    Test.make ~name:"cstruct append+leq (8 cmds)"
+      (Staged.stage (fun () ->
+           let base =
+             List.fold_left C.append C.empty
+               (List.init 8 (fun i -> { Cmd.id = string_of_int i; commutes = i mod 2 = 0 }))
+           in
+           ignore (C.leq base (C.append base { Cmd.id = "x"; commutes = true }))))
+
+  let quorum_safe_value =
+    let votes =
+      List.init 3 (fun i ->
+          {
+            Mdcc_paxos.Quorum.acceptor = i;
+            ballot = Mdcc_paxos.Ballot.initial_fast;
+            value = (if i = 1 then "b" else "a");
+          })
+    in
+    Test.make ~name:"quorum safe_value (n=5)"
+      (Staged.stage (fun () ->
+           ignore (Mdcc_paxos.Quorum.safe_value ~n:5 ~quorum_size:3 ~equal:String.equal votes)))
+
+  let event_heap =
+    Test.make ~name:"event heap push+pop (64)"
+      (Staged.stage (fun () ->
+           let q = Mdcc_sim.Event_queue.create () in
+           for i = 1 to 64 do
+             ignore
+               (Mdcc_sim.Event_queue.push q
+                  ~at:(Float.of_int ((i * 7919) mod 101))
+                  ~seq:i ignore)
+           done;
+           let rec drain () =
+             match Mdcc_sim.Event_queue.pop q with Some _ -> drain () | None -> ()
+           in
+           drain ()))
+
+  let store_apply =
+    let schema =
+      Mdcc_storage.Schema.create
+        [ { Mdcc_storage.Schema.name = "t"; bounds = []; master_dc = 0 } ]
+    in
+    let key = Mdcc_storage.Key.make ~table:"t" ~id:"k" in
+    Test.make ~name:"store delta apply (16)"
+      (Staged.stage (fun () ->
+           let store = Mdcc_storage.Store.create schema in
+           Mdcc_storage.Store.apply store key (Mdcc_storage.Update.Insert Mdcc_storage.Value.empty);
+           for _ = 1 to 16 do
+             Mdcc_storage.Store.apply store key (Mdcc_storage.Update.Delta [ ("x", 1) ])
+           done))
+
+  let demarcation =
+    let bounds = [ { Mdcc_storage.Schema.attr = "stock"; lower = Some 0; upper = None } ] in
+    let valuation =
+      {
+        Mdcc_core.Rstate.value = Mdcc_storage.Value.of_list [ ("stock", Mdcc_storage.Value.Int 50) ];
+        version = 1;
+        exists = true;
+      }
+    in
+    Test.make ~name:"rstate evaluate (demarcation)"
+      (Staged.stage (fun () ->
+           ignore
+             (Mdcc_core.Rstate.evaluate ~bounds ~demarcation:(`Quorum (5, 4)) valuation
+                ~accepted:[]
+                (Mdcc_storage.Update.Delta [ ("stock", -3) ]))))
+
+  let run () =
+    let tests = [ cstruct_append; quorum_safe_value; event_heap; store_apply; demarcation ] in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+    List.iter
+      (fun test ->
+        let results = Benchmark.all cfg instances test in
+        Hashtbl.iter
+          (fun name raws ->
+            let stats =
+              Analyze.one
+                (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+                Instance.monotonic_clock raws
+            in
+            match Analyze.OLS.estimates stats with
+            | Some [ est ] -> Printf.printf "  %-34s %10.1f ns/run\n%!" name est
+            | Some _ | None -> Printf.printf "  %-34s (no estimate)\n%!" name)
+          results)
+      tests
+end
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let bechamel = List.mem "--bechamel" args in
+  let selected = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  let run_experiment = function
+    | "fig3" -> ignore (Experiments.fig3 ~quick ())
+    | "fig4" -> ignore (Experiments.fig4 ~quick ())
+    | "fig5" -> ignore (Experiments.fig5 ~quick ())
+    | "fig6" -> ignore (Experiments.fig6 ~quick ())
+    | "fig7" -> ignore (Experiments.fig7 ~quick ())
+    | "fig8" -> ignore (Experiments.fig8 ~quick ())
+    | "gamma" -> ignore (Experiments.ablation_gamma ~quick ())
+    | "batching" -> ignore (Experiments.ablation_batching ~quick ())
+    | "replication" -> ignore (Experiments.ablation_replication ~quick ())
+    | other -> Printf.eprintf "unknown experiment %S (try fig3..fig8, gamma, batching)\n" other
+  in
+  if bechamel then begin
+    print_endline "== Bechamel micro-benchmarks of protocol-critical paths ==";
+    Bench_micro.run ()
+  end;
+  (match selected with
+  | [] -> if not bechamel then Experiments.run_all ~quick ()
+  | ids -> List.iter run_experiment ids);
+  print_endline "\nbench: done."

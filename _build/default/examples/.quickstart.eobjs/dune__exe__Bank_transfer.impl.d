@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Key List Mdcc_core Mdcc_sim Mdcc_storage Mdcc_util Printf Schema Txn Update Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Key Mdcc_core Mdcc_sim Mdcc_storage Printf Schema Txn Update Value

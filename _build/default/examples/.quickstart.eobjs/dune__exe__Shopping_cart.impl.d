@@ -1,0 +1,1 @@
+examples/shopping_cart.ml: Float Key Mdcc_core Mdcc_sim Mdcc_storage Mdcc_util Printf Schema Txn Update Value

@@ -1,0 +1,1 @@
+examples/sql_storefront.ml: Format Key List Mdcc_core Mdcc_sim Mdcc_sql Mdcc_storage Printf Schema Txn Value

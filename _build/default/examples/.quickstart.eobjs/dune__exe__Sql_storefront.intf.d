@@ -1,0 +1,1 @@
+examples/sql_storefront.mli:

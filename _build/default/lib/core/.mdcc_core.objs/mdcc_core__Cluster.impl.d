@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Config Coordinator Hashtbl Key List Mdcc_sim Mdcc_storage Schema Storage_node Store

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Config Coordinator Key Mdcc_sim Mdcc_storage Schema Storage_node Value

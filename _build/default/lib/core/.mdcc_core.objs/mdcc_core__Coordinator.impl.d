@@ -1,0 +1,1 @@
+lib/core/coordinator.ml: Config Format Hashtbl Int Key List Mdcc_paxos Mdcc_sim Mdcc_storage Mdcc_util Messages Option Printf Quorum Txn Value Woption

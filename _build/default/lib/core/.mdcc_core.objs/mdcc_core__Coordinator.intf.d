@@ -1,0 +1,1 @@
+lib/core/coordinator.mli: Config Key Mdcc_sim Mdcc_storage Txn Value

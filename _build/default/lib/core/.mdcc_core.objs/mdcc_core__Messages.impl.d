@@ -1,0 +1,1 @@
+lib/core/messages.ml: Ballot Format Key List Mdcc_paxos Mdcc_sim Mdcc_storage Printf Txn Update Value Woption

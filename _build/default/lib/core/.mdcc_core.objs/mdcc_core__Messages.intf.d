@@ -1,0 +1,1 @@
+lib/core/messages.mli: Ballot Key Mdcc_paxos Mdcc_sim Mdcc_storage Txn Update Value Woption

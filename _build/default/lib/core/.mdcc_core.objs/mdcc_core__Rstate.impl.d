@@ -1,0 +1,1 @@
+lib/core/rstate.ml: Ballot Key List Mdcc_paxos Mdcc_storage Schema Stdlib String Update Value Woption

@@ -1,0 +1,1 @@
+lib/core/rstate.mli: Ballot Key Mdcc_paxos Mdcc_storage Schema Txn Update Value Woption

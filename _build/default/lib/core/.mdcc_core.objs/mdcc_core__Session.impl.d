@@ -1,0 +1,1 @@
+lib/core/session.ml: Coordinator Key List Mdcc_storage Option Txn Update

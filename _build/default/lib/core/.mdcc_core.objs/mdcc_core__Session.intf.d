@@ -1,0 +1,1 @@
+lib/core/session.mli: Coordinator Key Mdcc_storage Txn Value

@@ -1,0 +1,1 @@
+lib/core/storage_node.ml: Ballot Config Hashtbl Int Key List Mdcc_paxos Mdcc_sim Mdcc_storage Mdcc_util Messages Option Printf Rstate Schema Stdlib Store String Txn Update Value Woption

@@ -1,0 +1,1 @@
+lib/core/storage_node.mli: Config Key Mdcc_sim Mdcc_storage Schema Store Value

@@ -1,0 +1,1 @@
+lib/core/woption.ml: Format Key List Mdcc_storage Txn Update

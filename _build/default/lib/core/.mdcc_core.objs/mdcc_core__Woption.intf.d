@@ -1,0 +1,1 @@
+lib/core/woption.mli: Format Key Mdcc_storage Txn Update

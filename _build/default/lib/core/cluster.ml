@@ -1,0 +1,109 @@
+open Mdcc_storage
+module Engine = Mdcc_sim.Engine
+module Net = Mdcc_sim.Network
+module Topology = Mdcc_sim.Topology
+
+type t = {
+  engine : Engine.t;
+  net : Net.t;
+  config : Config.t;
+  topo : Topology.t;
+  schema : Schema.t;
+  partitions : int;
+  app_per_dc : int;
+  dcs : int;
+  nodes : Storage_node.t array;  (* node id = dc * partitions + partition *)
+  coords : Coordinator.t array;  (* app id = dcs*partitions + dc*app_per_dc + rank *)
+  master_dc_of : Key.t -> int;
+}
+
+let partition_of t key = Key.hash key mod t.partitions
+
+let replicas_fn ~dcs ~partitions key =
+  let p = Key.hash key mod partitions in
+  List.init dcs (fun dc -> (dc * partitions) + p)
+
+let default_master_dc ~dcs key =
+  (* Decorrelated from the partition hash so masters spread evenly. *)
+  Hashtbl.hash (Key.to_string key ^ "#master") mod dcs
+
+let create ~engine ?topology ?(partitions = 1) ?(app_servers_per_dc = 1) ?(jitter_sigma = 0.05)
+    ?(drop_probability = 0.0) ?master_dc_of ~config ~schema () =
+  let storage_topo =
+    match topology with
+    | Some topo -> topo
+    | None -> Topology.ec2_five ~nodes_per_dc:partitions ()
+  in
+  let dcs = Topology.num_dcs storage_topo in
+  if config.Config.replication <> dcs then
+    invalid_arg "Cluster.create: config.replication must equal the number of data centers";
+  if Topology.num_nodes storage_topo <> dcs * partitions then
+    invalid_arg "Cluster.create: topology must have exactly `partitions` nodes per DC";
+  let topo = Topology.add_nodes storage_topo ~per_dc:app_servers_per_dc in
+  let net = Net.create engine topo ~drop_probability ~jitter_sigma () in
+  let master_dc_of =
+    match master_dc_of with Some f -> f | None -> default_master_dc ~dcs
+  in
+  let replicas = replicas_fn ~dcs ~partitions in
+  let master_of key =
+    let p = Key.hash key mod partitions in
+    (master_dc_of key * partitions) + p
+  in
+  let nodes =
+    Array.init (dcs * partitions) (fun node_id ->
+        Storage_node.create ~net ~config ~node_id ~schema ~replicas ~master_of ())
+  in
+  let base = dcs * partitions in
+  let coords =
+    Array.init (dcs * app_servers_per_dc) (fun i ->
+        let dc = i / app_servers_per_dc in
+        let local_nodes = List.init partitions (fun p -> (dc * partitions) + p) in
+        Coordinator.create ~net ~config ~node_id:(base + i) ~replicas ~master_of ~local_nodes ())
+  in
+  { engine; net; config; topo; schema; partitions; app_per_dc = app_servers_per_dc; dcs;
+    nodes; coords; master_dc_of }
+
+let engine t = t.engine
+
+let network t = t.net
+
+let topology t = t.topo
+
+let config t = t.config
+
+let num_dcs t = t.dcs
+
+let coordinator t ~dc ~rank =
+  if dc < 0 || dc >= t.dcs || rank < 0 || rank >= t.app_per_dc then
+    invalid_arg "Cluster.coordinator: out of range";
+  t.coords.((dc * t.app_per_dc) + rank)
+
+let coordinators t = Array.to_list t.coords
+
+let storage_nodes t = Array.to_list t.nodes
+
+let replicas t key = replicas_fn ~dcs:t.dcs ~partitions:t.partitions key
+
+let master_node t key = (t.master_dc_of key * t.partitions) + partition_of t key
+
+let load t rows =
+  (* Group rows by partition and load each replica of that partition. *)
+  List.iter
+    (fun (key, value) ->
+      List.iter (fun node -> Storage_node.load t.nodes.(node) [ (key, value) ]) (replicas t key))
+    rows
+
+let peek t ~dc key =
+  let node = (dc * t.partitions) + partition_of t key in
+  Store.read (Storage_node.store t.nodes.(node)) key
+
+let start_maintenance t = Array.iter Storage_node.start_maintenance t.nodes
+
+let fail_dc t dc = Net.fail_dc t.net dc
+
+let recover_dc t dc = Net.recover_dc t.net dc
+
+let sync_dc t dc =
+  for p = 0 to t.partitions - 1 do
+    Storage_node.sync_with_masters t.nodes.((dc * t.partitions) + p)
+  done

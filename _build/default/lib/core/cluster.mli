@@ -1,0 +1,70 @@
+(** Cluster assembly: the paper's deployment in one value.
+
+    Builds the simulated deployment of Figure 1: [partitions] storage nodes
+    per data center (every data center holds a full replica, range/hash
+    partitioned inside the DC), plus [app_servers_per_dc] stateless
+    app-servers running the DB library (the {!Coordinator}).  The replica
+    group of a key is its partition's storage node in every data center;
+    the record's master is the replica in [master_dc_of key] (uniformly
+    hashed by default — experiments override it to control master
+    locality, Figure 7). *)
+
+open Mdcc_storage
+
+type t
+
+val create :
+  engine:Mdcc_sim.Engine.t ->
+  ?topology:Mdcc_sim.Topology.t ->
+  ?partitions:int ->
+  ?app_servers_per_dc:int ->
+  ?jitter_sigma:float ->
+  ?drop_probability:float ->
+  ?master_dc_of:(Key.t -> int) ->
+  config:Config.t ->
+  schema:Schema.t ->
+  unit ->
+  t
+(** [topology] must contain exactly [partitions] nodes per data center (the
+    storage nodes); app-server nodes are appended automatically.  Default
+    topology: the paper's five EC2 regions.  [config.replication] must equal
+    the number of data centers. *)
+
+val engine : t -> Mdcc_sim.Engine.t
+val network : t -> Mdcc_sim.Network.t
+val topology : t -> Mdcc_sim.Topology.t
+val config : t -> Config.t
+val num_dcs : t -> int
+
+val coordinator : t -> dc:int -> rank:int -> Coordinator.t
+(** The [rank]-th app-server of a data center
+    ([0 <= rank < app_servers_per_dc]). *)
+
+val coordinators : t -> Coordinator.t list
+
+val storage_nodes : t -> Storage_node.t list
+
+val replicas : t -> Key.t -> int list
+(** Node ids of the key's replica group (one per data center). *)
+
+val master_node : t -> Key.t -> int
+
+val load : t -> (Key.t * Value.t) list -> unit
+(** Install committed rows (version 1) on every replica — experiment
+    setup. *)
+
+val peek : t -> dc:int -> Key.t -> (Value.t * int) option
+(** Direct inspection of the committed state at a data center's replica
+    (bypasses the network; for tests and invariant checks). *)
+
+val start_maintenance : t -> unit
+(** Arm the dangling-transaction scan on every storage node. *)
+
+val fail_dc : t -> int -> unit
+(** Kill a data center (all messages to/from it are dropped). *)
+
+val recover_dc : t -> int -> unit
+
+val sync_dc : t -> int -> unit
+(** Run the anti-entropy sweep on every storage node of a data center
+    (typically right after {!recover_dc}). *)

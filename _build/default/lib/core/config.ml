@@ -1,0 +1,22 @@
+type mode = Full | Fast_only | Multi
+
+type t = {
+  mode : mode;
+  replication : int;
+  gamma : int;
+  learn_timeout : float;
+  txn_timeout : float;
+  dangling_scan_every : float;
+  batching : bool;
+}
+
+let make ?(mode = Full) ?(gamma = 100) ?(learn_timeout = 1200.0) ?(txn_timeout = 5000.0)
+    ?(dangling_scan_every = 1000.0) ?(batching = false) ~replication () =
+  if replication < 3 then invalid_arg "Config.make: replication must be >= 3";
+  { mode; replication; gamma; learn_timeout; txn_timeout; dangling_scan_every; batching }
+
+let classic_quorum t = Mdcc_paxos.Quorum.classic_size ~n:t.replication
+
+let fast_quorum t = Mdcc_paxos.Quorum.fast_size ~n:t.replication
+
+let mode_name = function Full -> "MDCC" | Fast_only -> "Fast" | Multi -> "Multi"

@@ -1,0 +1,51 @@
+(** Protocol configuration: the knobs the paper's evaluation turns.
+
+    The three configurations benchmarked in §5.3 are all instances of the
+    same code base:
+    {ul
+    {- [Full] — "MDCC": fast ballots plus commutative options with quorum
+       demarcation;}
+    {- [Fast_only] — "Fast": fast ballots, but every update is treated as a
+       physical (version-checked) update;}
+    {- [Multi] — "Multi": every instance is classic, owned by a per-record
+       master (Multi-Paxos; a stable master skips Phase 1).}} *)
+
+type mode = Full | Fast_only | Multi
+
+type t = {
+  mode : mode;
+  replication : int;  (** replicas per record = number of data centers *)
+  gamma : int;
+      (** instances forced classic after a collision before fast is retried
+          (γ, default 100; §3.3.2) *)
+  learn_timeout : float;
+      (** ms the coordinator waits for an option before triggering collision
+          recovery at the master *)
+  txn_timeout : float;
+      (** ms after which a storage node treats an undecided pending option as
+          a dangling transaction and starts recovery (§3.2.3) *)
+  dangling_scan_every : float;  (** period of the dangling-transaction scan *)
+  batching : bool;
+      (** fold messages for the same destination node into one network
+          message (proposals and visibility notifications) — the batching
+          optimization of the paper's conclusion *)
+}
+
+val make :
+  ?mode:mode ->
+  ?gamma:int ->
+  ?learn_timeout:float ->
+  ?txn_timeout:float ->
+  ?dangling_scan_every:float ->
+  ?batching:bool ->
+  replication:int ->
+  unit ->
+  t
+
+val classic_quorum : t -> int
+(** [floor(n/2) + 1]; 3 for the paper's 5 data centers. *)
+
+val fast_quorum : t -> int
+(** 4 for the paper's 5 data centers. *)
+
+val mode_name : mode -> string

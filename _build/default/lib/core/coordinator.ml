@@ -1,0 +1,414 @@
+open Mdcc_storage
+open Mdcc_paxos
+module Net = Mdcc_sim.Network
+module Engine = Mdcc_sim.Engine
+module Topology = Mdcc_sim.Topology
+module Trace = Mdcc_sim.Trace
+module Rng = Mdcc_util.Rng
+
+type key_state = {
+  woption : Woption.t;
+  mutable votes : (int * Woption.decision) list;
+  mutable learned : Woption.decision option;
+  mutable collided : bool;  (** Start_recovery already sent for this window *)
+  mutable redirected : bool;  (** already re-routed to the master *)
+  mutable attempts : int;  (** timeout-driven recovery attempts *)
+}
+
+type txn_state = {
+  txn : Txn.t;
+  callback : Txn.outcome -> unit;
+  mutable keys : key_state Key.Map.t;
+  mutable undecided : int;
+  mutable timeout : Engine.handle option;
+}
+
+type stats = {
+  mutable fast_commits : int;
+  mutable assisted_commits : int;
+  mutable aborts : int;
+  mutable collisions : int;
+  mutable redirects : int;
+  mutable timeout_recoveries : int;
+}
+
+type read_state = {
+  r_key : Key.t;
+  r_need : int;
+  r_cb : (Value.t * int) option -> unit;
+  mutable r_replies : (int * (Value.t * int * bool)) list;
+  mutable r_done : bool;
+}
+
+type scan_state = {
+  s_order_by : string option;
+  s_limit : int;
+  s_cb : (Key.t * Value.t * int) list -> unit;
+  mutable s_missing : int;
+  mutable s_rows : (Key.t * Value.t * int) list;
+}
+
+type t = {
+  net : Net.t;
+  engine : Engine.t;
+  config : Config.t;
+  id : int;
+  dc : int;
+  replicas : Key.t -> int list;
+  master_of : Key.t -> int;
+  local_nodes : int list;  (* storage nodes of this app-server's DC *)
+  txns : (Txn.id, txn_state) Hashtbl.t;
+  hints : (Key.t, float) Hashtbl.t;  (** classic-routing hint -> expiry time *)
+  reads : (int, read_state) Hashtbl.t;
+  scans : (int, scan_state) Hashtbl.t;
+  mutable next_rid : int;
+  stats : stats;
+  rng : Rng.t;
+}
+
+(* How long a collision keeps steering this coordinator to the master before
+   it probes fast ballots again (client-side half of the γ policy). *)
+let hint_ttl = 2000.0
+
+let node_id t = t.id
+
+let now t = Engine.now t.engine
+
+let send t dst payload = Net.send t.net ~src:t.id ~dst payload
+
+let trace t fmt = Trace.emit t.engine ~tag:(Printf.sprintf "app%d" t.id) fmt
+
+let n t = t.config.Config.replication
+
+let hint_active t key =
+  match Hashtbl.find_opt t.hints key with
+  | Some expiry when now t < expiry -> true
+  | Some _ ->
+    Hashtbl.remove t.hints key;
+    false
+  | None -> false
+
+let set_hint t key = Hashtbl.replace t.hints key (now t +. hint_ttl)
+
+let route_classic t key = t.config.Config.mode = Config.Multi || hint_active t key
+
+(* Send per-destination, folding into Batch messages when configured. *)
+let send_all t pairs =
+  if not t.config.Config.batching then List.iter (fun (dst, p) -> send t dst p) pairs
+  else begin
+    let by_dst = Hashtbl.create 8 in
+    List.iter
+      (fun (dst, p) ->
+        let existing = Option.value (Hashtbl.find_opt by_dst dst) ~default:[] in
+        Hashtbl.replace by_dst dst (p :: existing))
+      pairs;
+    Hashtbl.iter
+      (fun dst ps ->
+        match ps with
+        | [ p ] -> send t dst p
+        | ps -> send t dst (Messages.Batch (List.rev ps)))
+      by_dst
+  end
+
+let propose_payloads t (ks : key_state) =
+  let w = ks.woption in
+  if route_classic t w.Woption.key then begin
+    ks.redirected <- true;
+    [ (t.master_of w.Woption.key, Messages.Propose { woption = w; route = `Classic }) ]
+  end
+  else
+    List.map
+      (fun replica -> (replica, Messages.Propose { woption = w; route = `Fast }))
+      (t.replicas w.Woption.key)
+
+let decide t (ts : txn_state) =
+  (match ts.timeout with Some h -> Engine.cancel h | None -> ());
+  Hashtbl.remove t.txns ts.txn.Txn.id;
+  let rejected =
+    Key.Map.fold
+      (fun _ ks acc ->
+        match ks.learned with Some Woption.Rejected -> ks.woption :: acc | Some Woption.Accepted | None -> acc)
+      ts.keys []
+  in
+  let committed = rejected = [] in
+  let outcome =
+    if committed then Txn.Committed
+    else if List.for_all (fun w -> Woption.is_commutative w) rejected then
+      Txn.Aborted Txn.Constraint_violation
+    else Txn.Aborted Txn.Conflict
+  in
+  (match outcome with
+  | Txn.Committed ->
+    let pure_fast =
+      Key.Map.for_all
+        (fun _ ks -> not (ks.collided || ks.redirected || ks.attempts > 0))
+        ts.keys
+    in
+    if pure_fast && t.config.Config.mode <> Config.Multi then
+      t.stats.fast_commits <- t.stats.fast_commits + 1
+    else t.stats.assisted_commits <- t.stats.assisted_commits + 1
+  | Txn.Aborted _ -> t.stats.aborts <- t.stats.aborts + 1);
+  trace t "decide %s %s" ts.txn.Txn.id (Format.asprintf "%a" Txn.pp_outcome outcome);
+  (* Asynchronous Learned/Visibility notification: execute or void every
+     option; correctness does not depend on its timing (§3.2.1). *)
+  let pairs =
+    Key.Map.fold
+      (fun key ks acc ->
+        List.fold_left
+          (fun acc replica ->
+            ( replica,
+              Messages.Visibility
+                { txid = ts.txn.Txn.id; key; update = ks.woption.Woption.update; committed } )
+            :: acc)
+          acc (t.replicas key))
+      ts.keys []
+  in
+  send_all t pairs;
+  ts.callback outcome
+
+let learn t (ts : txn_state) (ks : key_state) decision =
+  match ks.learned with
+  | Some _ -> ()
+  | None ->
+    ks.learned <- Some decision;
+    ts.undecided <- ts.undecided - 1;
+    if ts.undecided = 0 then decide t ts
+
+let start_recovery_for t (ks : key_state) =
+  let w = ks.woption in
+  let key = w.Woption.key in
+  set_hint t key;
+  (* Rotate through replicas on repeated attempts so a failed master does
+     not block the transaction forever. *)
+  let master = t.master_of key in
+  let target =
+    if ks.attempts = 0 then master
+    else begin
+      let others = List.filter (fun r -> r <> master) (t.replicas key) in
+      let all = master :: others in
+      List.nth all (ks.attempts mod List.length all)
+    end
+  in
+  ks.attempts <- ks.attempts + 1;
+  trace t "start_recovery %s %s via node %d" w.Woption.txid (Key.to_string key) target;
+  send t target (Messages.Start_recovery { key; woption = Some w })
+
+let on_vote t txid key acceptor decision =
+  match Hashtbl.find_opt t.txns txid with
+  | None -> ()
+  | Some ts -> (
+    match Key.Map.find_opt key ts.keys with
+    | None -> ()
+    | Some ks ->
+      if ks.learned = None && not (List.mem_assoc acceptor ks.votes) then begin
+        ks.votes <- (acceptor, decision) :: ks.votes;
+        let acks =
+          List.length (List.filter (fun (_, d) -> d = Woption.Accepted) ks.votes)
+        in
+        let rejects =
+          List.length (List.filter (fun (_, d) -> d = Woption.Rejected) ks.votes)
+        in
+        let qf = Config.fast_quorum t.config in
+        if acks >= qf then learn t ts ks Woption.Accepted
+        else if rejects >= qf then learn t ts ks Woption.Rejected
+        else if Quorum.fast_impossible ~n:(n t) ~acks ~rejects && not ks.collided then begin
+          (* Fast Paxos collision: no outcome can reach a fast quorum. *)
+          ks.collided <- true;
+          t.stats.collisions <- t.stats.collisions + 1;
+          start_recovery_for t ks
+        end
+      end)
+
+let on_learned t txid key decision =
+  match Hashtbl.find_opt t.txns txid with
+  | None -> ()
+  | Some ts -> (
+    match Key.Map.find_opt key ts.keys with
+    | None -> ()
+    | Some ks -> learn t ts ks decision)
+
+let on_redirect t txid key master =
+  match Hashtbl.find_opt t.txns txid with
+  | None -> ()
+  | Some ts -> (
+    match Key.Map.find_opt key ts.keys with
+    | None -> ()
+    | Some ks ->
+      set_hint t key;
+      if ks.learned = None && not ks.redirected then begin
+        ks.redirected <- true;
+        t.stats.redirects <- t.stats.redirects + 1;
+        send t master (Messages.Propose { woption = ks.woption; route = `Classic })
+      end)
+
+let rec arm_timeout t (ts : txn_state) =
+  let jitter = Rng.float t.rng 100.0 in
+  ts.timeout <-
+    Some
+      (Engine.schedule t.engine ~after:(t.config.Config.learn_timeout +. jitter) (fun () ->
+           if Hashtbl.mem t.txns ts.txn.Txn.id then begin
+             Key.Map.iter
+               (fun _ ks ->
+                 if ks.learned = None then begin
+                   t.stats.timeout_recoveries <- t.stats.timeout_recoveries + 1;
+                   start_recovery_for t ks
+                 end)
+               ts.keys;
+             arm_timeout t ts
+           end))
+
+let submit t txn callback =
+  if Txn.is_read_only txn then
+    ignore (Engine.schedule t.engine ~after:0.0 (fun () -> callback Txn.Committed))
+  else begin
+    let options = Woption.of_txn txn ~coordinator:t.id in
+    let keys =
+      List.fold_left
+        (fun m (w : Woption.t) ->
+          Key.Map.add w.Woption.key
+            { woption = w; votes = []; learned = None; collided = false; redirected = false;
+              attempts = 0 }
+            m)
+        Key.Map.empty options
+    in
+    let ts = { txn; callback; keys; undecided = Key.Map.cardinal keys; timeout = None } in
+    Hashtbl.replace t.txns txn.Txn.id ts;
+    send_all t (Key.Map.fold (fun _ ks acc -> propose_payloads t ks @ acc) keys []);
+    arm_timeout t ts
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reads                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let local_replica t key =
+  let topo = Net.topology t.net in
+  match List.find_opt (fun r -> Topology.dc_of topo r = t.dc) (t.replicas key) with
+  | Some r -> r
+  | None -> List.hd (t.replicas key)
+
+let new_read t key ~need cb =
+  let rid = t.next_rid in
+  t.next_rid <- t.next_rid + 1;
+  Hashtbl.replace t.reads rid { r_key = key; r_need = need; r_cb = cb; r_replies = []; r_done = false };
+  rid
+
+let read_local t key cb =
+  let rid = new_read t key ~need:1 cb in
+  send t (local_replica t key) (Messages.Read_request { rid; key })
+
+let read_majority t key cb =
+  let rid = new_read t key ~need:(Config.classic_quorum t.config) cb in
+  List.iter (fun r -> send t r (Messages.Read_request { rid; key })) (t.replicas key)
+
+let on_read_reply t rid acceptor value version exists =
+  match Hashtbl.find_opt t.reads rid with
+  | None -> ()
+  | Some rs ->
+    if (not rs.r_done) && not (List.mem_assoc acceptor rs.r_replies) then begin
+      rs.r_replies <- (acceptor, (value, version, exists)) :: rs.r_replies;
+      if List.length rs.r_replies >= rs.r_need then begin
+        rs.r_done <- true;
+        Hashtbl.remove t.reads rid;
+        let freshest =
+          List.fold_left
+            (fun best (_, (v, ver, ex)) ->
+              match best with
+              | Some (_, bver, _) when bver >= ver -> best
+              | Some _ | None -> Some (v, ver, ex))
+            None rs.r_replies
+        in
+        match freshest with
+        | Some (v, ver, true) -> rs.r_cb (Some (v, ver))
+        | Some (_, _, false) | None -> rs.r_cb None
+      end
+    end
+
+let scan_local t ~table ?order_by ~limit cb =
+  match t.local_nodes with
+  | [] -> cb []
+  | nodes ->
+    let rid = t.next_rid in
+    t.next_rid <- t.next_rid + 1;
+    Hashtbl.replace t.scans rid
+      { s_order_by = order_by; s_limit = limit; s_cb = cb; s_missing = List.length nodes;
+        s_rows = [] };
+    List.iter
+      (fun node -> send t node (Messages.Scan_request { rid; table; order_by; limit }))
+      nodes
+
+let on_scan_reply t rid rows =
+  match Hashtbl.find_opt t.scans rid with
+  | None -> ()
+  | Some ss ->
+    ss.s_rows <- rows @ ss.s_rows;
+    ss.s_missing <- ss.s_missing - 1;
+    if ss.s_missing = 0 then begin
+      Hashtbl.remove t.scans rid;
+      let merged =
+        match ss.s_order_by with
+        | None -> ss.s_rows
+        | Some attr ->
+          List.sort
+            (fun (_, v1, _) (_, v2, _) ->
+              Int.compare (Value.get_int v2 attr) (Value.get_int v1 attr))
+            ss.s_rows
+      in
+      let rec take n = function
+        | [] -> []
+        | _ when n <= 0 -> []
+        | x :: tl -> x :: take (n - 1) tl
+      in
+      ss.s_cb (take ss.s_limit merged)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Wiring                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec handle t ~src payload =
+  match payload with
+  | Messages.Batch items -> List.iter (handle t ~src) items
+  | Messages.Phase2b_fast { key; txid; decision; acceptor } -> on_vote t txid key acceptor decision
+  | Messages.Learned { key; txid; decision } -> on_learned t txid key decision
+  | Messages.Redirect { key; txid; master; classic_until = _ } -> on_redirect t txid key master
+  | Messages.Read_reply { rid; key = _; value; version; exists } ->
+    on_read_reply t rid src value version exists
+  | Messages.Scan_reply { rid; rows } -> on_scan_reply t rid rows
+  | _ -> ()
+
+let create ~net ~config ~node_id ~replicas ~master_of ?(local_nodes = []) () =
+  let engine = Net.engine net in
+  let t =
+    {
+      net;
+      engine;
+      config;
+      id = node_id;
+      dc = Topology.dc_of (Net.topology net) node_id;
+      replicas;
+      master_of;
+      local_nodes;
+      txns = Hashtbl.create 256;
+      hints = Hashtbl.create 256;
+      reads = Hashtbl.create 64;
+      scans = Hashtbl.create 16;
+      next_rid = 0;
+      stats =
+        {
+          fast_commits = 0;
+          assisted_commits = 0;
+          aborts = 0;
+          collisions = 0;
+          redirects = 0;
+          timeout_recoveries = 0;
+        };
+      rng = Rng.split (Engine.rng engine);
+    }
+  in
+  Net.register net node_id (fun ~src payload -> handle t ~src payload);
+  t
+
+let inflight t = Hashtbl.length t.txns
+
+let stats t = t.stats

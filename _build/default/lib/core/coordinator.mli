@@ -1,0 +1,80 @@
+(** The app-server side of MDCC: the stateless DB library / transaction
+    manager.
+
+    A coordinator proposes options for every update of a transaction, learns
+    them, and — crucially — is {e not allowed to abort} a transaction it has
+    proposed: the outcome is a deterministic function of the learned options
+    (all accepted → commit; any rejected → abort), which is what makes the
+    single-round-trip commit safe (§3.2.1).  After deciding it sends
+    asynchronous Visibility messages to execute or void the options.
+
+    Routing implements the fast-policy from the client side: fast
+    (master-bypassing) proposals by default, classic proposals through the
+    record's master in Multi mode or while a collision hint for the record
+    is fresh; [Redirect] answers from acceptors install such hints.
+    Collisions (no fast quorum possible for either outcome) and learn
+    timeouts escalate to [Start_recovery] at the master — rotating through
+    replicas on repeated timeouts so a dead master is bypassed. *)
+
+open Mdcc_storage
+
+type t
+
+val create :
+  net:Mdcc_sim.Network.t ->
+  config:Config.t ->
+  node_id:int ->
+  replicas:(Key.t -> int list) ->
+  master_of:(Key.t -> int) ->
+  ?local_nodes:int list ->
+  unit ->
+  t
+(** Registers the app-server's message handler on the network.
+    [local_nodes] are the storage nodes of this app-server's data center
+    (needed only for {!scan_local}). *)
+
+val node_id : t -> int
+
+val submit : t -> Txn.t -> (Txn.outcome -> unit) -> unit
+(** Run the commit protocol for a write-set; the callback fires exactly once
+    at decision time (Visibility is sent asynchronously after it). *)
+
+val read_local : t -> Key.t -> ((Value.t * int) option -> unit) -> unit
+(** Read-committed read of the replica in the app-server's own data center
+    (possibly stale; §4.2). *)
+
+val read_majority : t -> Key.t -> ((Value.t * int) option -> unit) -> unit
+(** Up-to-date read: query all replicas, return the freshest committed
+    version once a classic quorum answered. *)
+
+val scan_local :
+  t ->
+  table:string ->
+  ?order_by:string ->
+  limit:int ->
+  ((Key.t * Value.t * int) list -> unit) ->
+  unit
+(** Read-committed scan of a whole table against the local data center's
+    replicas, optionally sorted descending by an integer attribute and
+    truncated to [limit] rows — what TPC-W's best-sellers / search
+    interactions run.  Like all local reads it may be stale. *)
+
+val inflight : t -> int
+(** Transactions submitted but not yet decided (diagnostics). *)
+
+type stats = {
+  mutable fast_commits : int;
+      (** committed with every option learned on the pure fast path: one
+          wide-area round trip, no master involved — the paper's headline
+          common case *)
+  mutable assisted_commits : int;
+      (** committed, but some option needed a redirect, collision recovery
+          or timeout assistance (or the mode is Multi) *)
+  mutable aborts : int;
+  mutable collisions : int;  (** fast-quorum collisions detected *)
+  mutable redirects : int;  (** classic-window redirects followed *)
+  mutable timeout_recoveries : int;  (** learn timeouts that escalated *)
+}
+
+val stats : t -> stats
+(** Protocol-path counters for this app-server (live; not reset). *)

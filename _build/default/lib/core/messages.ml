@@ -1,0 +1,100 @@
+open Mdcc_storage
+open Mdcc_paxos
+
+type rebase = { value : Value.t; version : int; exists : bool }
+
+type vote = { woption : Woption.t; decision : Woption.decision; ballot : Ballot.t }
+
+type status =
+  | Status_unknown
+  | Status_pending of vote
+  | Status_decided of bool
+
+type Mdcc_sim.Network.payload +=
+  | Propose of { woption : Woption.t; route : [ `Fast | `Classic ] }
+  | Phase1a of { key : Key.t; ballot : Ballot.t }
+  | Phase1b of {
+      key : Key.t;
+      ballot : Ballot.t;
+      ok : bool;
+      promised : Ballot.t;
+      votes : vote list;
+      version : int;
+      value : Value.t;
+      exists : bool;
+    }
+  | Phase2a of {
+      key : Key.t;
+      ballot : Ballot.t;
+      woption : Woption.t;
+      decision : Woption.decision;
+      classic_until : int;
+      rebase : rebase option;
+    }
+  | Phase2b_master of {
+      key : Key.t;
+      txid : Txn.id;
+      ballot : Ballot.t;
+      ok : bool;
+      decision : Woption.decision;
+    }
+  | Phase2b_fast of {
+      key : Key.t;
+      txid : Txn.id;
+      decision : Woption.decision;
+      acceptor : int;
+    }
+  | Learned of { key : Key.t; txid : Txn.id; decision : Woption.decision }
+  | Redirect of { key : Key.t; txid : Txn.id; master : int; classic_until : int }
+  | Visibility of { txid : Txn.id; key : Key.t; update : Update.t; committed : bool }
+  | Start_recovery of { key : Key.t; woption : Woption.t option }
+  | Status_query of { txid : Txn.id; key : Key.t }
+  | Status_reply of { txid : Txn.id; key : Key.t; status : status; acceptor : int }
+  | Catchup_request of { key : Key.t }
+  | Catchup of { key : Key.t; rebase : rebase }
+  | Read_request of { rid : int; key : Key.t }
+  | Read_reply of { rid : int; key : Key.t; value : Value.t; version : int; exists : bool }
+  | Batch of Mdcc_sim.Network.payload list
+  | Sync_request of { entries : (Key.t * int) list }
+  | Scan_request of { rid : int; table : string; order_by : string option; limit : int }
+  | Scan_reply of { rid : int; rows : (Key.t * Value.t * int) list }
+
+let decision_str = function Woption.Accepted -> "acc" | Woption.Rejected -> "rej"
+
+let describe = function
+  | Propose { woption; route } ->
+    Printf.sprintf "propose(%s, %s, %s)"
+      (match route with `Fast -> "fast" | `Classic -> "classic")
+      woption.Woption.txid
+      (Key.to_string woption.Woption.key)
+  | Phase1a { key; ballot } ->
+    Printf.sprintf "phase1a(%s, %s)" (Key.to_string key) (Format.asprintf "%a" Ballot.pp ballot)
+  | Phase1b { key; ok; votes; _ } ->
+    Printf.sprintf "phase1b(%s, ok=%b, votes=%d)" (Key.to_string key) ok (List.length votes)
+  | Phase2a { key; woption; decision; _ } ->
+    Printf.sprintf "phase2a(%s, %s, %s)" (Key.to_string key) woption.Woption.txid
+      (decision_str decision)
+  | Phase2b_master { key; txid; ok; decision; _ } ->
+    Printf.sprintf "phase2b_m(%s, %s, ok=%b, %s)" (Key.to_string key) txid ok
+      (decision_str decision)
+  | Phase2b_fast { key; txid; decision; acceptor } ->
+    Printf.sprintf "phase2b_f(%s, %s, %s, a%d)" (Key.to_string key) txid
+      (decision_str decision) acceptor
+  | Learned { key; txid; decision } ->
+    Printf.sprintf "learned(%s, %s, %s)" (Key.to_string key) txid (decision_str decision)
+  | Redirect { key; txid; master; classic_until } ->
+    Printf.sprintf "redirect(%s, %s, m=%d, until=%d)" (Key.to_string key) txid master
+      classic_until
+  | Visibility { txid; key; committed; _ } ->
+    Printf.sprintf "visibility(%s, %s, %b)" txid (Key.to_string key) committed
+  | Start_recovery { key; woption } ->
+    Printf.sprintf "start_recovery(%s, %s)" (Key.to_string key)
+      (match woption with Some w -> w.Woption.txid | None -> "-")
+  | Status_query { txid; key } -> Printf.sprintf "status?(%s, %s)" txid (Key.to_string key)
+  | Status_reply { txid; key; acceptor; _ } ->
+    Printf.sprintf "status!(%s, %s, a%d)" txid (Key.to_string key) acceptor
+  | Catchup_request { key } -> Printf.sprintf "catchup?(%s)" (Key.to_string key)
+  | Catchup { key; _ } -> Printf.sprintf "catchup!(%s)" (Key.to_string key)
+  | Batch items -> Printf.sprintf "batch(%d)" (List.length items)
+  | Sync_request { entries } -> Printf.sprintf "sync?(%d keys)" (List.length entries)
+  | _ -> "<other>"

@@ -1,0 +1,107 @@
+(** The MDCC wire protocol.
+
+    Constructors extend the simulator's {!Mdcc_sim.Network.payload} so every
+    MDCC component shares the cluster's network.  The message set follows
+    Algorithms 1–3 of the paper, plus the recovery and catch-up traffic the
+    prose describes (§3.2.3, §4.2):
+
+    {ul
+    {- [Propose] — app-server to acceptors (fast route) or to the record's
+       master (classic route);}
+    {- [Phase1a]/[Phase1b] — master establishing a classic ballot;}
+    {- [Phase2a]/[Phase2b_master] — master-ordered classic acceptance;}
+    {- [Phase2b_fast] — acceptor's direct answer to a fast proposal, sent
+       straight to the learning app-server (master bypass);}
+    {- [Learned] — master informing the app-server of a classic outcome;}
+    {- [Redirect] — acceptor telling a fast proposer the record currently
+       runs classic ballots (fast-policy γ window) and who the master is;}
+    {- [Visibility] — app-server executing / voiding learned options;}
+    {- [Start_recovery] — anybody asking a master to resolve a collision;}
+    {- [Status_query]/[Status_reply] — dangling-transaction recovery reading
+       a quorum of option logs;}
+    {- [Catchup_request]/[Catchup] — straggler replica anti-entropy.}} *)
+
+open Mdcc_storage
+open Mdcc_paxos
+
+type rebase = { value : Value.t; version : int; exists : bool }
+(** Committed state shipped by a master to re-base stragglers / reset the
+    commutative base value after a demarcation collision (§3.4.2). *)
+
+type vote = { woption : Woption.t; decision : Woption.decision; ballot : Ballot.t }
+(** One pending acceptance reported in Phase1b or to recovery. *)
+
+type status =
+  | Status_unknown  (** no trace of the transaction at this replica *)
+  | Status_pending of vote
+  | Status_decided of bool  (** visibility already executed: committed? *)
+
+type Mdcc_sim.Network.payload +=
+  | Propose of { woption : Woption.t; route : [ `Fast | `Classic ] }
+  | Phase1a of { key : Key.t; ballot : Ballot.t }
+  | Phase1b of {
+      key : Key.t;
+      ballot : Ballot.t;
+      ok : bool;  (** false: nack, [promised] is higher *)
+      promised : Ballot.t;
+      votes : vote list;
+      version : int;
+      value : Value.t;
+      exists : bool;
+    }
+  | Phase2a of {
+      key : Key.t;
+      ballot : Ballot.t;
+      woption : Woption.t;
+      decision : Woption.decision;
+      classic_until : int;  (** fast-policy window the master imposes *)
+      rebase : rebase option;
+    }
+  | Phase2b_master of {
+      key : Key.t;
+      txid : Txn.id;
+      ballot : Ballot.t;
+      ok : bool;
+      decision : Woption.decision;
+    }
+  | Phase2b_fast of {
+      key : Key.t;
+      txid : Txn.id;
+      decision : Woption.decision;
+      acceptor : int;
+    }
+  | Learned of { key : Key.t; txid : Txn.id; decision : Woption.decision }
+  | Redirect of { key : Key.t; txid : Txn.id; master : int; classic_until : int }
+  | Visibility of {
+      txid : Txn.id;
+      key : Key.t;
+      update : Update.t;
+      committed : bool;
+    }
+  | Start_recovery of { key : Key.t; woption : Woption.t option }
+  | Status_query of { txid : Txn.id; key : Key.t }
+  | Status_reply of { txid : Txn.id; key : Key.t; status : status; acceptor : int }
+  | Catchup_request of { key : Key.t }
+  | Catchup of { key : Key.t; rebase : rebase }
+  | Read_request of { rid : int; key : Key.t }
+      (** read of the committed state of one replica (reads never touch the
+          protocol; a single-replica read is the paper's default, possibly
+          stale, read-committed read) *)
+  | Read_reply of { rid : int; key : Key.t; value : Value.t; version : int; exists : bool }
+  | Batch of Mdcc_sim.Network.payload list
+      (** several protocol messages for the same destination folded into one
+          network message — the batching optimization the paper's
+          conclusion proposes to reduce message overhead *)
+  | Sync_request of { entries : (Key.t * int) list }
+      (** anti-entropy probe: "here are my versions for these keys; send me
+          a [Catchup] for any you know to be newer" — the background
+          bulk-repair process §3.2.3/§5.3.4 mention for replicas that
+          missed updates during an outage *)
+  | Scan_request of { rid : int; table : string; order_by : string option; limit : int }
+      (** read-committed scan of one replica's rows of a table, optionally
+          sorted descending by an integer attribute — the local analytic
+          reads TPC-W's browsing interactions (best sellers, search) issue *)
+  | Scan_reply of { rid : int; rows : (Key.t * Value.t * int) list }
+
+val describe : Mdcc_sim.Network.payload -> string
+(** Short human-readable form for traces (["propose(fast, t1, item/4)"]). *)

@@ -1,0 +1,116 @@
+open Mdcc_storage
+open Mdcc_paxos
+
+type pending = {
+  woption : Woption.t;
+  mutable decision : Woption.decision;
+  mutable ballot : Ballot.t;
+  mutable proposed_at : float;
+}
+
+type t = {
+  key : Key.t;
+  mutable promised : Ballot.t;
+  mutable classic_until : int;
+  mutable pending : pending list;
+}
+
+let create ?(classic_until = 0) key =
+  { key; promised = Ballot.initial_fast; classic_until; pending = [] }
+
+let find_pending t txid =
+  List.find_opt (fun p -> String.equal p.woption.Woption.txid txid) t.pending
+
+let remove_pending t txid =
+  t.pending <- List.filter (fun p -> not (String.equal p.woption.Woption.txid txid)) t.pending
+
+let add_pending t p =
+  remove_pending t p.woption.Woption.txid;
+  t.pending <- t.pending @ [ p ]
+
+let accepted t = List.filter (fun p -> p.decision = Woption.Accepted) t.pending
+
+let in_classic_era t ~version = version < t.classic_until
+
+type valuation = { value : Value.t; version : int; exists : bool }
+
+type demarcation = [ `Quorum of int * int | `Escrow ]
+
+(* Exact integer test of  base + pending_neg + delta_neg >= L  with
+   L = lower + (n - qf) / n * (base - lower): multiply through by n. *)
+let demarcation_lower_ok ~n ~qf ~base ~lower ~pending_neg ~delta_neg =
+  n * (base + pending_neg + delta_neg) >= (n * lower) + ((n - qf) * (base - lower))
+
+let demarcation_upper_ok ~n ~qf ~base ~upper ~pending_pos ~delta_pos =
+  n * (base + pending_pos + delta_pos) <= (n * upper) - ((n - qf) * (upper - base))
+
+let attr_delta deltas attr =
+  List.fold_left (fun acc (a, d) -> if String.equal a attr then acc + d else acc) 0 deltas
+
+(* Worst-case sums of outstanding accepted deltas for one attribute: the
+   permutation of commit/abort outcomes that drives the value lowest keeps
+   only the negative deltas; highest keeps only the positive ones. *)
+let pending_sums accepted_pendings attr =
+  List.fold_left
+    (fun (neg, pos) p ->
+      let d = attr_delta (Update.deltas p.woption.Woption.update) attr in
+      (neg + Stdlib.min 0 d, pos + Stdlib.max 0 d))
+    (0, 0) accepted_pendings
+
+let delta_ok ~bounds ~demarcation valuation ~accepted deltas =
+  let check (b : Schema.bound) =
+    let base = Value.get_int valuation.value b.Schema.attr in
+    let pending_neg, pending_pos = pending_sums accepted b.Schema.attr in
+    let d = attr_delta deltas b.Schema.attr in
+    let delta_neg = Stdlib.min 0 d and delta_pos = Stdlib.max 0 d in
+    let lower_ok =
+      match b.Schema.lower with
+      | None -> true
+      | Some lower -> (
+        match demarcation with
+        | `Quorum (n, qf) -> demarcation_lower_ok ~n ~qf ~base ~lower ~pending_neg ~delta_neg
+        | `Escrow -> base + pending_neg + delta_neg >= lower)
+    in
+    let upper_ok =
+      match b.Schema.upper with
+      | None -> true
+      | Some upper -> (
+        match demarcation with
+        | `Quorum (n, qf) -> demarcation_upper_ok ~n ~qf ~base ~upper ~pending_pos ~delta_pos
+        | `Escrow -> base + pending_pos + delta_pos <= upper)
+    in
+    lower_ok && upper_ok
+  in
+  List.for_all check bounds
+
+let value_in_bounds ~bounds value =
+  List.for_all
+    (fun (b : Schema.bound) -> Schema.check_bound b (Value.get_int value b.Schema.attr))
+    bounds
+
+let evaluate ~bounds ~demarcation valuation ~accepted (up : Update.t) =
+  let no_outstanding = accepted = [] in
+  let no_outstanding_physical =
+    List.for_all (fun p -> Update.is_commutative p.woption.Woption.update) accepted
+  in
+  let ok =
+    match up with
+    | Update.Insert v -> (not valuation.exists) && no_outstanding && value_in_bounds ~bounds v
+    | Update.Physical { vread; value } ->
+      valuation.exists && valuation.version = vread && no_outstanding
+      && value_in_bounds ~bounds value
+    | Update.Delete { vread } ->
+      valuation.exists && valuation.version = vread && no_outstanding
+    | Update.Delta deltas ->
+      valuation.exists && no_outstanding_physical
+      && delta_ok ~bounds ~demarcation valuation ~accepted deltas
+    | Update.Read_guard { vread } ->
+      (* Serializable reads (§4.4): valid while the read version is current
+         and no write is outstanding; outstanding guards are fine (shared
+         "locks" commute with each other). *)
+      valuation.version = vread
+      && List.for_all
+           (fun p -> Update.is_read_guard p.woption.Woption.update)
+           accepted
+  in
+  if ok then Woption.Accepted else Woption.Rejected

@@ -1,0 +1,80 @@
+(** Per-record Paxos/option state kept by every replica.
+
+    This module holds the state one storage node keeps for one record —
+    promised ballot, the fast-policy window, the list of pending options —
+    and the {e pure} decision logic shared by all three places the paper
+    makes an accept/reject decision: the acceptor's fast path
+    (SetCompatible, Algorithm 3 lines 83–99), the master's classic
+    validation, and collision/dangling recovery.
+
+    The decision logic implements:
+    {ul
+    {- write-write conflict detection via version preconditions
+       ([vread] must equal the current version);}
+    {- the "one outstanding option per record" rule (an accepted, not yet
+       executed option makes conflicting later options {e rejected}, which is
+       the paper's deadlock-avoidance trick of §3.2.2 — the loser learns a
+       rejection instead of blocking);}
+    {- commutative acceptance with value constraints: quorum demarcation
+       ([`Quorum]) on acceptors, plain escrow ([`Escrow]) at a master that is
+       the sole decider (§3.4.2).}} *)
+
+open Mdcc_storage
+open Mdcc_paxos
+
+type pending = {
+  woption : Woption.t;
+  mutable decision : Woption.decision;  (** this replica's current vote *)
+  mutable ballot : Ballot.t;  (** ballot the vote was cast at *)
+  mutable proposed_at : float;  (** virtual time, for dangling detection *)
+}
+
+type t = {
+  key : Key.t;
+  mutable promised : Ballot.t;  (** highest Phase1a answered (mbal_a) *)
+  mutable classic_until : int;
+      (** record versions below this must use classic ballots (γ window);
+          [max_int] in Multi mode *)
+  mutable pending : pending list;  (** outstanding options, arrival order *)
+}
+
+val create : ?classic_until:int -> Key.t -> t
+
+val find_pending : t -> Txn.id -> pending option
+
+val remove_pending : t -> Txn.id -> unit
+
+val add_pending : t -> pending -> unit
+(** Appends; replaces an existing entry with the same transaction id. *)
+
+val accepted : t -> pending list
+(** Pending options currently voted [Accepted]. *)
+
+val in_classic_era : t -> version:int -> bool
+(** Must proposals for the next instance go through the master? *)
+
+type valuation = { value : Value.t; version : int; exists : bool }
+(** The committed state a decision is evaluated against. *)
+
+type demarcation = [ `Quorum of int * int  (** (n, fast-quorum size) *) | `Escrow ]
+
+val evaluate :
+  bounds:Schema.bound list ->
+  demarcation:demarcation ->
+  valuation ->
+  accepted:pending list ->
+  Update.t ->
+  Woption.decision
+(** The accept/reject decision for a new option given committed state and
+    the already-accepted outstanding options.  Deterministic; safe to run
+    at any replica that has the same inputs. *)
+
+val demarcation_lower_ok :
+  n:int -> qf:int -> base:int -> lower:int -> pending_neg:int -> delta_neg:int -> bool
+(** Exact integer form of the lower-limit test
+    [base + pending_neg + delta_neg >= L],
+    [L = lower + (n-qf)/n * (base - lower)] — exposed for direct unit and
+    property testing of the §3.4.2 formula. *)
+
+val demarcation_upper_ok :
+  n:int -> qf:int -> base:int -> upper:int -> pending_pos:int -> delta_pos:int -> bool

@@ -1,0 +1,52 @@
+open Mdcc_storage
+
+type t = {
+  coordinator : Coordinator.t;
+  watermarks : int Key.Tbl.t;
+  (* Keys written by a delta whose resulting version is unknown: the next
+     read must go to a majority once, then the watermark is precise again. *)
+  dirty : unit Key.Tbl.t;
+}
+
+let create coordinator =
+  { coordinator; watermarks = Key.Tbl.create 64; dirty = Key.Tbl.create 16 }
+
+let watermark t key = Option.value (Key.Tbl.find_opt t.watermarks key) ~default:0
+
+let observe t key version =
+  if version > watermark t key then Key.Tbl.replace t.watermarks key version
+
+let read t key callback =
+  let deliver result =
+    (match result with Some (_, version) -> observe t key version | None -> ());
+    Key.Tbl.remove t.dirty key;
+    callback result
+  in
+  if Key.Tbl.mem t.dirty key then Coordinator.read_majority t.coordinator key deliver
+  else
+    Coordinator.read_local t.coordinator key (fun result ->
+        let fresh_enough =
+          match result with
+          | Some (_, version) -> version >= watermark t key
+          | None -> watermark t key = 0
+        in
+        if fresh_enough then deliver result
+        else Coordinator.read_majority t.coordinator key deliver)
+
+let scan t ~table ?order_by ~limit cb =
+  Coordinator.scan_local t.coordinator ~table ?order_by ~limit cb
+
+let submit t txn callback =
+  Coordinator.submit t.coordinator txn (fun outcome ->
+      (match outcome with
+      | Txn.Committed ->
+        List.iter
+          (fun (key, up) ->
+            match up with
+            | Update.Physical { vread; _ } | Update.Delete { vread } -> observe t key (vread + 1)
+            | Update.Insert _ -> observe t key 1
+            | Update.Read_guard { vread } -> observe t key vread
+            | Update.Delta _ -> Key.Tbl.replace t.dirty key ())
+          txn.Txn.updates
+      | Txn.Aborted _ -> ());
+      callback outcome)

@@ -1,0 +1,43 @@
+(** Session read guarantees on top of read-committed (§4.2).
+
+    Plain local reads may be stale (a replica can miss updates).  The paper
+    sketches how to strengthen them: monotonic reads and read-your-writes
+    can be guaranteed by making sure the local replica "participates in the
+    quorum" — operationally, by falling back to an up-to-date (majority)
+    read whenever the local replica is behind what the session has already
+    observed.
+
+    A session tracks, per key, the highest version it has read or written
+    (its {e watermark}).  {!read} serves from the local replica when that is
+    at or above the watermark and silently upgrades to a majority read
+    otherwise; {!submit} advances watermarks when a transaction commits, so
+    subsequent reads see the session's own writes. *)
+
+open Mdcc_storage
+
+type t
+
+val create : Coordinator.t -> t
+(** A fresh session bound to one app-server. *)
+
+val read : t -> Key.t -> ((Value.t * int) option -> unit) -> unit
+(** Monotonic, read-your-writes read: never returns a version below the
+    session's watermark for the key. *)
+
+val scan :
+  t ->
+  table:string ->
+  ?order_by:string ->
+  limit:int ->
+  ((Key.t * Value.t * int) list -> unit) ->
+  unit
+(** Local table scan ({!Coordinator.scan_local}); read-committed but outside
+    the session's per-key watermark tracking (scans are analytic reads). *)
+
+val submit : t -> Txn.t -> (Txn.outcome -> unit) -> unit
+(** {!Coordinator.submit}, additionally advancing the watermarks of the
+    written keys when the transaction commits. *)
+
+val watermark : t -> Key.t -> int
+(** The session's current lower bound for the key's version (0 if never
+    observed). *)

@@ -1,0 +1,945 @@
+open Mdcc_storage
+open Mdcc_paxos
+module Net = Mdcc_sim.Network
+module Engine = Mdcc_sim.Engine
+module Trace = Mdcc_sim.Trace
+module Rng = Mdcc_util.Rng
+
+(* A classic Phase 2 round this master is running for one option. *)
+type round = {
+  r_opt : Woption.t;
+  r_dec : Woption.decision;
+  r_ballot : Ballot.t;
+  mutable r_acks : int list;
+  mutable r_notify : int list;
+}
+
+(* Collision recovery / mastership acquisition in progress for one record. *)
+type recovery = {
+  mutable rc_ballot : Ballot.t;
+  mutable rc_resp : (int * Messages.vote list * Messages.rebase) list;
+  mutable rc_extras : Woption.t list;
+  mutable rc_notify : int list;
+  mutable rc_done : bool;
+}
+
+(* Master-role state for one record. *)
+type mstate = {
+  m_key : Key.t;
+  mutable m_led : Ballot.t option;
+  mutable m_highest : int;
+  mutable m_rounds : round list;
+  mutable m_queue : (Woption.t * int list) list;
+  mutable m_recovery : recovery option;
+}
+
+(* Dangling-transaction recovery in progress at this node. *)
+type txrec = {
+  tx_id : Txn.id;
+  tx_keys : Key.t list;
+  mutable tx_opts : Woption.t Key.Map.t;
+  mutable tx_replies : (int * Messages.status) list Key.Map.t;
+  mutable tx_learned : Woption.decision Key.Map.t;
+  mutable tx_asked : Key.Set.t;  (* keys already escalated to their master *)
+  mutable tx_done : bool;
+}
+
+type t = {
+  net : Net.t;
+  engine : Engine.t;
+  config : Config.t;
+  id : int;
+  schema : Schema.t;
+  replicas : Key.t -> int list;
+  master_of : Key.t -> int;
+  store : Store.t;
+  records : Rstate.t Key.Tbl.t;
+  visible : (string, bool) Hashtbl.t;  (* "txid#key" -> txn committed? *)
+  masters : mstate Key.Tbl.t;
+  recoveries : (Txn.id, txrec) Hashtbl.t;
+  rng : Rng.t;
+}
+
+let node_id t = t.id
+
+let store t = t.store
+
+let vkey txid key = txid ^ "#" ^ Key.to_string key
+
+let default_classic_until config =
+  match config.Config.mode with Config.Multi -> max_int | Config.Full | Config.Fast_only -> 0
+
+let rstate t key =
+  match Key.Tbl.find_opt t.records key with
+  | Some rs -> rs
+  | None ->
+    let rs = Rstate.create ~classic_until:(default_classic_until t.config) key in
+    Key.Tbl.add t.records key rs;
+    rs
+
+let mstate t key =
+  match Key.Tbl.find_opt t.masters key with
+  | Some ms -> ms
+  | None ->
+    let led =
+      (* In Multi mode the statically-assigned master owns an implicit
+         classic ballot from the start (stable master, Phase 1 skipped). *)
+      if t.config.Config.mode = Config.Multi && t.master_of key = t.id then
+        Some (Ballot.classic ~number:1 ~proposer:t.id)
+      else None
+    in
+    let ms =
+      { m_key = key; m_led = led; m_highest = 1; m_rounds = []; m_queue = []; m_recovery = None }
+    in
+    Key.Tbl.add t.masters key ms;
+    ms
+
+let valuation t key =
+  let row = Store.ensure t.store key in
+  { Rstate.value = row.Store.value; version = row.Store.version; exists = row.Store.exists }
+
+let bounds t key = Schema.bounds_of t.schema key
+
+let n_qf t = (t.config.Config.replication, Config.fast_quorum t.config)
+
+let send t dst payload = Net.send t.net ~src:t.id ~dst payload
+
+let now t = Engine.now t.engine
+
+let trace t fmt = Trace.emit t.engine ~tag:(Printf.sprintf "node%d" t.id) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Acceptor role                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Answer a fast (master-bypassing) proposal: SetCompatible + promise to the
+   first proposer, or a redirect while the record runs classic ballots. *)
+let fast_propose t (w : Woption.t) =
+  let key = w.Woption.key in
+  let rs = rstate t key in
+  let reply decision =
+    send t w.Woption.coordinator
+      (Messages.Phase2b_fast { key; txid = w.Woption.txid; decision; acceptor = t.id })
+  in
+  match Hashtbl.find_opt t.visible (vkey w.Woption.txid key) with
+  | Some committed -> reply (if committed then Woption.Accepted else Woption.Rejected)
+  | None -> (
+    match Rstate.find_pending rs w.Woption.txid with
+    | Some p -> reply p.Rstate.decision
+    | None ->
+      let row = valuation t key in
+      let era_classic = Rstate.in_classic_era rs ~version:row.Rstate.version in
+      if (not era_classic) && not (Ballot.is_fast rs.Rstate.promised) then
+        (* The γ window ended: lazily fall back to the implicit fast ballot. *)
+        rs.Rstate.promised <- Ballot.initial_fast;
+      if era_classic then
+        send t w.Woption.coordinator
+          (Messages.Redirect
+             {
+               key;
+               txid = w.Woption.txid;
+               master = t.master_of key;
+               classic_until = rs.Rstate.classic_until;
+             })
+      else begin
+        (* A physical update whose vread is ahead of us means we missed an
+           update: ask the master for the committed state (anti-entropy). *)
+        (match w.Woption.update with
+        | Update.Physical { vread; _ } | Update.Delete { vread } | Update.Read_guard { vread } ->
+          if vread > row.Rstate.version && t.master_of key <> t.id then
+            send t (t.master_of key) (Messages.Catchup_request { key })
+        | Update.Insert _ | Update.Delta _ -> ());
+        let n, qf = n_qf t in
+        let decision =
+          Rstate.evaluate ~bounds:(bounds t key) ~demarcation:(`Quorum (n, qf)) row
+            ~accepted:(Rstate.accepted rs) w.Woption.update
+        in
+        Rstate.add_pending rs
+          {
+            Rstate.woption = w;
+            decision;
+            ballot = Ballot.initial_fast;
+            proposed_at = now t;
+          };
+        trace t "fast vote %s %s" w.Woption.txid
+          (match decision with Woption.Accepted -> "acc" | Woption.Rejected -> "rej");
+        reply decision
+      end)
+
+(* Phase1b contents, as a tuple so the master can be invoked synchronously
+   for its own replica. *)
+let acceptor_phase1a t key ballot =
+  let rs = rstate t key in
+  let ok = Ballot.compare ballot rs.Rstate.promised > 0 in
+  if ok then rs.Rstate.promised <- ballot;
+  let votes =
+    List.map
+      (fun (p : Rstate.pending) ->
+        { Messages.woption = p.Rstate.woption; decision = p.Rstate.decision; ballot = p.Rstate.ballot })
+      rs.Rstate.pending
+  in
+  let row = Store.ensure t.store key in
+  ( ok,
+    rs.Rstate.promised,
+    votes,
+    { Messages.value = row.Store.value; version = row.Store.version; exists = row.Store.exists } )
+
+let apply_rebase t key (rb : Messages.rebase) =
+  let row = Store.ensure t.store key in
+  if rb.Messages.version > row.Store.version then begin
+    row.Store.value <- rb.Messages.value;
+    row.Store.version <- rb.Messages.version;
+    row.Store.exists <- rb.Messages.exists
+  end
+
+let acceptor_phase2a t key ballot (w : Woption.t) decision classic_until rebase =
+  let rs = rstate t key in
+  if Ballot.compare ballot rs.Rstate.promised >= 0 then begin
+    rs.Rstate.promised <- ballot;
+    rs.Rstate.classic_until <- Stdlib.max rs.Rstate.classic_until classic_until;
+    (match rebase with Some rb -> apply_rebase t key rb | None -> ());
+    if not (Hashtbl.mem t.visible (vkey w.Woption.txid key)) then
+      Rstate.add_pending rs
+        { Rstate.woption = w; decision; ballot; proposed_at = now t };
+    (true, ballot, decision)
+  end
+  else (false, rs.Rstate.promised, decision)
+
+(* Execute or void an option (Algorithm 3, ApplyVisibility). *)
+let visibility t txid key (update : Update.t) committed =
+  if not (Hashtbl.mem t.visible (vkey txid key)) then begin
+    Hashtbl.replace t.visible (vkey txid key) committed;
+    let rs = rstate t key in
+    Rstate.remove_pending rs txid;
+    if committed then begin
+      let row = Store.ensure t.store key in
+      let apply_it =
+        match update with
+        | Update.Physical { vread; _ } | Update.Delete { vread } ->
+          (* Skip if a rebase already moved us past this instance. *)
+          row.Store.version <= vread
+        | Update.Insert _ -> not row.Store.exists
+        | Update.Delta _ -> true
+        | Update.Read_guard _ -> false
+      in
+      if apply_it then Store.apply t.store key update
+    end;
+    trace t "visibility %s %s -> %s" txid (Key.to_string key)
+      (if committed then "exec" else "void")
+  end
+
+let status_query t ~src txid key =
+  let status =
+    match Hashtbl.find_opt t.visible (vkey txid key) with
+    | Some committed -> Messages.Status_decided committed
+    | None -> (
+      match Rstate.find_pending (rstate t key) txid with
+      | Some p ->
+        Messages.Status_pending
+          { Messages.woption = p.Rstate.woption; decision = p.Rstate.decision; ballot = p.Rstate.ballot }
+      | None -> Messages.Status_unknown)
+  in
+  send t src (Messages.Status_reply { txid; key; status; acceptor = t.id })
+
+(* ------------------------------------------------------------------ *)
+(* Master role                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let qc t = Config.classic_quorum t.config
+
+let dedup_add x xs = if List.mem x xs then xs else x :: xs
+
+let union a b = List.fold_left (fun acc x -> dedup_add x acc) a b
+
+let rec master_phase2b t ~src key txid ballot ok _decision =
+  let ms = mstate t key in
+  match List.find_opt (fun r -> String.equal r.r_opt.Woption.txid txid) ms.m_rounds with
+  | None -> ()
+  | Some r ->
+    if not (Ballot.equal r.r_ballot ballot) then ()
+    else if ok then begin
+      r.r_acks <- dedup_add src r.r_acks;
+      if List.length r.r_acks >= qc t then begin
+        ms.m_rounds <- List.filter (fun r' -> r' != r) ms.m_rounds;
+        let targets = union [ r.r_opt.Woption.coordinator ] r.r_notify in
+        List.iter
+          (fun dst ->
+            if dst = t.id then txn_recovery_learned t txid key r.r_dec
+            else send t dst (Messages.Learned { key; txid; decision = r.r_dec }))
+          targets;
+        trace t "classic learned %s %s" txid
+          (match r.r_dec with Woption.Accepted -> "acc" | Woption.Rejected -> "rej");
+        process_queue t key
+      end
+    end
+    else begin
+      (* Someone holds a higher ballot: step down and re-decide the option
+         through full recovery. *)
+      ms.m_highest <- Stdlib.max ms.m_highest ballot.Ballot.number;
+      ms.m_led <- None;
+      ms.m_rounds <- List.filter (fun r' -> r' != r) ms.m_rounds;
+      start_recovery t key ~extras:[ r.r_opt ] ~notify:r.r_notify
+    end
+
+and broadcast_phase2a t key ballot (w : Woption.t) decision ~classic_until ~rebase =
+  List.iter
+    (fun replica ->
+      if replica = t.id then begin
+        let ok, b, d = acceptor_phase2a t key ballot w decision classic_until rebase in
+        master_phase2b t ~src:t.id key w.Woption.txid b ok d
+      end
+      else
+        send t replica
+          (Messages.Phase2a { key; ballot; woption = w; decision; classic_until; rebase }))
+    (t.replicas key)
+
+(* Stable-master classic round: validate with escrow against our own state
+   (our own pendings mirror every in-flight classic option) and replicate the
+   decision. *)
+and start_round t key (w : Woption.t) ~notify =
+  let ms = mstate t key in
+  match ms.m_led with
+  | None -> start_recovery t key ~extras:[ w ] ~notify
+  | Some ballot ->
+    let rs = rstate t key in
+    let row = valuation t key in
+    let decision =
+      Rstate.evaluate ~bounds:(bounds t key) ~demarcation:`Escrow row
+        ~accepted:(Rstate.accepted rs) w.Woption.update
+    in
+    let r = { r_opt = w; r_dec = decision; r_ballot = ballot; r_acks = []; r_notify = notify } in
+    ms.m_rounds <- r :: ms.m_rounds;
+    broadcast_phase2a t key ballot w decision ~classic_until:rs.Rstate.classic_until ~rebase:None
+
+and can_run_now t key (w : Woption.t) =
+  let ms = mstate t key in
+  ms.m_recovery = None
+  && (ms.m_rounds = []
+     || (Update.is_commutative w.Woption.update
+        && List.for_all (fun r -> Update.is_commutative r.r_opt.Woption.update) ms.m_rounds))
+
+and process_queue t key =
+  let ms = mstate t key in
+  match ms.m_queue with
+  | [] -> ()
+  | (w, notify) :: rest ->
+    if ms.m_recovery = None && ms.m_led <> None && can_run_now t key w then begin
+      ms.m_queue <- rest;
+      start_round t key w ~notify;
+      process_queue t key
+    end
+
+and master_propose t (w : Woption.t) ~notify =
+  let key = w.Woption.key in
+  let txid = w.Woption.txid in
+  let ms = mstate t key in
+  let rs = rstate t key in
+  let tell decision =
+    List.iter
+      (fun dst ->
+        if dst = t.id then txn_recovery_learned t txid key decision
+        else send t dst (Messages.Learned { key; txid; decision }))
+      (union [ w.Woption.coordinator ] notify)
+  in
+  match Hashtbl.find_opt t.visible (vkey txid key) with
+  | Some committed -> tell (if committed then Woption.Accepted else Woption.Rejected)
+  | None -> (
+    match List.find_opt (fun r -> String.equal r.r_opt.Woption.txid txid) ms.m_rounds with
+    | Some r -> r.r_notify <- union r.r_notify notify
+    | None -> (
+      match Rstate.find_pending rs txid with
+      | Some p when not (Ballot.is_fast p.Rstate.ballot) ->
+        (* Already decided by a completed classic round. *)
+        tell p.Rstate.decision
+      | Some _ | None -> (
+        match ms.m_recovery with
+        | Some rc ->
+          if not (List.exists (fun o -> String.equal o.Woption.txid txid) rc.rc_extras) then
+            rc.rc_extras <- w :: rc.rc_extras;
+          rc.rc_notify <- union rc.rc_notify notify
+        | None ->
+          let row = valuation t key in
+          let era_classic = Rstate.in_classic_era rs ~version:row.Rstate.version in
+          if ms.m_led <> None && era_classic then begin
+            if ms.m_queue = [] && can_run_now t key w then start_round t key w ~notify
+            else ms.m_queue <- ms.m_queue @ [ (w, notify) ]
+          end
+          else start_recovery t key ~extras:[ w ] ~notify)))
+
+(* Collision recovery: Phase 1 to everybody, then decide every pending
+   option safely and re-propose at a classic ballot. *)
+and start_recovery t key ~extras ~notify =
+  let ms = mstate t key in
+  match ms.m_recovery with
+  | Some rc ->
+    List.iter
+      (fun w ->
+        if not (List.exists (fun o -> String.equal o.Woption.txid w.Woption.txid) rc.rc_extras)
+        then rc.rc_extras <- w :: rc.rc_extras)
+      extras;
+    rc.rc_notify <- union rc.rc_notify notify
+  | None ->
+    ms.m_led <- None;
+    (* Fold any interrupted rounds and queued work into the recovery. *)
+    let extras =
+      extras
+      @ List.map (fun r -> r.r_opt) ms.m_rounds
+      @ List.map fst ms.m_queue
+    in
+    let notify = union notify (List.concat_map (fun r -> r.r_notify) ms.m_rounds) in
+    let notify = union notify (List.concat_map snd ms.m_queue) in
+    ms.m_rounds <- [];
+    ms.m_queue <- [];
+    ms.m_highest <- ms.m_highest + 1;
+    let rc =
+      {
+        rc_ballot = Ballot.classic ~number:ms.m_highest ~proposer:t.id;
+        rc_resp = [];
+        rc_extras = extras;
+        rc_notify = notify;
+        rc_done = false;
+      }
+    in
+    ms.m_recovery <- Some rc;
+    trace t "recovery start %s ballot=%d" (Key.to_string key) ms.m_highest;
+    broadcast_phase1a t key rc;
+    watch_recovery t key rc
+
+and broadcast_phase1a t key rc =
+  let ballot = rc.rc_ballot in
+  List.iter
+    (fun replica ->
+      if replica = t.id then begin
+        let ok, promised, votes, rb = acceptor_phase1a t key ballot in
+        master_phase1b t ~src:t.id key ballot ok promised votes rb
+      end
+      else send t replica (Messages.Phase1a { key; ballot }))
+    (t.replicas key)
+
+(* Re-drive Phase 1 if the recovery stalls (lost messages, failed DC). *)
+and watch_recovery t key rc =
+  let timeout = t.config.Config.learn_timeout +. Rng.float t.rng 200.0 in
+  ignore
+    (Engine.schedule t.engine ~after:timeout (fun () ->
+         let ms = mstate t key in
+         match ms.m_recovery with
+         | Some rc' when rc' == rc && not rc.rc_done ->
+           ms.m_highest <- ms.m_highest + 1;
+           rc.rc_ballot <- Ballot.classic ~number:ms.m_highest ~proposer:t.id;
+           rc.rc_resp <- [];
+           broadcast_phase1a t key rc;
+           watch_recovery t key rc
+         | Some _ | None -> ()))
+
+and master_phase1b t ~src key ballot ok promised votes rebase =
+  let ms = mstate t key in
+  match ms.m_recovery with
+  | Some rc when Ballot.equal ballot rc.rc_ballot && not rc.rc_done ->
+    if ok then begin
+      if not (List.exists (fun (a, _, _) -> a = src) rc.rc_resp) then
+        rc.rc_resp <- (src, votes, rebase) :: rc.rc_resp;
+      if List.length rc.rc_resp >= qc t then resolve_recovery t key rc
+    end
+    else begin
+      (* Nacked: someone promised higher; back off and retry above it. *)
+      ms.m_highest <- Stdlib.max ms.m_highest promised.Ballot.number;
+      ms.m_highest <- ms.m_highest + 1;
+      rc.rc_ballot <- Ballot.classic ~number:ms.m_highest ~proposer:t.id;
+      rc.rc_resp <- [];
+      let backoff = 20.0 +. Rng.float t.rng 150.0 in
+      ignore
+        (Engine.schedule t.engine ~after:backoff (fun () ->
+             match ms.m_recovery with
+             | Some rc' when rc' == rc && not rc.rc_done -> broadcast_phase1a t key rc
+             | Some _ | None -> ()))
+    end
+  | Some _ | None -> ()
+
+and resolve_recovery t key rc =
+  let ms = mstate t key in
+  let n, qf = n_qf t in
+  let quorum_size = List.length rc.rc_resp in
+  (* Re-base: the freshest committed state any responder reported. *)
+  let rebase =
+    List.fold_left
+      (fun best (_, _, rb) ->
+        if rb.Messages.version > best.Messages.version then rb else best)
+      (let row = Store.ensure t.store key in
+       { Messages.value = row.Store.value; version = row.Store.version; exists = row.Store.exists })
+      rc.rc_resp
+  in
+  apply_rebase t key rebase;
+  (* Candidate options: every pending vote reported, plus escalated extras. *)
+  let candidates : (string, Woption.t * (Woption.decision * Ballot.t) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (_, votes, _) ->
+      List.iter
+        (fun (v : Messages.vote) ->
+          let txid = v.Messages.woption.Woption.txid in
+          let w, vs =
+            match Hashtbl.find_opt candidates txid with
+            | Some (w, vs) -> (w, vs)
+            | None -> (v.Messages.woption, [])
+          in
+          Hashtbl.replace candidates txid (w, (v.Messages.decision, v.Messages.ballot) :: vs))
+        votes)
+    rc.rc_resp;
+  List.iter
+    (fun (w : Woption.t) ->
+      if not (Hashtbl.mem candidates w.Woption.txid) then
+        Hashtbl.replace candidates w.Woption.txid (w, []))
+    rc.rc_extras;
+  (* Split decided-by-visibility, forced, and free candidates. *)
+  let threshold = qf - (n - quorum_size) in
+  let already_visible = ref [] and forced = ref [] and free = ref [] in
+  Hashtbl.iter
+    (fun txid (w, votes) ->
+      match Hashtbl.find_opt t.visible (vkey txid key) with
+      | Some committed ->
+        already_visible :=
+          (w, if committed then Woption.Accepted else Woption.Rejected) :: !already_visible
+      | None -> (
+        let classic_votes =
+          List.filter (fun (_, b) -> not (Ballot.is_fast b)) votes
+          |> List.sort (fun (_, b1) (_, b2) -> Ballot.compare b2 b1)
+        in
+        match classic_votes with
+        | (d, _) :: _ -> forced := (w, d) :: !forced
+        | [] ->
+          let acc = List.length (List.filter (fun (d, _) -> d = Woption.Accepted) votes) in
+          let rej = List.length (List.filter (fun (d, _) -> d = Woption.Rejected) votes) in
+          if acc >= threshold then forced := (w, Woption.Accepted) :: !forced
+          else if rej >= threshold then forced := (w, Woption.Rejected) :: !forced
+          else free := w :: !free))
+    candidates;
+  (* Validate the free options deterministically, oldest instance first,
+     against the re-based state plus everything already forced accepted. *)
+  let base_val =
+    {
+      Rstate.value = rebase.Messages.value;
+      version = rebase.Messages.version;
+      exists = rebase.Messages.exists;
+    }
+  in
+  let as_pending w d =
+    { Rstate.woption = w; decision = d; ballot = rc.rc_ballot; proposed_at = now t }
+  in
+  let accepted_so_far =
+    ref
+      (List.filter_map
+         (fun (w, d) -> if d = Woption.Accepted then Some (as_pending w d) else None)
+         !forced)
+  in
+  let instance_of (w : Woption.t) =
+    match w.Woption.update with
+    | Update.Physical { vread; _ } | Update.Delete { vread } | Update.Read_guard { vread } ->
+      vread
+    | Update.Insert _ -> 0
+    | Update.Delta _ -> max_int
+  in
+  let free_sorted =
+    List.sort
+      (fun a b ->
+        match Int.compare (instance_of a) (instance_of b) with
+        | 0 -> String.compare a.Woption.txid b.Woption.txid
+        | c -> c)
+      !free
+  in
+  let decided_free =
+    List.map
+      (fun w ->
+        let d =
+          Rstate.evaluate ~bounds:(bounds t key) ~demarcation:`Escrow base_val
+            ~accepted:!accepted_so_far w.Woption.update
+        in
+        if d = Woption.Accepted then accepted_so_far := as_pending w d :: !accepted_so_far;
+        (w, d))
+      free_sorted
+  in
+  (* Install the classic window and become the stable master. *)
+  let classic_until =
+    match t.config.Config.mode with
+    | Config.Multi -> max_int
+    | Config.Full | Config.Fast_only -> rebase.Messages.version + t.config.Config.gamma
+  in
+  let rs = rstate t key in
+  rs.Rstate.classic_until <- Stdlib.max rs.Rstate.classic_until classic_until;
+  rc.rc_done <- true;
+  ms.m_recovery <- None;
+  ms.m_led <- Some rc.rc_ballot;
+  (* Options already executed: just tell everyone who asked. *)
+  List.iter
+    (fun ((w : Woption.t), d) ->
+      List.iter
+        (fun dst ->
+          if dst = t.id then txn_recovery_learned t w.Woption.txid key d
+          else send t dst (Messages.Learned { key; txid = w.Woption.txid; decision = d }))
+        (union [ w.Woption.coordinator ] rc.rc_notify))
+    !already_visible;
+  (* Re-propose every undecided option at the classic ballot. *)
+  let outcomes = !forced @ decided_free in
+  List.iter
+    (fun ((w : Woption.t), d) ->
+      let r =
+        { r_opt = w; r_dec = d; r_ballot = rc.rc_ballot; r_acks = []; r_notify = rc.rc_notify }
+      in
+      ms.m_rounds <- r :: ms.m_rounds)
+    outcomes;
+  List.iter
+    (fun ((w : Woption.t), d) ->
+      broadcast_phase2a t key rc.rc_ballot w d ~classic_until ~rebase:(Some rebase))
+    outcomes;
+  trace t "recovery resolved %s: %d options (%d forced, %d free)" (Key.to_string key)
+    (List.length outcomes) (List.length !forced) (List.length decided_free)
+
+(* ------------------------------------------------------------------ *)
+(* Dangling-transaction recovery (app-server failure, §3.2.3)          *)
+(* ------------------------------------------------------------------ *)
+
+and txn_recovery_learned t txid key decision =
+  match Hashtbl.find_opt t.recoveries txid with
+  | None -> ()
+  | Some tr ->
+    if not (Key.Map.mem key tr.tx_learned) then begin
+      tr.tx_learned <- Key.Map.add key decision tr.tx_learned;
+      evaluate_txn_recovery t tr
+    end
+
+and synthetic_reject_option t txid key keys =
+  (* Seal an instance for an option no replica has ever seen: a physical
+     update with an impossible read version is deterministically rejected,
+     which makes the abort durable. *)
+  {
+    Woption.txid;
+    key;
+    update = Update.Physical { vread = -1; value = Value.empty };
+    write_set = keys;
+    coordinator = t.id;
+  }
+
+and evaluate_txn_recovery t tr =
+  if not tr.tx_done then begin
+    let n, qf = n_qf t in
+    ignore n;
+    (* Short-circuit: any replica that already executed a Visibility knows
+       the whole transaction's outcome. *)
+    let decided_outcome =
+      Key.Map.fold
+        (fun _ replies acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            List.fold_left
+              (fun acc (_, st) ->
+                match (acc, st) with
+                | None, Messages.Status_decided c -> Some c
+                | acc, (Messages.Status_decided _ | Messages.Status_pending _ | Messages.Status_unknown) ->
+                  acc)
+              None replies)
+        tr.tx_replies None
+    in
+    (* Record any options we learned about from pending votes. *)
+    Key.Map.iter
+      (fun key replies ->
+        List.iter
+          (fun (_, st) ->
+            match st with
+            | Messages.Status_pending v ->
+              if not (Key.Map.mem key tr.tx_opts) then
+                tr.tx_opts <- Key.Map.add key v.Messages.woption tr.tx_opts
+            | Messages.Status_decided _ | Messages.Status_unknown -> ())
+          replies)
+      tr.tx_replies;
+    let key_decision key =
+      match Key.Map.find_opt key tr.tx_learned with
+      | Some d -> Some d
+      | None -> (
+        match Key.Map.find_opt key tr.tx_replies with
+        | None -> None
+        | Some replies ->
+          let votes =
+            List.filter_map
+              (fun (_, st) ->
+                match st with
+                | Messages.Status_pending v -> Some v.Messages.decision
+                | Messages.Status_decided _ | Messages.Status_unknown -> None)
+              replies
+          in
+          let acc = List.length (List.filter (fun d -> d = Woption.Accepted) votes) in
+          let rej = List.length (List.filter (fun d -> d = Woption.Rejected) votes) in
+          if acc >= qf then Some Woption.Accepted
+          else if rej >= qf then Some Woption.Rejected
+          else None)
+    in
+    match decided_outcome with
+    | Some committed -> finish_txn_recovery t tr committed
+    | None ->
+      let undecided = List.filter (fun k -> key_decision k = None) tr.tx_keys in
+      if undecided = [] then begin
+        let committed =
+          List.for_all (fun k -> key_decision k = Some Woption.Accepted) tr.tx_keys
+        in
+        finish_txn_recovery t tr committed
+      end
+      else
+        (* Escalate undecided instances to their masters once we have heard
+           from a classic quorum for that key. *)
+        List.iter
+          (fun key ->
+            if not (Key.Set.mem key tr.tx_asked) then begin
+              let replies =
+                match Key.Map.find_opt key tr.tx_replies with Some r -> r | None -> []
+              in
+              if List.length replies >= qc t then begin
+                tr.tx_asked <- Key.Set.add key tr.tx_asked;
+                let w =
+                  match Key.Map.find_opt key tr.tx_opts with
+                  | Some w -> w
+                  | None -> synthetic_reject_option t tr.tx_id key tr.tx_keys
+                in
+                let master = t.master_of key in
+                if master = t.id then master_propose t w ~notify:[ t.id ]
+                else send t master (Messages.Start_recovery { key; woption = Some w })
+              end
+            end)
+          undecided
+  end
+
+and finish_txn_recovery t tr committed =
+  tr.tx_done <- true;
+  trace t "txn recovery %s -> %s" tr.tx_id (if committed then "commit" else "abort");
+  List.iter
+    (fun key ->
+      let update =
+        match Key.Map.find_opt key tr.tx_opts with
+        | Some w -> w.Woption.update
+        | None -> Update.Physical { vread = -1; value = Value.empty }
+      in
+      List.iter
+        (fun replica ->
+          if replica = t.id then visibility t tr.tx_id key update committed
+          else
+            send t replica (Messages.Visibility { txid = tr.tx_id; key; update; committed }))
+        (t.replicas key))
+    tr.tx_keys
+
+let start_txn_recovery t (w : Woption.t) =
+  if not (Hashtbl.mem t.recoveries w.Woption.txid) then begin
+    let tr =
+      {
+        tx_id = w.Woption.txid;
+        tx_keys = w.Woption.write_set;
+        tx_opts = Key.Map.singleton w.Woption.key w;
+        tx_replies = Key.Map.empty;
+        tx_learned = Key.Map.empty;
+        tx_asked = Key.Set.empty;
+        tx_done = false;
+      }
+    in
+    Hashtbl.replace t.recoveries w.Woption.txid tr;
+    trace t "txn recovery start %s (%d keys)" w.Woption.txid (List.length tr.tx_keys);
+    List.iter
+      (fun key ->
+        List.iter
+          (fun replica ->
+            if replica = t.id then status_query t ~src:t.id w.Woption.txid key
+            else send t replica (Messages.Status_query { txid = w.Woption.txid; key }))
+          (t.replicas key))
+      tr.tx_keys;
+    (* If recovery stalls (failed replicas), forget it so a later scan can
+       retry from scratch with fresh messages. *)
+    ignore
+      (Engine.schedule t.engine ~after:(3.0 *. t.config.Config.txn_timeout) (fun () ->
+           match Hashtbl.find_opt t.recoveries w.Woption.txid with
+           | Some tr' when tr' == tr && not tr.tx_done ->
+             Hashtbl.remove t.recoveries w.Woption.txid
+           | Some _ | None -> ()))
+  end
+
+let txn_recovery_status t txid key status acceptor =
+  match Hashtbl.find_opt t.recoveries txid with
+  | None -> ()
+  | Some tr ->
+    let replies = match Key.Map.find_opt key tr.tx_replies with Some r -> r | None -> [] in
+    if not (List.exists (fun (a, _) -> a = acceptor) replies) then begin
+      tr.tx_replies <- Key.Map.add key ((acceptor, status) :: replies) tr.tx_replies;
+      evaluate_txn_recovery t tr
+    end
+
+(* Periodic scan for pending options whose coordinator went silent.  The
+   record's master reacts after one timeout; other replicas after three, so
+   a single node usually drives each recovery.  Candidates are collected
+   first: starting a recovery mutates [t.records]. *)
+let scan_dangling t =
+  let deadline_factor key = if t.master_of key = t.id then 1.0 else 3.0 in
+  let stale = ref [] in
+  Key.Tbl.iter
+    (fun key rs ->
+      List.iter
+        (fun (p : Rstate.pending) ->
+          let age = now t -. p.Rstate.proposed_at in
+          if
+            age > t.config.Config.txn_timeout *. deadline_factor key
+            && not (Hashtbl.mem t.recoveries p.Rstate.woption.Woption.txid)
+          then stale := p.Rstate.woption :: !stale)
+        rs.Rstate.pending)
+    t.records;
+  List.iter (start_txn_recovery t) !stale
+
+(* ------------------------------------------------------------------ *)
+(* Wiring                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec handle t ~src payload =
+  match payload with
+  | Messages.Batch items -> List.iter (handle t ~src) items
+  | Messages.Sync_request { entries } ->
+    (* Anti-entropy: answer with the committed state of any key where we are
+       ahead of the prober. *)
+    List.iter
+      (fun (key, version) ->
+        let row = Store.ensure t.store key in
+        if row.Store.version > version then
+          send t src
+            (Messages.Catchup
+               {
+                 key;
+                 rebase =
+                   {
+                     Messages.value = row.Store.value;
+                     version = row.Store.version;
+                     exists = row.Store.exists;
+                   };
+               }))
+      entries
+  | Messages.Propose { woption; route = `Fast } -> fast_propose t woption
+  | Messages.Propose { woption; route = `Classic } -> master_propose t woption ~notify:[]
+  | Messages.Phase1a { key; ballot } ->
+    let ok, promised, votes, rb = acceptor_phase1a t key ballot in
+    send t src
+      (Messages.Phase1b
+         {
+           key;
+           ballot;
+           ok;
+           promised;
+           votes;
+           version = rb.Messages.version;
+           value = rb.Messages.value;
+           exists = rb.Messages.exists;
+         })
+  | Messages.Phase1b { key; ballot; ok; promised; votes; version; value; exists } ->
+    master_phase1b t ~src key ballot ok promised votes { Messages.value; version; exists }
+  | Messages.Phase2a { key; ballot; woption; decision; classic_until; rebase } ->
+    let ok, b, d = acceptor_phase2a t key ballot woption decision classic_until rebase in
+    send t src
+      (Messages.Phase2b_master { key; txid = woption.Woption.txid; ballot = b; ok; decision = d })
+  | Messages.Phase2b_master { key; txid; ballot; ok; decision } ->
+    master_phase2b t ~src key txid ballot ok decision
+  | Messages.Learned { key; txid; decision } -> txn_recovery_learned t txid key decision
+  | Messages.Visibility { txid; key; update; committed } -> visibility t txid key update committed
+  | Messages.Start_recovery { key; woption } -> (
+    match woption with
+    | Some w -> master_propose t w ~notify:[ src ]
+    | None -> start_recovery t key ~extras:[] ~notify:[ src ])
+  | Messages.Status_query { txid; key } -> status_query t ~src txid key
+  | Messages.Status_reply { txid; key; status; acceptor } ->
+    txn_recovery_status t txid key status acceptor
+  | Messages.Catchup_request { key } ->
+    let row = Store.ensure t.store key in
+    if row.Store.version > 0 then
+      send t src
+        (Messages.Catchup
+           {
+             key;
+             rebase =
+               { Messages.value = row.Store.value; version = row.Store.version; exists = row.Store.exists };
+           })
+  | Messages.Catchup { key; rebase } -> apply_rebase t key rebase
+  | Messages.Scan_request { rid; table; order_by; limit } ->
+    let rows = ref [] in
+    Store.iter t.store (fun key row ->
+        if row.Store.exists && String.equal key.Key.table table then
+          rows := (key, row.Store.value, row.Store.version) :: !rows);
+    let rows =
+      match order_by with
+      | None -> !rows
+      | Some attr ->
+        List.sort
+          (fun (_, v1, _) (_, v2, _) ->
+            Int.compare (Value.get_int v2 attr) (Value.get_int v1 attr))
+          !rows
+    in
+    let rec take n = function
+      | [] -> []
+      | _ when n <= 0 -> []
+      | x :: tl -> x :: take (n - 1) tl
+    in
+    send t src (Messages.Scan_reply { rid; rows = take limit rows })
+  | Messages.Read_request { rid; key } ->
+    let row = Store.ensure t.store key in
+    send t src
+      (Messages.Read_reply
+         { rid; key; value = row.Store.value; version = row.Store.version; exists = row.Store.exists })
+  | _ -> ()
+
+let create ~net ~config ~node_id ~schema ~replicas ~master_of () =
+  let engine = Net.engine net in
+  let t =
+    {
+      net;
+      engine;
+      config;
+      id = node_id;
+      schema;
+      replicas;
+      master_of;
+      store = Store.create schema;
+      records = Key.Tbl.create 1024;
+      visible = Hashtbl.create 4096;
+      masters = Key.Tbl.create 256;
+      recoveries = Hashtbl.create 64;
+      rng = Rng.split (Engine.rng engine);
+    }
+  in
+  Net.register net node_id (fun ~src payload -> handle t ~src payload);
+  t
+
+let load t rows =
+  List.iter
+    (fun (key, value) ->
+      let row = Store.ensure t.store key in
+      row.Store.value <- value;
+      row.Store.version <- 1;
+      row.Store.exists <- true)
+    rows
+
+let pending_options t =
+  Key.Tbl.fold (fun _ rs acc -> acc + List.length rs.Rstate.pending) t.records 0
+
+(* Anti-entropy sweep: probe the master of every key we hold with our
+   version; stale keys come back via Catchup.  The "background process" that
+   brings a recovered data center up to date (§5.3.4). *)
+let sync_with_masters t =
+  let by_master = Hashtbl.create 8 in
+  Store.iter t.store (fun key row ->
+      let master = t.master_of key in
+      if master <> t.id then begin
+        let existing = Option.value (Hashtbl.find_opt by_master master) ~default:[] in
+        Hashtbl.replace by_master master ((key, row.Store.version) :: existing)
+      end);
+  Hashtbl.iter
+    (fun master entries -> send t master (Messages.Sync_request { entries }))
+    by_master
+
+let start_maintenance t =
+  let period = t.config.Config.dangling_scan_every in
+  if period > 0.0 then begin
+    let rec loop () =
+      scan_dangling t;
+      ignore (Engine.schedule t.engine ~after:period loop)
+    in
+    ignore (Engine.schedule t.engine ~after:period loop)
+  end

@@ -1,0 +1,1 @@
+lib/paxos/consensus.ml: Ballot Float Hashtbl List Mdcc_sim Mdcc_util Option Quorum Stdlib String

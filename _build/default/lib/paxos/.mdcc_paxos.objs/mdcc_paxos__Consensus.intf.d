@@ -1,0 +1,1 @@
+lib/paxos/consensus.mli: Mdcc_sim

@@ -1,0 +1,1 @@
+lib/paxos/cstruct.ml: Format Hashtbl List Option String

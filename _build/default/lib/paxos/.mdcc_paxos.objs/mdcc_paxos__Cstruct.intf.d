@@ -1,0 +1,1 @@
+lib/paxos/cstruct.mli: Format

@@ -1,0 +1,1 @@
+lib/paxos/quorum.ml: Ballot List

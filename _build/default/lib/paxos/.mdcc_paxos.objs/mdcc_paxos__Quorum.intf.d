@@ -1,0 +1,1 @@
+lib/paxos/quorum.mli: Ballot

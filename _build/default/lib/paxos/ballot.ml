@@ -1,0 +1,36 @@
+type kind = Fast | Classic
+
+type t = { number : int; kind : kind; proposer : int }
+
+let initial_fast = { number = 0; kind = Fast; proposer = -1 }
+
+let classic ~number ~proposer = { number; kind = Classic; proposer }
+
+let fast ~number ~proposer = { number; kind = Fast; proposer }
+
+let kind_rank = function Fast -> 0 | Classic -> 1
+
+let compare a b =
+  match Int.compare a.number b.number with
+  | 0 -> (
+    match Int.compare (kind_rank a.kind) (kind_rank b.kind) with
+    | 0 -> Int.compare a.proposer b.proposer
+    | c -> c)
+  | c -> c
+
+let ( <% ) a b = compare a b < 0
+
+let ( <=% ) a b = compare a b <= 0
+
+let equal a b = compare a b = 0
+
+let is_fast t = t.kind = Fast
+
+let next_classic t ~proposer =
+  let candidate = { number = t.number; kind = Classic; proposer } in
+  if compare candidate t > 0 then candidate
+  else { number = t.number + 1; kind = Classic; proposer }
+
+let pp ppf t =
+  Format.fprintf ppf "%d.%s.%d" t.number (match t.kind with Fast -> "f" | Classic -> "c")
+    t.proposer

@@ -1,0 +1,36 @@
+(** Ballot numbers for Classic / Fast / Generalized Paxos.
+
+    A ballot is [(number, kind, proposer)].  Proposer ids make ballots of
+    different masters unique (the paper concatenates the requester's IP
+    address).  Fast ballots let any proposer talk to the acceptors directly;
+    classic ballots belong to one master.  Per §3.3.1, {e classic ballots
+    outrank fast ballots of the same number} so that collision resolution
+    (which always runs classic) can supersede the default fast ballot 0. *)
+
+type kind = Fast | Classic
+
+type t = { number : int; kind : kind; proposer : int }
+
+val initial_fast : t
+(** Ballot every record implicitly starts in: [(0, Fast, -1)] — "all
+    versions start as an implicitly fast ballot number" (§3.3.1). *)
+
+val classic : number:int -> proposer:int -> t
+
+val fast : number:int -> proposer:int -> t
+
+val compare : t -> t -> int
+(** Total order: by number, then [Classic > Fast], then proposer. *)
+
+val ( <% ) : t -> t -> bool
+val ( <=% ) : t -> t -> bool
+
+val equal : t -> t -> bool
+
+val is_fast : t -> bool
+
+val next_classic : t -> proposer:int -> t
+(** Smallest classic ballot of [proposer] strictly greater than the
+    argument: used to start collision recovery / take over mastership. *)
+
+val pp : Format.formatter -> t -> unit

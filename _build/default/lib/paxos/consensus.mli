@@ -1,0 +1,54 @@
+(** A self-contained Classic/Fast Paxos consensus instance over the
+    simulated network.
+
+    This is the textbook substrate MDCC builds on (§3.1, §3.3): one
+    consensus instance deciding a single value among [n] replica acceptors,
+    supporting both
+    {ul
+    {- {e classic ballots} — a proposer first owns a ballot via Phase 1,
+       then gets a value accepted by a classic quorum; and}
+    {- {e fast ballots} — anybody sends a value straight to the acceptors
+       (ballot 0 is implicitly fast); the value is chosen once a fast
+       quorum accepted it; conflicting fast proposals cause a collision
+       that some proposer resolves by running a classic ballot, re-proposing
+       the possibly-chosen value per the ProvedSafe rule.}}
+
+    The module exists (a) as a reference implementation whose safety is
+    checked by randomized-schedule tests (agreement, validity, and
+    fast-quorum anchoring), and (b) as the conceptual core from which the
+    MDCC record protocol in {!Mdcc_core} generalizes — there, the "value"
+    becomes an option with an accept/reject outcome and instances hang off
+    every record version.
+
+    The value type is [string] (tests use opaque tokens); the module is
+    deliberately minimal and independent of the storage layer. *)
+
+type t
+(** One consensus group (the set of acceptor nodes plus client-side
+    proposer handles). *)
+
+val create :
+  net:Mdcc_sim.Network.t ->
+  acceptors:Mdcc_sim.Topology.node_id list ->
+  unit ->
+  t
+(** Register acceptor handlers on the given nodes.  At least 3 acceptors. *)
+
+val propose_fast :
+  t -> from:Mdcc_sim.Topology.node_id -> string -> (string -> unit) -> unit
+(** Fire-and-learn a value on the fast path from node [from]; the callback
+    delivers the {e chosen} value (which may be a competitor's if this
+    proposal collided and lost).  The proposer watches for collisions and
+    falls back to a classic ballot automatically. *)
+
+val propose_classic :
+  t -> from:Mdcc_sim.Topology.node_id -> string -> (string -> unit) -> unit
+(** Run Phase 1 + Phase 2 with a fresh classic ballot from node [from]. *)
+
+val decided : t -> string option
+(** The value this group's acceptors have chosen, if observable from the
+    outside (scans acceptor state; test hook). *)
+
+val chosen_values : t -> string list
+(** Every value any learner callback has reported — agreement holds iff
+    this list has at most one distinct element (test hook). *)

@@ -1,0 +1,79 @@
+module type COMMAND = sig
+  type t
+
+  val id : t -> string
+
+  val commutes : t -> t -> bool
+end
+
+module Make (C : COMMAND) = struct
+  type t = C.t list (* append order *)
+
+  let empty = []
+
+  let mem t id = List.exists (fun c -> String.equal (C.id c) id) t
+
+  let find t id = List.find_opt (fun c -> String.equal (C.id c) id) t
+
+  let append t c = if mem t (C.id c) then t else t @ [ c ]
+
+  let to_list t = t
+
+  let size = List.length
+
+  (* Position of every command id in a sequence, for order checks. *)
+  let positions t =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun i c -> Hashtbl.replace tbl (C.id c) i) t;
+    tbl
+
+  let ordered_pairs t =
+    (* All (x, y) with x strictly before y. *)
+    let rec walk acc = function
+      | [] -> acc
+      | x :: tl -> walk (List.fold_left (fun acc y -> (x, y) :: acc) acc tl) tl
+    in
+    walk [] t
+
+  let leq a b =
+    let pos_b = positions b in
+    List.for_all (fun c -> Hashtbl.mem pos_b (C.id c)) a
+    && List.for_all
+         (fun (x, y) ->
+           C.commutes x y
+           || Hashtbl.find pos_b (C.id x) < Hashtbl.find pos_b (C.id y))
+         (ordered_pairs a)
+
+  let lub a b =
+    let ids_a = positions a in
+    let extra = List.filter (fun c -> not (Hashtbl.mem ids_a (C.id c))) b in
+    let candidate = a @ extra in
+    if leq a candidate && leq b candidate then Some candidate else None
+
+  let compatible a b = Option.is_some (lub a b)
+
+  let glb a b =
+    let pos_b = positions b in
+    let keep acc c =
+      match Hashtbl.find_opt pos_b (C.id c) with
+      | None -> acc
+      | Some pb ->
+        (* Keep c only if it does not contradict b's ordering w.r.t. the
+           non-commuting commands already kept. *)
+        let ok =
+          List.for_all
+            (fun kept ->
+              C.commutes kept c || Hashtbl.find pos_b (C.id kept) < pb)
+            acc
+        in
+        if ok then acc @ [ c ] else acc
+    in
+    List.fold_left keep [] a
+
+  let equal a b = leq a b && leq b a
+
+  let pp pp_cmd ppf t =
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_cmd)
+      t
+end

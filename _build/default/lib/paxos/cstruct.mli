@@ -1,0 +1,62 @@
+(** Command structures (cstructs) for Generalized Paxos.
+
+    A cstruct is a sequence of commands modulo the commutativity of adjacent
+    commands (Lamport, "Generalized Consensus and Paxos").  Acceptors in a
+    fast commutative ballot each build their own cstruct in message-arrival
+    order; the protocol only needs the cstructs to stay {e compatible}
+    (have a common upper bound), not identical.  The partial order [leq]
+    ("is a prefix of, up to commuting reorderings"), the least upper bound
+    [lub] and the greatest lower bound [glb] implement the [⊑], [⊔] and [⊓]
+    operators of the paper's pseudocode (Table 1).
+
+    Commands carry a unique id (MDCC uses the transaction id — one
+    outstanding option per record per transaction). *)
+
+module type COMMAND = sig
+  type t
+
+  val id : t -> string
+  (** Unique within one cstruct. *)
+
+  val commutes : t -> t -> bool
+  (** Symmetric; irrelevant for equal ids. *)
+end
+
+module Make (C : COMMAND) : sig
+  type t
+
+  val empty : t
+
+  val append : t -> C.t -> t
+  (** [append t c] is [t • c].  Appending an id already present is a no-op
+      (acceptors deduplicate retransmitted proposals). *)
+
+  val mem : t -> string -> bool
+
+  val find : t -> string -> C.t option
+
+  val to_list : t -> C.t list
+  (** Commands in append order. *)
+
+  val size : t -> int
+
+  val leq : t -> t -> bool
+  (** [leq a b]: [b] extends [a] — every command of [a] occurs in [b], and
+      every ordered pair of non-commuting commands of [a] keeps its order in
+      [b]. *)
+
+  val lub : t -> t -> t option
+  (** Least upper bound, or [None] if the cstructs are incompatible (they
+      order some non-commuting pair differently). *)
+
+  val compatible : t -> t -> bool
+
+  val glb : t -> t -> t
+  (** Greatest lower bound: the largest common "history" of the two
+      cstructs. *)
+
+  val equal : t -> t -> bool
+  (** Equality as cstructs ([leq] both ways), not as sequences. *)
+
+  val pp : (Format.formatter -> C.t -> unit) -> Format.formatter -> t -> unit
+end

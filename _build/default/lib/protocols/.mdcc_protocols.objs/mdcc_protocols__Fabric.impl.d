@@ -1,0 +1,1 @@
+lib/protocols/fabric.ml: Array Fun Hashtbl Key List Mdcc_core Mdcc_sim Mdcc_storage Schema Store Value

@@ -1,0 +1,1 @@
+lib/protocols/fabric.mli: Key Mdcc_sim Mdcc_storage Schema Store Value

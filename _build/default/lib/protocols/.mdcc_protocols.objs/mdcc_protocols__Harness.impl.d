@@ -1,0 +1,1 @@
+lib/protocols/harness.ml: Array Key List Mdcc_core Mdcc_sim Mdcc_storage Txn Value

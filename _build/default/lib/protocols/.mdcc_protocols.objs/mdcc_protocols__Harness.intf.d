@@ -1,0 +1,1 @@
+lib/protocols/harness.mli: Key Mdcc_core Mdcc_sim Mdcc_storage Txn Value

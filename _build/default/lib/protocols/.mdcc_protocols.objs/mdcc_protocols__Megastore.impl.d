@@ -1,0 +1,1 @@
+lib/protocols/megastore.ml: Array Fabric Harness Hashtbl Key List Mdcc_core Mdcc_sim Mdcc_storage Queue Schema Store Txn Update

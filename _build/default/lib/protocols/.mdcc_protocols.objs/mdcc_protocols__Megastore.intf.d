@@ -1,0 +1,1 @@
+lib/protocols/megastore.mli: Fabric Harness Mdcc_storage Txn

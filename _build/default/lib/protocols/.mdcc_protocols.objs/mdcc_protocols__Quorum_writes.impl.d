@@ -1,0 +1,1 @@
+lib/protocols/quorum_writes.ml: Fabric Harness Hashtbl Key List Mdcc_sim Mdcc_storage Printf Store Txn Update Value

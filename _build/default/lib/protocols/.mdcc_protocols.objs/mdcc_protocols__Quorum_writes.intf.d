@@ -1,0 +1,1 @@
+lib/protocols/quorum_writes.mli: Fabric Harness Mdcc_storage Txn

@@ -1,0 +1,1 @@
+lib/protocols/two_phase_commit.ml: Array Fabric Harness Hashtbl Key List Mdcc_core Mdcc_sim Mdcc_storage Schema Store String Txn Update

@@ -1,0 +1,1 @@
+lib/protocols/two_phase_commit.mli: Fabric Harness Mdcc_storage Txn

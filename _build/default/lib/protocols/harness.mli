@@ -1,0 +1,27 @@
+(** A protocol-independent handle on a running replicated store.
+
+    The evaluation compares MDCC against quorum writes, two-phase commit and
+    Megastore*; the workload generators and the experiment runner only see
+    this record, so every protocol is driven by exactly the same client
+    code. *)
+
+open Mdcc_storage
+
+type t = {
+  name : string;
+  engine : Mdcc_sim.Engine.t;
+  num_dcs : int;
+  submit : dc:int -> Txn.t -> (Txn.outcome -> unit) -> unit;
+      (** run the commit protocol from an app-server in [dc] *)
+  read_local : dc:int -> Key.t -> ((Value.t * int) option -> unit) -> unit;
+      (** read-committed read against the local replica *)
+  peek : dc:int -> Key.t -> (Value.t * int) option;
+      (** direct committed-state inspection (tests / invariant checks) *)
+  load : (Key.t * Value.t) list -> unit;  (** pre-populate all replicas *)
+  fail_dc : int -> unit;
+  recover_dc : int -> unit;
+}
+
+val of_mdcc : Mdcc_core.Cluster.t -> name:string -> t
+(** Wrap an MDCC cluster (any mode) in the common interface.  [submit]
+    round-robins over the app-servers of the data center. *)

@@ -1,0 +1,102 @@
+open Mdcc_storage
+module Net = Mdcc_sim.Network
+
+type Net.payload +=
+  | Qw_write of { wid : int; key : Key.t; update : Update.t }
+  | Qw_ack of { wid : int; key : Key.t }
+
+type write_state = {
+  mutable waiting : int Key.Map.t;  (* acks still needed per key *)
+  cb : Txn.outcome -> unit;
+}
+
+type t = {
+  fabric : Fabric.t;
+  w : int;
+  writes : (int, write_state) Hashtbl.t;
+  mutable next_wid : int;
+}
+
+(* Blind last-writer-wins apply: no validation of any kind. *)
+let blind_apply store key (up : Update.t) =
+  let row = Store.ensure store key in
+  match up with
+  | Update.Insert v | Update.Physical { value = v; _ } ->
+    row.Store.value <- v;
+    row.Store.exists <- true;
+    row.Store.version <- row.Store.version + 1
+  | Update.Delete _ ->
+    row.Store.value <- Value.empty;
+    row.Store.exists <- false;
+    row.Store.version <- row.Store.version + 1
+  | Update.Delta ds ->
+    row.Store.value <-
+      List.fold_left (fun v (attr, d) -> Value.add_delta v attr d) row.Store.value ds;
+    row.Store.version <- row.Store.version + 1
+  | Update.Read_guard _ -> ()
+
+let storage_handler t node ~src payload =
+  match payload with
+  | Qw_write { wid; key; update } ->
+    blind_apply (Fabric.store_of t.fabric node) key update;
+    Fabric.send t.fabric ~src:node ~dst:src (Qw_ack { wid; key })
+  | _ -> ()
+
+let app_handler t ~node:_ ~src:_ payload =
+  match payload with
+  | Qw_ack { wid; key } -> (
+    match Hashtbl.find_opt t.writes wid with
+    | None -> ()
+    | Some ws -> (
+      match Key.Map.find_opt key ws.waiting with
+      | None -> ()
+      | Some needed ->
+        let needed = needed - 1 in
+        ws.waiting <-
+          (if needed <= 0 then Key.Map.remove key ws.waiting
+           else Key.Map.add key needed ws.waiting);
+        if Key.Map.is_empty ws.waiting then begin
+          Hashtbl.remove t.writes wid;
+          ws.cb Txn.Committed
+        end))
+  | _ -> ()
+
+let submit t ~dc (txn : Txn.t) cb =
+  if Txn.is_read_only txn then
+    ignore (Mdcc_sim.Engine.schedule (Fabric.engine t.fabric) ~after:0.0 (fun () -> cb Txn.Committed))
+  else begin
+    let wid = t.next_wid in
+    t.next_wid <- t.next_wid + 1;
+    let waiting =
+      List.fold_left (fun m (key, _) -> Key.Map.add key t.w m) Key.Map.empty txn.Txn.updates
+    in
+    Hashtbl.replace t.writes wid { waiting; cb };
+    let app = Fabric.app_node t.fabric ~dc in
+    List.iter
+      (fun (key, update) ->
+        List.iter
+          (fun replica -> Fabric.send t.fabric ~src:app ~dst:replica (Qw_write { wid; key; update }))
+          (Fabric.replicas t.fabric key))
+      txn.Txn.updates
+  end
+
+let create ~fabric ~w =
+  let t = { fabric; w; writes = Hashtbl.create 256; next_wid = 0 } in
+  List.iter
+    (fun node -> Fabric.register_storage fabric node (storage_handler t node))
+    (Fabric.storage_node_ids fabric);
+  Fabric.register_all_apps fabric (app_handler t);
+  t
+
+let harness t =
+  {
+    Harness.name = Printf.sprintf "QW-%d" t.w;
+    engine = Fabric.engine t.fabric;
+    num_dcs = Fabric.num_dcs t.fabric;
+    submit = (fun ~dc txn cb -> submit t ~dc txn cb);
+    read_local = (fun ~dc key cb -> Fabric.read_local t.fabric ~dc key cb);
+    peek = (fun ~dc key -> Fabric.peek t.fabric ~dc key);
+    load = (fun rows -> Fabric.load t.fabric rows);
+    fail_dc = (fun dc -> Fabric.fail_dc t.fabric dc);
+    recover_dc = (fun dc -> Fabric.recover_dc t.fabric dc);
+  }

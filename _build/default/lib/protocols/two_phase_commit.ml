@@ -1,0 +1,140 @@
+open Mdcc_storage
+module Net = Mdcc_sim.Network
+module Rstate = Mdcc_core.Rstate
+
+type Net.payload +=
+  | Prepare of { txid : Txn.id; key : Key.t; update : Update.t }
+  | Vote of { txid : Txn.id; key : Key.t; yes : bool }
+  | Decision of { txid : Txn.id; key : Key.t; update : Update.t; commit : bool }
+  | Decision_ack of { txid : Txn.id; key : Key.t }
+
+type txn_state = {
+  txn : Txn.t;
+  cb : Txn.outcome -> unit;
+  mutable votes_missing : int;
+  mutable all_yes : bool;
+  mutable phase2 : bool;
+  mutable acks_missing : int;
+}
+
+type t = {
+  fabric : Fabric.t;
+  locks : (Txn.id * Update.t) Key.Tbl.t array;  (* per storage node *)
+  txns : (Txn.id, txn_state) Hashtbl.t;
+}
+
+(* Prepare: take an exclusive lock and validate, exactly once per record. *)
+let prepare t node key txid update =
+  let locks = t.locks.(node) in
+  match Key.Tbl.find_opt locks key with
+  | Some (owner, _) -> String.equal owner txid  (* duplicate prepare: same vote *)
+  | None ->
+    let store = Fabric.store_of t.fabric node in
+    let row = Store.ensure store key in
+    let valuation =
+      { Rstate.value = row.Store.value; version = row.Store.version; exists = row.Store.exists }
+    in
+    let bounds = Schema.bounds_of (Fabric.schema t.fabric) key in
+    let ok =
+      Rstate.evaluate ~bounds ~demarcation:`Escrow valuation ~accepted:[] update
+      = Mdcc_core.Woption.Accepted
+    in
+    if ok then Key.Tbl.replace locks key (txid, update);
+    ok
+
+let storage_handler t node ~src payload =
+  match payload with
+  | Prepare { txid; key; update } ->
+    let yes = prepare t node key txid update in
+    Fabric.send t.fabric ~src:node ~dst:src (Vote { txid; key; yes })
+  | Decision { txid; key; update; commit } ->
+    (match Key.Tbl.find_opt t.locks.(node) key with
+    | Some (owner, _) when String.equal owner txid ->
+      Key.Tbl.remove t.locks.(node) key;
+      if commit then Store.apply (Fabric.store_of t.fabric node) key update
+    | Some _ | None -> ());
+    Fabric.send t.fabric ~src:node ~dst:src (Decision_ack { txid; key })
+  | _ -> ()
+
+let broadcast_decision t ~app (ts : txn_state) =
+  ts.phase2 <- true;
+  List.iter
+    (fun (key, update) ->
+      List.iter
+        (fun replica ->
+          Fabric.send t.fabric ~src:app ~dst:replica
+            (Decision { txid = ts.txn.Txn.id; key; update; commit = ts.all_yes }))
+        (Fabric.replicas t.fabric key))
+    ts.txn.Txn.updates
+
+let app_handler t ~node ~src:_ payload =
+  match payload with
+  | Vote { txid; yes; _ } -> (
+    match Hashtbl.find_opt t.txns txid with
+    | None -> ()
+    | Some ts ->
+      if not ts.phase2 then begin
+        ts.votes_missing <- ts.votes_missing - 1;
+        if not yes then ts.all_yes <- false;
+        (* 2PC must hear from every replica before deciding. *)
+        if ts.votes_missing = 0 then broadcast_decision t ~app:node ts
+      end)
+  | Decision_ack { txid; _ } -> (
+    match Hashtbl.find_opt t.txns txid with
+    | None -> ()
+    | Some ts ->
+      ts.acks_missing <- ts.acks_missing - 1;
+      if ts.acks_missing = 0 then begin
+        Hashtbl.remove t.txns txid;
+        ts.cb (if ts.all_yes then Txn.Committed else Txn.Aborted Txn.Conflict)
+      end)
+  | _ -> ()
+
+let submit t ~dc (txn : Txn.t) cb =
+  if Txn.is_read_only txn then
+    ignore (Mdcc_sim.Engine.schedule (Fabric.engine t.fabric) ~after:0.0 (fun () -> cb Txn.Committed))
+  else begin
+    let replication = Fabric.num_dcs t.fabric in
+    let total = replication * List.length txn.Txn.updates in
+    let ts =
+      { txn; cb; votes_missing = total; all_yes = true; phase2 = false; acks_missing = total }
+    in
+    Hashtbl.replace t.txns txn.Txn.id ts;
+    let app = Fabric.app_node t.fabric ~dc in
+    List.iter
+      (fun (key, update) ->
+        List.iter
+          (fun replica ->
+            Fabric.send t.fabric ~src:app ~dst:replica
+              (Prepare { txid = txn.Txn.id; key; update }))
+          (Fabric.replicas t.fabric key))
+      txn.Txn.updates
+  end
+
+let create ~fabric =
+  let storage = Fabric.storage_node_ids fabric in
+  let t =
+    {
+      fabric;
+      locks = Array.init (List.length storage) (fun _ -> Key.Tbl.create 64);
+      txns = Hashtbl.create 256;
+    }
+  in
+  List.iter (fun node -> Fabric.register_storage fabric node (storage_handler t node)) storage;
+  Fabric.register_all_apps fabric (app_handler t);
+  t
+
+let locks_held t = Array.fold_left (fun acc tbl -> acc + Key.Tbl.length tbl) 0 t.locks
+
+let harness t =
+  {
+    Harness.name = "2PC";
+    engine = Fabric.engine t.fabric;
+    num_dcs = Fabric.num_dcs t.fabric;
+    submit = (fun ~dc txn cb -> submit t ~dc txn cb);
+    read_local = (fun ~dc key cb -> Fabric.read_local t.fabric ~dc key cb);
+    peek = (fun ~dc key -> Fabric.peek t.fabric ~dc key);
+    load = (fun rows -> Fabric.load t.fabric rows);
+    fail_dc = (fun dc -> Fabric.fail_dc t.fabric dc);
+    recover_dc = (fun dc -> Fabric.recover_dc t.fabric dc);
+  }

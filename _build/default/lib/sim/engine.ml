@@ -1,0 +1,47 @@
+module Rng = Mdcc_util.Rng
+
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  queue : Event_queue.t;
+  rng : Rng.t;
+}
+
+type handle = Event_queue.event
+
+let create ~seed = { now = 0.0; seq = 0; queue = Event_queue.create (); rng = Rng.create seed }
+
+let now t = t.now
+
+let rng t = t.rng
+
+let schedule_at t ~at f =
+  let at = if at < t.now then t.now else at in
+  t.seq <- t.seq + 1;
+  Event_queue.push t.queue ~at ~seq:t.seq f
+
+let schedule t ~after f = schedule_at t ~at:(t.now +. Float.max 0.0 after) f
+
+let cancel = Event_queue.cancel
+
+let pending t = Event_queue.size t.queue
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some ev ->
+    t.now <- ev.Event_queue.at;
+    ev.Event_queue.run ();
+    true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+    let continue = ref true in
+    while !continue do
+      match Event_queue.peek_time t.queue with
+      | Some at when at <= limit -> ignore (step t)
+      | Some _ | None -> continue := false
+    done;
+    if t.now < limit then t.now <- limit

@@ -1,0 +1,81 @@
+type event = {
+  at : float;
+  seq : int;
+  mutable cancelled : bool;
+  run : unit -> unit;
+}
+
+type t = { mutable heap : event array; mutable len : int }
+
+let dummy = { at = 0.0; seq = 0; cancelled = true; run = ignore }
+
+let create () = { heap = Array.make 64 dummy; len = 0 }
+
+let size t = t.len
+
+let is_empty t = t.len = 0
+
+let before a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+
+let grow t =
+  let bigger = Array.make (Array.length t.heap * 2) dummy in
+  Array.blit t.heap 0 bigger 0 t.len;
+  t.heap <- bigger
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.len && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t ~at ~seq run =
+  if t.len = Array.length t.heap then grow t;
+  let ev = { at; seq; cancelled = false; run } in
+  t.heap.(t.len) <- ev;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1);
+  ev
+
+let cancel ev = ev.cancelled <- true
+
+let pop_any t =
+  if t.len = 0 then None
+  else begin
+    let ev = t.heap.(0) in
+    t.len <- t.len - 1;
+    t.heap.(0) <- t.heap.(t.len);
+    t.heap.(t.len) <- dummy;
+    if t.len > 0 then sift_down t 0;
+    Some ev
+  end
+
+let rec pop t =
+  match pop_any t with
+  | None -> None
+  | Some ev -> if ev.cancelled then pop t else Some ev
+
+let rec peek_time t =
+  if t.len = 0 then None
+  else if t.heap.(0).cancelled then begin
+    (* Lazily discard cancelled events sitting at the root. *)
+    ignore (pop_any t);
+    peek_time t
+  end
+  else Some t.heap.(0).at

@@ -1,0 +1,34 @@
+(** Binary min-heap of timestamped events.
+
+    Ordering is by [(time, sequence-number)]: the sequence number is assigned
+    by the engine at insertion, so events scheduled for the same instant fire
+    in insertion order and every simulation run is fully deterministic. *)
+
+type event = private {
+  at : float;  (** virtual time in milliseconds *)
+  seq : int;  (** insertion tie-breaker *)
+  mutable cancelled : bool;
+  run : unit -> unit;
+}
+
+type t
+(** The mutable heap. *)
+
+val create : unit -> t
+
+val size : t -> int
+(** Live entries, including not-yet-popped cancelled events. *)
+
+val is_empty : t -> bool
+
+val push : t -> at:float -> seq:int -> (unit -> unit) -> event
+(** Insert an event; the returned handle can be cancelled. *)
+
+val cancel : event -> unit
+(** Mark the event dead; it is skipped (and dropped) when popped. *)
+
+val pop : t -> event option
+(** Remove and return the earliest non-cancelled event, if any. *)
+
+val peek_time : t -> float option
+(** Timestamp of the earliest non-cancelled event, if any. *)

@@ -1,0 +1,83 @@
+module Rng = Mdcc_util.Rng
+
+type payload = ..
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+type t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  drop_probability : float;
+  jitter_sigma : float;
+  rng : Rng.t;
+  handlers : (src:Topology.node_id -> payload -> unit) option array;
+  failed : bool array;
+  stats : stats;
+}
+
+let create engine topo ?(drop_probability = 0.0) ?(jitter_sigma = 0.05) () =
+  {
+    engine;
+    topo;
+    drop_probability;
+    jitter_sigma;
+    rng = Rng.split (Engine.rng engine);
+    handlers = Array.make (Topology.num_nodes topo) None;
+    failed = Array.make (Topology.num_nodes topo) false;
+    stats = { sent = 0; delivered = 0; dropped = 0 };
+  }
+
+let engine t = t.engine
+
+let topology t = t.topo
+
+let register t node handler = t.handlers.(node) <- Some handler
+
+let latency_sample t ~src ~dst =
+  let base = Topology.one_way t.topo src dst in
+  (* Minimum processing/stack delay so even loopback costs one event tick. *)
+  let floor_latency = 0.25 in
+  let jitter =
+    if t.jitter_sigma <= 0.0 then 1.0
+    else Rng.lognormal t.rng ~mu:0.0 ~sigma:t.jitter_sigma
+  in
+  floor_latency +. (base *. jitter)
+
+let send t ~src ~dst payload =
+  t.stats.sent <- t.stats.sent + 1;
+  if t.failed.(src) || t.failed.(dst) then t.stats.dropped <- t.stats.dropped + 1
+  else if t.drop_probability > 0.0 && Rng.bernoulli t.rng t.drop_probability then
+    t.stats.dropped <- t.stats.dropped + 1
+  else begin
+    let delay = latency_sample t ~src ~dst in
+    ignore
+      (Engine.schedule t.engine ~after:delay (fun () ->
+           (* Failures that happened while the message was in flight also
+              kill it: a dead data center receives nothing. *)
+           if t.failed.(src) || t.failed.(dst) then t.stats.dropped <- t.stats.dropped + 1
+           else begin
+             match t.handlers.(dst) with
+             | None -> t.stats.dropped <- t.stats.dropped + 1
+             | Some handler ->
+               t.stats.delivered <- t.stats.delivered + 1;
+               handler ~src payload
+           end))
+  end
+
+let broadcast t ~src ~dsts payload = List.iter (fun dst -> send t ~src ~dst payload) dsts
+
+let fail_node t node = t.failed.(node) <- true
+
+let recover_node t node = t.failed.(node) <- false
+
+let is_failed t node = t.failed.(node)
+
+let fail_dc t dc = List.iter (fail_node t) (Topology.nodes_in_dc t.topo dc)
+
+let recover_dc t dc = List.iter (recover_node t) (Topology.nodes_in_dc t.topo dc)
+
+let stats t = t.stats

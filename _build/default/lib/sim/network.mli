@@ -1,0 +1,62 @@
+(** Simulated wide-area message passing.
+
+    Messages between nodes are delivered by scheduling an engine event after
+    the topology's base one-way latency plus lognormal jitter.  The network
+    can drop messages at random, and whole nodes or data centers can be
+    failed (their inbound {e and} outbound traffic is discarded) — that is
+    exactly how the paper simulates a data-center outage ("we prevented the
+    data center from receiving any messages", §5.3.4).
+
+    Message payloads use the extensible variant {!payload}, so every protocol
+    library declares its own constructors while sharing one network. *)
+
+type payload = ..
+(** Extend with your protocol's message type:
+    [type Network.payload += Ping of int]. *)
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;  (** lost to failures or random drops *)
+}
+
+type t
+
+val create :
+  Engine.t -> Topology.t -> ?drop_probability:float -> ?jitter_sigma:float -> unit -> t
+(** [create engine topo] builds a network.  [drop_probability] (default 0)
+    applies to every message independently.  [jitter_sigma] (default 0.05)
+    is the sigma of the multiplicative lognormal latency jitter; 0 disables
+    jitter entirely. *)
+
+val engine : t -> Engine.t
+val topology : t -> Topology.t
+
+val register : t -> Topology.node_id -> (src:Topology.node_id -> payload -> unit) -> unit
+(** Install the message handler of a node.  Re-registering replaces the
+    handler (used by tests to model a node restarting with fresh state). *)
+
+val send : t -> src:Topology.node_id -> dst:Topology.node_id -> payload -> unit
+(** Queue a message for delivery.  Delivery is skipped silently if either
+    endpoint is failed (at send {e or} delivery time), the message is
+    dropped, or [dst] has no handler. *)
+
+val broadcast :
+  t -> src:Topology.node_id -> dsts:Topology.node_id list -> payload -> unit
+(** [send] to every destination (including [src] itself if listed: loopback
+    delivery still costs the intra-node latency of one event). *)
+
+val fail_node : t -> Topology.node_id -> unit
+val recover_node : t -> Topology.node_id -> unit
+val is_failed : t -> Topology.node_id -> bool
+
+val fail_dc : t -> int -> unit
+(** Fail every node of a data center. *)
+
+val recover_dc : t -> int -> unit
+
+val latency_sample : t -> src:Topology.node_id -> dst:Topology.node_id -> float
+(** One latency draw for the pair, exactly as [send] would use (exposed for
+    tests and for modelling local reads). *)
+
+val stats : t -> stats

@@ -1,0 +1,12 @@
+let flag = ref false
+
+let enable () = flag := true
+
+let disable () = flag := false
+
+let enabled () = !flag
+
+let emit engine ~tag fmt =
+  Printf.ksprintf
+    (fun msg -> if !flag then Printf.printf "[%10.2f] %-12s %s\n" (Engine.now engine) tag msg)
+    fmt

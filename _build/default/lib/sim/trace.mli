@@ -1,0 +1,13 @@
+(** Lightweight, globally-switched protocol tracing.
+
+    Disabled by default so the hot simulation loop pays only a flag check;
+    enable it in tests or from the CLI's [--trace] flag to get a readable
+    interleaved log of protocol decisions with virtual timestamps. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val emit : Engine.t -> tag:string -> ('a, unit, string, unit) format4 -> 'a
+(** [emit engine ~tag fmt ...] prints ["[%8.2f] %-10s msg"] to stdout when
+    tracing is enabled; otherwise the arguments are consumed and ignored. *)

@@ -1,0 +1,1 @@
+lib/sql/exec.ml: Ast Key List Mdcc_core Mdcc_storage Parser Printf Txn Update Value

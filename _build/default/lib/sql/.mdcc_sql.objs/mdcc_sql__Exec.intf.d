@@ -1,0 +1,1 @@
+lib/sql/exec.mli: Ast Key Mdcc_core Mdcc_storage Parser Txn Value

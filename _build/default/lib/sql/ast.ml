@@ -1,0 +1,45 @@
+type literal = Int of int | Str of string
+
+type assignment = Set of string * literal | Add of string * int
+
+type statement =
+  | Select of { table : string; id : string }
+  | Select_all of { table : string; order_by : string option; limit : int }
+  | Insert of { table : string; id : string; columns : (string * literal) list }
+  | Update of { table : string; id : string; assignments : assignment list }
+  | Delete of { table : string; id : string }
+  | Begin
+  | Commit
+
+let key_of ~table ~id = Mdcc_storage.Key.make ~table ~id
+
+let is_commutative assignments =
+  List.for_all (function Add _ -> true | Set _ -> false) assignments
+
+let pp_literal ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Str s -> Format.fprintf ppf "'%s'" s
+
+let pp_assignment ppf = function
+  | Set (a, l) -> Format.fprintf ppf "%s = %a" a pp_literal l
+  | Add (a, d) -> Format.fprintf ppf "%s = %s %s %d" a a (if d < 0 then "-" else "+") (abs d)
+
+let pp_statement ppf = function
+  | Select { table; id } -> Format.fprintf ppf "SELECT * FROM %s WHERE id = '%s'" table id
+  | Select_all { table; order_by; limit } ->
+    Format.fprintf ppf "SELECT * FROM %s%s LIMIT %d" table
+      (match order_by with Some a -> " ORDER BY " ^ a | None -> "")
+      limit
+  | Insert { table; id; columns } ->
+    Format.fprintf ppf "INSERT INTO %s (id%a) VALUES ('%s'%a)" table
+      (Format.pp_print_list (fun ppf (c, _) -> Format.fprintf ppf ", %s" c))
+      columns id
+      (Format.pp_print_list (fun ppf (_, l) -> Format.fprintf ppf ", %a" pp_literal l))
+      columns
+  | Update { table; id; assignments } ->
+    Format.fprintf ppf "UPDATE %s SET %a WHERE id = '%s'" table
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_assignment)
+      assignments id
+  | Delete { table; id } -> Format.fprintf ppf "DELETE FROM %s WHERE id = '%s'" table id
+  | Begin -> Format.pp_print_string ppf "BEGIN"
+  | Commit -> Format.pp_print_string ppf "COMMIT"

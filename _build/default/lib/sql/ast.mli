@@ -1,0 +1,40 @@
+(** Abstract syntax of the SQL-like language.
+
+    The paper implements TPC-W's web interactions "using our own SQL-like
+    language" on top of the record manager (§5.1).  This is that language:
+    single-record statements addressed by primary key, with arithmetic
+    [SET attr = attr +/- n] assignments recognized as commutative delta
+    updates (the only kind MDCC can run through Generalized Paxos), plus
+    [BEGIN]/[COMMIT] bracketing to group statements into one atomic
+    transaction. *)
+
+type literal = Int of int | Str of string
+
+type assignment =
+  | Set of string * literal  (** [attr = 42] / [attr = 'x'] — absolute *)
+  | Add of string * int
+      (** [attr = attr + n] / [attr = attr - n] — commutative delta *)
+
+type statement =
+  | Select of { table : string; id : string }
+      (** [SELECT * FROM table WHERE id = 'k'] *)
+  | Select_all of { table : string; order_by : string option; limit : int }
+      (** [SELECT * FROM table \[ORDER BY attr\] \[LIMIT n\]] — a local scan
+          (TPC-W's best-sellers/search style reads); [ORDER BY] sorts
+          descending on an integer attribute; default limit 50 *)
+  | Insert of { table : string; id : string; columns : (string * literal) list }
+      (** [INSERT INTO table (id, a, b) VALUES ('k', 1, 'x')] *)
+  | Update of { table : string; id : string; assignments : assignment list }
+      (** [UPDATE table SET a = 1, s = s - 2 WHERE id = 'k'] *)
+  | Delete of { table : string; id : string }  (** [DELETE FROM table WHERE id = 'k'] *)
+  | Begin
+  | Commit
+
+val key_of : table:string -> id:string -> Mdcc_storage.Key.t
+
+val is_commutative : assignment list -> bool
+(** All assignments are [Add]s — the update can travel as a delta option. *)
+
+val pp_literal : Format.formatter -> literal -> unit
+
+val pp_statement : Format.formatter -> statement -> unit

@@ -1,0 +1,158 @@
+open Mdcc_storage
+module Session = Mdcc_core.Session
+
+type row = { key : Key.t; value : Value.t option; version : int }
+
+type exec_result = { rows : row list; outcome : Txn.outcome }
+
+type state = {
+  session : Session.t;
+  txid : Txn.id;
+  serializable : bool;
+  mutable sub : int;  (* sub-transaction counter *)
+  mutable in_txn : bool;
+  mutable writes : (Key.t * Update.t) list;  (* buffered, reverse order *)
+  mutable reads : (Key.t * int) list;  (* SELECTed keys for guards *)
+  mutable rows : row list;  (* reverse order *)
+}
+
+let fresh_txid st =
+  st.sub <- st.sub + 1;
+  Printf.sprintf "%s-%d" st.txid st.sub
+
+let value_of_columns columns =
+  Value.of_list
+    (List.map
+       (fun (c, l) -> (c, match l with Ast.Int i -> Value.Int i | Ast.Str s -> Value.Str s))
+       columns)
+
+(* Merge an update into the buffered write-set: deltas to the same key
+   combine; anything else on an already-written key is a script bug. *)
+let buffer st key update =
+  match List.assoc_opt key st.writes with
+  | None -> st.writes <- (key, update) :: st.writes
+  | Some (Update.Delta old) -> (
+    match update with
+    | Update.Delta more ->
+      st.writes <-
+        (key, Update.Delta (old @ more)) :: List.remove_assoc key st.writes
+    | Update.Insert _ | Update.Physical _ | Update.Delete _ | Update.Read_guard _ ->
+      invalid_arg "Sql.Exec: key updated twice with incompatible update kinds")
+  | Some _ -> invalid_arg "Sql.Exec: key updated twice with incompatible update kinds"
+
+let apply_assignments value assignments =
+  List.fold_left
+    (fun v -> function
+      | Ast.Set (attr, Ast.Int i) -> Value.set v attr (Value.Int i)
+      | Ast.Set (attr, Ast.Str s) -> Value.set v attr (Value.Str s)
+      | Ast.Add (attr, d) -> Value.add_delta v attr d)
+    value assignments
+
+let guards_of st =
+  if not st.serializable then []
+  else
+    (* Guard every read key that the write-set does not already certify. *)
+    List.filter_map
+      (fun (key, version) ->
+        if List.mem_assoc key st.writes then None
+        else Some (key, Update.Read_guard { vread = version }))
+      (List.sort_uniq compare st.reads)
+
+(* Submit the buffered write-set (plus read guards) as one transaction. *)
+let flush st k =
+  let updates = List.rev st.writes @ guards_of st in
+  st.writes <- [];
+  st.reads <- [];
+  st.in_txn <- false;
+  if updates = [] then k Txn.Committed
+  else Session.submit st.session (Txn.make ~id:(fresh_txid st) ~updates) k
+
+let rec step st statements finish =
+  match statements with
+  | [] ->
+    (* Implicit COMMIT at end of script. *)
+    if st.writes <> [] || st.reads <> [] then
+      flush st (fun outcome -> finish { rows = List.rev st.rows; outcome })
+    else finish { rows = List.rev st.rows; outcome = Txn.Committed }
+  | stmt :: rest -> (
+    let continue_or_abort outcome =
+      match outcome with
+      | Txn.Committed -> step st rest finish
+      | Txn.Aborted _ -> finish { rows = List.rev st.rows; outcome }
+    in
+    (* Buffer a write, auto-committing when outside BEGIN/COMMIT. *)
+    let write key update =
+      buffer st key update;
+      if st.in_txn then step st rest finish else flush st continue_or_abort
+    in
+    match stmt with
+    | Ast.Begin ->
+      st.in_txn <- true;
+      step st rest finish
+    | Ast.Commit -> flush st continue_or_abort
+    | Ast.Select_all { table; order_by; limit } ->
+      Session.scan st.session ~table ?order_by ~limit (fun results ->
+          (* [st.rows] is kept reversed and flipped once at the end, so
+             prepend the scan rows in their returned order. *)
+          List.iter
+            (fun (key, value, version) ->
+              st.rows <- { key; value = Some value; version } :: st.rows)
+            results;
+          (* Scans are not certified (no per-row guard): analytic reads. *)
+          step st rest finish)
+    | Ast.Select { table; id } ->
+      let key = Ast.key_of ~table ~id in
+      Session.read st.session key (fun result ->
+          let value, version =
+            match result with Some (v, ver) -> (Some v, ver) | None -> (None, 0)
+          in
+          st.rows <- { key; value; version } :: st.rows;
+          st.reads <- (key, version) :: st.reads;
+          if st.in_txn then step st rest finish
+          else begin
+            (* Auto-commit SELECT: with serializability on, certify it. *)
+            if st.serializable then flush st continue_or_abort
+            else begin
+              st.reads <- [];
+              step st rest finish
+            end
+          end)
+    | Ast.Insert { table; id; columns } ->
+      write (Ast.key_of ~table ~id) (Update.Insert (value_of_columns columns))
+    | Ast.Delete { table; id } ->
+      let key = Ast.key_of ~table ~id in
+      Session.read st.session key (fun result ->
+          match result with
+          | Some (_, version) -> write key (Update.Delete { vread = version })
+          | None ->
+            (* Deleting a missing record: propose an impossible delete so
+               the outcome is a clean conflict abort. *)
+            write key (Update.Delete { vread = -1 }))
+    | Ast.Update { table; id; assignments } ->
+      let key = Ast.key_of ~table ~id in
+      if Ast.is_commutative assignments then
+        write key
+          (Update.Delta
+             (List.filter_map
+                (function Ast.Add (attr, d) -> Some (attr, d) | Ast.Set _ -> None)
+                assignments))
+      else
+        (* Absolute assignment: optimistic read-modify-write. *)
+        Session.read st.session key (fun result ->
+            match result with
+            | Some (value, version) ->
+              write key
+                (Update.Physical
+                   { vread = version; value = apply_assignments value assignments })
+            | None -> write key (Update.Physical { vread = -1; value = Value.empty })))
+
+let run ?(serializable = false) session ~txid statements finish =
+  let st =
+    { session; txid; serializable; sub = 0; in_txn = false; writes = []; reads = []; rows = [] }
+  in
+  step st statements finish
+
+let run_string ?serializable session ~txid src finish =
+  match Parser.parse_script src with
+  | Ok statements -> run ?serializable session ~txid statements (fun r -> finish (Ok r))
+  | Error e -> finish (Error e)

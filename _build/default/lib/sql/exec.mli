@@ -1,0 +1,52 @@
+(** Executor: run SQL-like scripts on an MDCC session.
+
+    Statements outside a [BEGIN]/[COMMIT] bracket auto-commit one at a time;
+    a bracketed group becomes a single atomic MDCC transaction.  Reads go
+    through the session (read-committed with session guarantees); writes are
+    translated to the cheapest update kind —
+    {ul
+    {- [SET a = a - 2, b = b + 1] → a commutative delta option;}
+    {- any absolute [SET a = 42] → read-modify-write: the executor reads
+       the record and proposes a physical update with the read version
+       (optimistic concurrency: a concurrent writer aborts the
+       transaction);}
+    {- [INSERT]/[DELETE] → insert and delete options.}}
+
+    With [~serializable:true] every [SELECT]ed key also gets a read-guard
+    option (§4.4), upgrading the whole script to serializability.
+
+    A script that opens [BEGIN] but ends without [COMMIT] is committed
+    implicitly at the end. *)
+
+open Mdcc_storage
+
+type row = { key : Key.t; value : Value.t option; version : int }
+(** One [SELECT] result: [value = None] means the record does not exist. *)
+
+type exec_result = {
+  rows : row list;  (** all SELECT results, in statement order *)
+  outcome : Txn.outcome;
+      (** [Committed] iff every (sub-)transaction of the script committed;
+          execution stops at the first abort *)
+}
+
+val run :
+  ?serializable:bool ->
+  Mdcc_core.Session.t ->
+  txid:Txn.id ->
+  Ast.statement list ->
+  (exec_result -> unit) ->
+  unit
+(** Execute parsed statements.  [txid] seeds the transaction ids (sub-
+    transactions get [txid ^ "-<n>"]).  Raises [Invalid_argument] if a
+    bracketed group writes the same key with incompatible update kinds
+    (deltas to the same key are merged). *)
+
+val run_string :
+  ?serializable:bool ->
+  Mdcc_core.Session.t ->
+  txid:Txn.id ->
+  string ->
+  ((exec_result, Parser.error) result -> unit) ->
+  unit
+(** Parse with {!Parser.parse_script}, then {!run}. *)

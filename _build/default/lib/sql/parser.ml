@@ -1,0 +1,271 @@
+type error = { position : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "parse error at %d: %s" e.position e.message
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tident of string
+  | Tint of int
+  | Tstring of string
+  | Tstar
+  | Tcomma
+  | Tlparen
+  | Trparen
+  | Teq
+  | Tplus
+  | Tminus
+  | Tsemi
+  | Teof
+
+let token_name = function
+  | Tident s -> Printf.sprintf "identifier %S" s
+  | Tint i -> Printf.sprintf "integer %d" i
+  | Tstring s -> Printf.sprintf "string '%s'" s
+  | Tstar -> "'*'"
+  | Tcomma -> "','"
+  | Tlparen -> "'('"
+  | Trparen -> "')'"
+  | Teq -> "'='"
+  | Tplus -> "'+'"
+  | Tminus -> "'-'"
+  | Tsemi -> "';'"
+  | Teof -> "end of input"
+
+exception Error of error
+
+let fail position fmt = Printf.ksprintf (fun message -> raise (Error { position; message })) fmt
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '-'
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Tokens tagged with their starting offset, for error reporting. *)
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit pos tok = tokens := (pos, tok) :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    let pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      emit pos (Tident (String.sub src !i (!j - !i)));
+      i := !j
+    end
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do
+        incr j
+      done;
+      emit pos (Tint (int_of_string (String.sub src !i (!j - !i))));
+      i := !j
+    end
+    else if c = '\'' then begin
+      let j = ref (!i + 1) in
+      while !j < n && src.[!j] <> '\'' do
+        incr j
+      done;
+      if !j >= n then fail pos "unterminated string literal";
+      emit pos (Tstring (String.sub src (!i + 1) (!j - !i - 1)));
+      i := !j + 1
+    end
+    else begin
+      (match c with
+      | '*' -> emit pos Tstar
+      | ',' -> emit pos Tcomma
+      | '(' -> emit pos Tlparen
+      | ')' -> emit pos Trparen
+      | '=' -> emit pos Teq
+      | '+' -> emit pos Tplus
+      | '-' -> emit pos Tminus
+      | ';' -> emit pos Tsemi
+      | other -> fail pos "unexpected character %C" other);
+      incr i
+    end
+  done;
+  emit n Teof;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Recursive-descent parser                                            *)
+(* ------------------------------------------------------------------ *)
+
+type stream = { mutable toks : (int * token) list }
+
+let peek s = match s.toks with (p, t) :: _ -> (p, t) | [] -> (0, Teof)
+
+let advance s = match s.toks with _ :: rest -> s.toks <- rest | [] -> ()
+
+let next s =
+  let r = peek s in
+  advance s;
+  r
+
+let keyword_of = String.lowercase_ascii
+
+let expect_keyword s kw =
+  match next s with
+  | _, Tident id when String.equal (keyword_of id) kw -> ()
+  | p, t -> fail p "expected %s, found %s" (String.uppercase_ascii kw) (token_name t)
+
+let expect s tok =
+  match next s with
+  | _, t when t = tok -> ()
+  | p, t -> fail p "expected %s, found %s" (token_name tok) (token_name t)
+
+let ident s =
+  match next s with
+  | _, Tident id -> id
+  | p, t -> fail p "expected an identifier, found %s" (token_name t)
+
+let literal s =
+  match next s with
+  | _, Tint i -> Ast.Int i
+  | _, Tstring str -> Ast.Str str
+  | p, Tminus -> (
+    match next s with
+    | _, Tint i -> Ast.Int (-i)
+    | _, t -> fail p "expected an integer after '-', found %s" (token_name t))
+  | p, t -> fail p "expected a literal, found %s" (token_name t)
+
+(* WHERE id = 'k' *)
+let where_id s =
+  expect_keyword s "where";
+  let col = ident s in
+  if not (String.equal (keyword_of col) "id") then
+    fail 0 "only primary-key lookups are supported (WHERE id = ...), got column %S" col;
+  expect s Teq;
+  match next s with
+  | _, Tstring id -> id
+  | _, Tint i -> string_of_int i
+  | p, t -> fail p "expected a key literal, found %s" (token_name t)
+
+(* attr = literal | attr = attr +/- int *)
+let assignment s =
+  let attr = ident s in
+  expect s Teq;
+  match peek s with
+  | _, Tident id2 when String.equal id2 attr -> (
+    advance s;
+    let sign =
+      match next s with
+      | _, Tplus -> 1
+      | _, Tminus -> -1
+      | p, t -> fail p "expected '+' or '-' after %s, found %s" attr (token_name t)
+    in
+    match next s with
+    | _, Tint d -> Ast.Add (attr, sign * d)
+    | p, t -> fail p "expected an integer delta, found %s" (token_name t))
+  | _, Tident other -> fail (fst (peek s)) "only 'attr = attr +/- n' arithmetic is supported, found %s" other
+  | _ -> Ast.Set (attr, literal s)
+
+let rec comma_separated s parse_one =
+  let first = parse_one s in
+  match peek s with
+  | _, Tcomma ->
+    advance s;
+    first :: comma_separated s parse_one
+  | _ -> [ first ]
+
+let statement s =
+  match next s with
+  | p, Tident kw -> (
+    match keyword_of kw with
+    | "select" -> (
+      expect s Tstar;
+      expect_keyword s "from";
+      let table = ident s in
+      match peek s with
+      | _, Tident kw when String.equal (keyword_of kw) "where" ->
+        let id = where_id s in
+        Ast.Select { table; id }
+      | _ ->
+        let order_by =
+          match peek s with
+          | _, Tident kw when String.equal (keyword_of kw) "order" ->
+            advance s;
+            expect_keyword s "by";
+            Some (ident s)
+          | _ -> None
+        in
+        let limit =
+          match peek s with
+          | _, Tident kw when String.equal (keyword_of kw) "limit" -> (
+            advance s;
+            match next s with
+            | _, Tint n -> n
+            | p, t -> fail p "expected an integer after LIMIT, found %s" (token_name t))
+          | _ -> 50
+        in
+        Ast.Select_all { table; order_by; limit })
+    | "insert" ->
+      expect_keyword s "into";
+      let table = ident s in
+      expect s Tlparen;
+      let columns = comma_separated s ident in
+      expect s Trparen;
+      expect_keyword s "values";
+      expect s Tlparen;
+      let values = comma_separated s literal in
+      expect s Trparen;
+      if List.length columns <> List.length values then
+        fail p "INSERT has %d columns but %d values" (List.length columns)
+          (List.length values);
+      (match columns with
+      | first :: _ when String.equal (keyword_of first) "id" -> ()
+      | _ -> fail p "INSERT's first column must be the primary key 'id'");
+      let id =
+        match List.hd values with
+        | Ast.Str sid -> sid
+        | Ast.Int i -> string_of_int i
+      in
+      Ast.Insert { table; id; columns = List.tl (List.combine columns values) }
+    | "update" ->
+      let table = ident s in
+      expect_keyword s "set";
+      let assignments = comma_separated s assignment in
+      let id = where_id s in
+      Ast.Update { table; id; assignments }
+    | "delete" ->
+      expect_keyword s "from";
+      let table = ident s in
+      let id = where_id s in
+      Ast.Delete { table; id }
+    | "begin" -> Ast.Begin
+    | "commit" -> Ast.Commit
+    | other -> fail p "unknown statement %S" other)
+  | p, t -> fail p "expected a statement, found %s" (token_name t)
+
+let parse_statement src =
+  try
+    let s = { toks = tokenize src } in
+    let stmt = statement s in
+    (match peek s with
+    | _, (Teof | Tsemi) -> ()
+    | p, t -> fail p "trailing input: %s" (token_name t));
+    Ok stmt
+  with Error e -> Result.Error e
+
+let parse_script src =
+  try
+    let s = { toks = tokenize src } in
+    let rec loop acc =
+      match peek s with
+      | _, Teof -> List.rev acc
+      | _, Tsemi ->
+        advance s;
+        loop acc
+      | _ -> loop (statement s :: acc)
+    in
+    Ok (loop [])
+  with Error e -> Result.Error e

@@ -1,0 +1,17 @@
+(** Parser for the SQL-like language.
+
+    A hand-rolled tokenizer and recursive-descent parser — small enough to
+    read in one sitting, with error messages that carry the offending
+    token.  Keywords are case-insensitive; identifiers are
+    [\[A-Za-z_\]\[A-Za-z0-9_-\]*]; strings use single quotes; statements are
+    separated by [;]. *)
+
+type error = { position : int; message : string }
+
+val parse_statement : string -> (Ast.statement, error) result
+(** Parse exactly one statement. *)
+
+val parse_script : string -> (Ast.statement list, error) result
+(** Parse a [;]-separated sequence of statements (trailing [;] allowed). *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,1 @@
+lib/storage/key.ml: Format Hashtbl Map Set String

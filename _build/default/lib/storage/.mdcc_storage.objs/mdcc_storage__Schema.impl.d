@@ -1,0 +1,1 @@
+lib/storage/schema.ml: Hashtbl Key List Value

@@ -1,0 +1,1 @@
+lib/storage/store.ml: Key List Schema Update Value

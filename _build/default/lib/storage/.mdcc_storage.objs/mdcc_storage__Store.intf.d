@@ -1,0 +1,1 @@
+lib/storage/store.mli: Key Schema Update Value

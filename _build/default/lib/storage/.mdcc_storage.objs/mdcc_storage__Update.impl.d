@@ -1,0 +1,1 @@
+lib/storage/update.ml: Format Value

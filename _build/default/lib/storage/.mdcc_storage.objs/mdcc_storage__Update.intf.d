@@ -1,0 +1,1 @@
+lib/storage/update.mli: Format Value

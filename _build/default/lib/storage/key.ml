@@ -1,0 +1,30 @@
+type t = { table : string; id : string }
+
+let make ~table ~id = { table; id }
+
+let compare a b =
+  match String.compare a.table b.table with 0 -> String.compare a.id b.id | c -> c
+
+let equal a b = compare a b = 0
+
+let hash t = Hashtbl.hash (t.table, t.id)
+
+let to_string t = t.table ^ "/" ^ t.id
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,20 @@
+(** Record keys: a table name plus a primary key string. *)
+
+type t = { table : string; id : string }
+
+val make : table:string -> id:string -> t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** ["table/id"], for traces and option logs. *)
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

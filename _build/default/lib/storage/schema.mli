@@ -1,0 +1,39 @@
+(** Table schema: value constraints and default mastership.
+
+    The paper's commutative path depends on {e value constraints} ("the stock
+    must be at least 0", §3.4.2): a schema declares, per table, inclusive
+    lower/upper bounds on integer attributes.  The schema also records the
+    table's default master data center — used for inserts (the per-table
+    insert master of §3.1.2) and as the fall-back master for collision
+    resolution. *)
+
+type bound = { attr : string; lower : int option; upper : int option }
+
+type table = {
+  name : string;
+  bounds : bound list;
+  master_dc : int;  (** default master data center for this table *)
+}
+
+type t
+
+val create : table list -> t
+(** Raises [Invalid_argument] on duplicate table names. *)
+
+val table : t -> string -> table
+(** Raises [Not_found] for an undeclared table — storage nodes refuse
+    operations on unknown tables. *)
+
+val tables : t -> table list
+
+val bounds_of : t -> Key.t -> bound list
+(** Constraints applying to a record (those of its table). *)
+
+val master_dc : t -> Key.t -> int
+
+val check_value : t -> Key.t -> Value.t -> bool
+(** [check_value s k v] is [true] iff every constrained attribute of [v] is
+    within its declared bounds.  Absent attributes count as 0. *)
+
+val check_bound : bound -> int -> bool
+(** Single-attribute check used by the demarcation logic. *)

@@ -1,0 +1,48 @@
+type id = string
+
+type abort_reason = Conflict | Constraint_violation | Node_unreachable | Recovered_abort
+
+type outcome = Committed | Aborted of abort_reason
+
+type t = { id : id; updates : (Key.t * Update.t) list }
+
+let make ~id ~updates =
+  let keys = List.map fst updates in
+  let distinct = Key.Set.of_list keys in
+  if Key.Set.cardinal distinct <> List.length keys then
+    invalid_arg "Txn.make: duplicate key in write-set";
+  { id; updates }
+
+let serializable ~id ~reads ~updates =
+  let written = Key.Set.of_list (List.map fst updates) in
+  let guards =
+    List.filter_map
+      (fun (key, vread) ->
+        if Key.Set.mem key written then None
+        else Some (key, Update.Read_guard { vread }))
+      reads
+  in
+  make ~id ~updates:(updates @ guards)
+
+let keys t = List.map fst t.updates
+
+let is_read_only t = t.updates = []
+
+let commutative_only t = List.for_all (fun (_, up) -> Update.is_commutative up) t.updates
+
+let reason_to_string = function
+  | Conflict -> "conflict"
+  | Constraint_violation -> "constraint-violation"
+  | Node_unreachable -> "node-unreachable"
+  | Recovered_abort -> "recovered-abort"
+
+let pp_outcome ppf = function
+  | Committed -> Format.pp_print_string ppf "committed"
+  | Aborted r -> Format.fprintf ppf "aborted(%s)" (reason_to_string r)
+
+let pp ppf t =
+  Format.fprintf ppf "txn %s {%a}" t.id
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf (k, up) -> Format.fprintf ppf "%a: %a" Key.pp k Update.pp up))
+    t.updates

@@ -1,0 +1,28 @@
+type t =
+  | Insert of Value.t
+  | Physical of { vread : int; value : Value.t }
+  | Delete of { vread : int }
+  | Delta of (string * int) list
+  | Read_guard of { vread : int }
+
+let is_commutative = function
+  | Delta _ -> true
+  | Insert _ | Physical _ | Delete _ | Read_guard _ -> false
+
+let is_read_guard = function
+  | Read_guard _ -> true
+  | Insert _ | Physical _ | Delete _ | Delta _ -> false
+
+let deltas = function Delta ds -> ds | Insert _ | Physical _ | Delete _ | Read_guard _ -> []
+
+let pp ppf = function
+  | Read_guard { vread } -> Format.fprintf ppf "guard v%d" vread
+  | Insert v -> Format.fprintf ppf "insert %a" Value.pp v
+  | Physical { vread; value } -> Format.fprintf ppf "v%d -> %a" vread Value.pp value
+  | Delete { vread } -> Format.fprintf ppf "v%d -> delete" vread
+  | Delta ds ->
+    Format.fprintf ppf "delta [%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         (fun ppf (a, d) -> Format.fprintf ppf "%s%+d" a d))
+      ds

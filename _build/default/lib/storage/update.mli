@@ -1,0 +1,35 @@
+(** Updates collected in a transaction's write-set.
+
+    Updates are represented as [vread -> vwrite] (§3.2.1): [vread] is the
+    record version the transaction read, letting storage nodes detect
+    write-write conflicts by comparing it with the current version.  An
+    insert has a missing [vread] and succeeds only if the record does not
+    exist; a delete marks the record as deleted and is otherwise a normal
+    update.  Commutative updates carry attribute deltas instead of an
+    absolute value and are validated against value constraints rather than
+    versions. *)
+
+type t =
+  | Insert of Value.t  (** create the record; fails if it already exists *)
+  | Physical of { vread : int; value : Value.t }
+      (** replace the whole value; fails unless the current version = vread *)
+  | Delete of { vread : int }  (** tombstone the record *)
+  | Delta of (string * int) list
+      (** commutative attribute increments/decrements, e.g.
+          [["stock", -2]] *)
+  | Read_guard of { vread : int }
+      (** validate-only: succeeds iff the record is still at version
+          [vread] and no write is outstanding, and executes as a no-op.
+          Adding guards for a transaction's read-set extends the commit
+          protocol to full serializability — the OCC extension the paper
+          sketches in §4.4. *)
+
+val is_commutative : t -> bool
+(** [true] only for [Delta]. *)
+
+val is_read_guard : t -> bool
+
+val deltas : t -> (string * int) list
+(** The delta list of a [Delta]; [\[\]] otherwise. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function: mix the advanced state through two
+   xor-multiply rounds (constants from the reference implementation). *)
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = int64 t in
+  { state = seed }
+
+(* Keep 62 random bits: a 63-bit value can overflow OCaml's native int
+   (63-bit) and come out negative through Int64.to_int. *)
+let nonneg t = Int64.to_int (Int64.shift_right_logical (int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  nonneg t mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 random bits -> uniform float in [0,1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  bound *. (Float.of_int bits /. 9007199254740992.0)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let exponential t ~mean =
+  let u = 1.0 -. float t 1.0 in
+  -.mean *. Float.log u
+
+let gaussian t =
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t 1.0 in
+  Float.sqrt (-2.0 *. Float.log u1) *. Float.cos (2.0 *. Float.pi *. u2)
+
+let lognormal t ~mu ~sigma = Float.exp (mu +. (sigma *. gaussian t))
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_distinct t k bound =
+  if k > bound then invalid_arg "Rng.sample_distinct: k > bound";
+  (* For the small k used by workloads a rejection loop is cheapest. *)
+  let rec draw acc n =
+    if n = 0 then acc
+    else
+      let x = int t bound in
+      if List.mem x acc then draw acc n else draw (x :: acc) (n - 1)
+  in
+  draw [] k

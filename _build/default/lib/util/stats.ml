@@ -1,0 +1,139 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p25 : float;
+  p50 : float;
+  p75 : float;
+  p90 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let mean = function
+  | [] -> 0.0
+  | samples -> List.fold_left ( +. ) 0.0 samples /. Float.of_int (List.length samples)
+
+let stddev samples =
+  match samples with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean samples in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 samples in
+    Float.sqrt (sq /. Float.of_int (List.length samples))
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if p <= 0.0 then sorted.(0)
+  else if p >= 100.0 then sorted.(n - 1)
+  else begin
+    let rank = p /. 100.0 *. Float.of_int (n - 1) in
+    let lo = Float.to_int (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. Float.of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let sorted_of_list samples =
+  let arr = Array.of_list samples in
+  Array.sort Float.compare arr;
+  arr
+
+let summarize samples =
+  let arr = sorted_of_list samples in
+  let n = Array.length arr in
+  if n = 0 then invalid_arg "Stats.summarize: empty sample";
+  {
+    count = n;
+    mean = mean samples;
+    stddev = stddev samples;
+    min = arr.(0);
+    max = arr.(n - 1);
+    p25 = percentile arr 25.0;
+    p50 = percentile arr 50.0;
+    p75 = percentile arr 75.0;
+    p90 = percentile arr 90.0;
+    p95 = percentile arr 95.0;
+    p99 = percentile arr 99.0;
+  }
+
+let cdf ~points samples =
+  let arr = sorted_of_list samples in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let steps = Stdlib.min points n in
+    List.init steps (fun i ->
+        let idx = (i + 1) * n / steps - 1 in
+        (arr.(idx), Float.of_int (idx + 1) /. Float.of_int n))
+  end
+
+type boxplot = {
+  whisker_lo : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  whisker_hi : float;
+  outliers : int;
+}
+
+let boxplot samples =
+  let arr = sorted_of_list samples in
+  let n = Array.length arr in
+  if n = 0 then invalid_arg "Stats.boxplot: empty sample";
+  let q1 = percentile arr 25.0
+  and median = percentile arr 50.0
+  and q3 = percentile arr 75.0 in
+  let iqr = q3 -. q1 in
+  let lo_fence = q1 -. (1.5 *. iqr) and hi_fence = q3 +. (1.5 *. iqr) in
+  let whisker_lo = ref arr.(0) and whisker_hi = ref arr.(n - 1) and outliers = ref 0 in
+  Array.iter
+    (fun x ->
+      if x < lo_fence || x > hi_fence then incr outliers)
+    arr;
+  (* Whiskers: extreme samples still inside the fences. *)
+  (try
+     Array.iter
+       (fun x -> if x >= lo_fence then (whisker_lo := x; raise Exit))
+       arr
+   with Exit -> ());
+  for i = n - 1 downto 0 do
+    if arr.(i) <= hi_fence && !whisker_hi > hi_fence then whisker_hi := arr.(i)
+  done;
+  if !whisker_hi > hi_fence then whisker_hi := arr.(n - 1);
+  { whisker_lo = !whisker_lo; q1; median; q3; whisker_hi = !whisker_hi; outliers = !outliers }
+
+let histogram ~buckets samples =
+  let counts = Array.make (Array.length buckets + 1) 0 in
+  let place x =
+    let rec find i =
+      if i >= Array.length buckets then Array.length buckets
+      else if x <= buckets.(i) then i
+      else find (i + 1)
+    in
+    let i = find 0 in
+    counts.(i) <- counts.(i) + 1
+  in
+  List.iter place samples;
+  counts
+
+type series_bucket = { t_start : float; n : int; mean_v : float }
+
+let time_series ~width samples =
+  match samples with
+  | [] -> []
+  | _ ->
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (t, v) ->
+        let bucket = Float.to_int (t /. width) in
+        let n, sum = try Hashtbl.find tbl bucket with Not_found -> (0, 0.0) in
+        Hashtbl.replace tbl bucket (n + 1, sum +. v))
+      samples;
+    Hashtbl.fold (fun b (n, sum) acc -> (b, n, sum) :: acc) tbl []
+    |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+    |> List.map (fun (b, n, sum) ->
+           { t_start = Float.of_int b *. width; n; mean_v = sum /. Float.of_int n })

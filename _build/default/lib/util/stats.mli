@@ -1,0 +1,65 @@
+(** Descriptive statistics over latency samples.
+
+    Every experiment in the paper reports one of: a CDF of response times
+    (Figures 3 and 5), a throughput count (Figure 4), commit/abort counts
+    (Figure 6), box plots (Figure 7) or a time series with means (Figure 8).
+    This module computes all of those summaries from raw [float] samples. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p25 : float;
+  p50 : float;
+  p75 : float;
+  p90 : float;
+  p95 : float;
+  p99 : float;
+}
+(** Five-number-and-then-some summary of a sample set. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on lists shorter than 2. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted p] is the [p]-th percentile ([0 <= p <= 100]) of an
+    array already sorted ascending, using linear interpolation between
+    ranks.  Raises [Invalid_argument] on an empty array. *)
+
+val summarize : float list -> summary
+(** Full summary of a non-empty sample list (sorts a private copy). *)
+
+val cdf : points:int -> float list -> (float * float) list
+(** [cdf ~points samples] is the empirical CDF down-sampled to at most
+    [points] [(value, cumulative-fraction)] pairs, suitable for plotting or
+    for printing the Figure-3/5 curves. *)
+
+type boxplot = {
+  whisker_lo : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  whisker_hi : float;
+  outliers : int;
+}
+(** Tukey box plot: whiskers at the last sample within 1.5 IQR of the box. *)
+
+val boxplot : float list -> boxplot
+(** Box-plot summary of a non-empty sample list. *)
+
+val histogram : buckets:float array -> float list -> int array
+(** [histogram ~buckets samples] counts samples per bucket; [buckets] holds
+    ascending upper bounds, and a final overflow bucket is appended (the
+    result has [Array.length buckets + 1] cells). *)
+
+type series_bucket = { t_start : float; n : int; mean_v : float }
+(** One bucket of a time series: window start, sample count, mean value. *)
+
+val time_series : width:float -> (float * float) list -> series_bucket list
+(** [time_series ~width samples] buckets [(timestamp, value)] pairs into
+    windows of [width] and reports the per-window mean — the Figure 8 view. *)

@@ -1,0 +1,17 @@
+(** Minimal aligned ASCII tables for the benchmark harness output.
+
+    The harness must print "the same rows the paper reports"; this renders
+    them readably on a terminal without any external dependency. *)
+
+val render : headers:string list -> string list list -> string
+(** [render ~headers rows] lays the table out with every column padded to its
+    widest cell, a separator line under the header, and one row per line. *)
+
+val print : headers:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)
+
+val fms : float -> string
+(** Format a latency in milliseconds with one decimal, e.g. ["277.5"]. *)
+
+val fpct : float -> string
+(** Format a fraction as a percentage with one decimal, e.g. ["12.5%"]. *)

@@ -1,0 +1,1 @@
+lib/workload/experiments.ml: Array Float List Mdcc_core Mdcc_paxos Mdcc_protocols Mdcc_sim Mdcc_util Metrics Micro Printf Runner Setup Stdlib Tpcw

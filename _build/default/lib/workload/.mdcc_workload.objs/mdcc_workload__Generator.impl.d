@@ -1,0 +1,1 @@
+lib/workload/generator.ml: List Mdcc_protocols Mdcc_storage Mdcc_util Printf Txn

@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Key Mdcc_protocols Mdcc_storage Mdcc_util Txn Value

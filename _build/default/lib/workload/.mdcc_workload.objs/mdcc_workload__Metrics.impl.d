@@ -1,0 +1,1 @@
+lib/workload/metrics.ml: Float List Mdcc_storage Mdcc_util Txn

@@ -1,0 +1,1 @@
+lib/workload/metrics.mli: Mdcc_storage Mdcc_util Txn

@@ -1,0 +1,1 @@
+lib/workload/micro.ml: Float Generator Hashtbl Key List Mdcc_protocols Mdcc_storage Mdcc_util Schema Stdlib Txn Update Value

@@ -1,0 +1,1 @@
+lib/workload/micro.mli: Generator Mdcc_storage Mdcc_util

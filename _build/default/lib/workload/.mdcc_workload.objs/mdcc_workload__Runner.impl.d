@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Array Generator List Mdcc_protocols Mdcc_sim Mdcc_storage Mdcc_util Metrics Txn

@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Generator Mdcc_protocols Metrics

@@ -1,0 +1,1 @@
+lib/workload/setup.ml: Mdcc_core Mdcc_protocols Mdcc_sim Printf

@@ -1,0 +1,1 @@
+lib/workload/setup.mli: Key Mdcc_protocols Mdcc_storage Schema Value

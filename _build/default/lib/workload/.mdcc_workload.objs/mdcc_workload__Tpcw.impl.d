@@ -1,0 +1,1 @@
+lib/workload/tpcw.ml: Generator Key List Mdcc_storage Mdcc_util Printf Schema Stdlib Txn Update Value

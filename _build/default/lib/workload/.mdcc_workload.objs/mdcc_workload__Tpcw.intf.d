@@ -1,0 +1,1 @@
+lib/workload/tpcw.mli: Generator Mdcc_storage Mdcc_util

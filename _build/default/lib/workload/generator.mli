@@ -1,0 +1,34 @@
+(** Workload generators: how a simulated client builds its next transaction.
+
+    A generator's [prepare] may issue local reads through the harness (the
+    optimistic-execution phase: collecting read versions for the write-set)
+    and then yields the transaction to submit.  A transaction with an empty
+    write-set models a read-only web interaction: the runner executes it but
+    does not measure it, matching the paper, which reports response times of
+    write transactions only. *)
+
+open Mdcc_storage
+
+type ctx = {
+  rng : Mdcc_util.Rng.t;
+  dc : int;  (** client's data center *)
+  client_id : int;
+  mutable seq : int;  (** per-client transaction counter *)
+}
+
+type t = {
+  name : string;
+  prepare : ctx -> Mdcc_protocols.Harness.t -> (Txn.t -> unit) -> unit;
+}
+
+val fresh_txid : ctx -> Txn.id
+(** Unique id ["c<client>-<seq>"]; increments [seq]. *)
+
+val read_many :
+  Mdcc_protocols.Harness.t ->
+  dc:int ->
+  Key.t list ->
+  ((Key.t * (Value.t * int) option) list -> unit) ->
+  unit
+(** Issue local reads for all keys (in parallel) and continue with the
+    results once all have answered. *)

@@ -1,0 +1,36 @@
+open Mdcc_storage
+
+type sample = {
+  submitted_at : float;
+  latency : float;
+  outcome : Txn.outcome;
+  dc : int;
+}
+
+type t = { warmup : float; mutable rev_samples : sample list; mutable rev_all : sample list }
+
+let create ~warmup = { warmup; rev_samples = []; rev_all = [] }
+
+let add t s =
+  t.rev_all <- s :: t.rev_all;
+  if s.submitted_at >= t.warmup then t.rev_samples <- s :: t.rev_samples
+
+let samples t = List.rev t.rev_samples
+
+let is_commit s = match s.outcome with Txn.Committed -> true | Txn.Aborted _ -> false
+
+let commit_count t = List.length (List.filter is_commit t.rev_samples)
+
+let abort_count t = List.length (List.filter (fun s -> not (is_commit s)) t.rev_samples)
+
+let commit_latencies t =
+  List.rev_map (fun s -> s.latency) (List.filter is_commit t.rev_samples)
+
+let throughput t ~duration =
+  if duration <= 0.0 then 0.0 else Float.of_int (commit_count t) /. (duration /. 1000.0)
+
+let summary t =
+  match commit_latencies t with [] -> None | ls -> Some (Mdcc_util.Stats.summarize ls)
+
+let latency_series t =
+  List.rev_map (fun s -> (s.submitted_at, s.latency)) (List.filter is_commit t.rev_all)

@@ -1,0 +1,43 @@
+(** Per-transaction measurements of an experiment run.
+
+    Collects one sample per decided write transaction and derives everything
+    the paper's figures report: response-time CDFs and medians (Fig. 3/5),
+    committed-transaction throughput (Fig. 4), commit/abort counts (Fig. 6),
+    box plots (Fig. 7) and time series around a failure (Fig. 8).  Samples
+    inside the warm-up window are excluded from all summaries. *)
+
+open Mdcc_storage
+
+type sample = {
+  submitted_at : float;
+  latency : float;
+  outcome : Txn.outcome;
+  dc : int;  (** client's data center *)
+}
+
+type t
+
+val create : warmup:float -> t
+
+val add : t -> sample -> unit
+
+val samples : t -> sample list
+(** Post-warm-up samples, oldest first. *)
+
+val commit_count : t -> int
+val abort_count : t -> int
+
+val commit_latencies : t -> float list
+(** Latencies of committed transactions (the paper's response-time curves
+    only include committed write transactions). *)
+
+val throughput : t -> duration:float -> float
+(** Committed transactions per second over the measured window. *)
+
+val summary : t -> Mdcc_util.Stats.summary option
+(** Summary of commit latencies; [None] if nothing committed. *)
+
+val latency_series : t -> (float * float) list
+(** [(submission time, latency)] pairs of committed transactions, for the
+    Figure 8 time series (includes warm-up: the figure shows the whole
+    run). *)

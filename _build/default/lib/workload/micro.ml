@@ -1,0 +1,121 @@
+open Mdcc_storage
+module Rng = Mdcc_util.Rng
+
+type params = {
+  num_items : int;
+  items_per_txn : int;
+  max_decrement : int;
+  commutative : bool;
+  hotspot : (float * float) option;
+  locality : float option;
+  num_dcs : int;
+  initial_stock : int;
+}
+
+let default =
+  {
+    num_items = 10_000;
+    items_per_txn = 3;
+    max_decrement = 3;
+    commutative = true;
+    hotspot = None;
+    locality = None;
+    num_dcs = 5;
+    initial_stock = 200;
+  }
+
+let item_key i = Key.make ~table:"item" ~id:(string_of_int i)
+
+let master_dc_of ~num_dcs key =
+  match int_of_string_opt key.Key.id with
+  | Some i -> i mod num_dcs
+  | None -> Hashtbl.hash (Key.to_string key) mod num_dcs
+
+let schema =
+  Schema.create
+    [
+      {
+        Schema.name = "item";
+        bounds = [ { Schema.attr = "stock"; lower = Some 0; upper = None } ];
+        master_dc = 0;
+      };
+    ]
+
+let rows p ~rng =
+  List.init p.num_items (fun i ->
+      ( item_key i,
+        Value.of_list
+          [ ("stock", Value.Int p.initial_stock); ("price", Value.Int (Rng.int_in rng 1 100)) ]
+      ))
+
+(* Pick one item index according to the hotspot / locality knobs. *)
+let pick_item p (ctx : Generator.ctx) ~local_only =
+  let in_range lo hi =
+    (* Uniform in [lo, hi); restricted to the client's local-master items
+       (indices congruent to dc mod num_dcs) when asked. *)
+    if local_only then begin
+      let span = hi - lo in
+      let slots = (span + p.num_dcs - 1) / p.num_dcs in
+      let slot = Rng.int ctx.rng (Stdlib.max 1 slots) in
+      let candidate = lo + (slot * p.num_dcs) + ((ctx.dc - lo) mod p.num_dcs + p.num_dcs) mod p.num_dcs in
+      if candidate < hi then candidate else lo + (ctx.dc mod p.num_dcs)
+    end
+    else lo + Rng.int ctx.rng (Stdlib.max 1 (hi - lo))
+  in
+  match p.hotspot with
+  | None -> in_range 0 p.num_items
+  | Some (size, prob) ->
+    let hot = Stdlib.max 1 (Float.to_int (size *. Float.of_int p.num_items)) in
+    if Rng.bernoulli ctx.rng prob then in_range 0 hot
+    else if hot >= p.num_items then in_range 0 p.num_items
+    else in_range hot p.num_items
+
+let pick_items p (ctx : Generator.ctx) =
+  let local_only =
+    match p.locality with Some f -> Rng.bernoulli ctx.rng f | None -> false
+  in
+  let rec distinct acc n =
+    if n <= 0 then acc
+    else begin
+      let i = pick_item p ctx ~local_only in
+      if List.mem i acc then distinct acc n else distinct (i :: acc) (n - 1)
+    end
+  in
+  distinct [] (Stdlib.min p.items_per_txn p.num_items)
+
+let generator p =
+  let prepare ctx (harness : Mdcc_protocols.Harness.t) k =
+    let items = pick_items p ctx in
+    let decs = List.map (fun i -> (i, Rng.int_in ctx.rng 1 p.max_decrement)) items in
+    let txid = Generator.fresh_txid ctx in
+    if p.commutative then
+      k
+        (Txn.make ~id:txid
+           ~updates:
+             (List.map (fun (i, d) -> (item_key i, Update.Delta [ ("stock", -d) ])) decs))
+    else
+      (* No commutative support: read each item, write back the decremented
+         value with the read version (optimistic read-modify-write). *)
+      Generator.read_many harness ~dc:ctx.dc
+        (List.map (fun (i, _) -> item_key i) decs)
+        (fun results ->
+          let updates =
+            List.map
+              (fun (i, d) ->
+                let key = item_key i in
+                match List.assoc key results with
+                | Some (value, version) ->
+                  let stock = Value.get_int value "stock" in
+                  ( key,
+                    Update.Physical
+                      { vread = version; value = Value.set value "stock" (Value.Int (stock - d)) }
+                  )
+                | None ->
+                  (* Deleted under us: propose an impossible update; the
+                     system will reject it (conflict). *)
+                  (key, Update.Physical { vread = -1; value = Value.empty }))
+              decs
+          in
+          k (Txn.make ~id:txid ~updates))
+  in
+  { Generator.name = "micro-buy"; prepare }

@@ -1,0 +1,44 @@
+(** The paper's micro-benchmark (§5.3).
+
+    One [item] table with a [stock >= 0] constraint; a {e buy} transaction
+    picks 3 random items and decrements each stock by 1–3 (a commutative
+    operation).  Knobs reproduce the §5.3 experiments:
+    {ul
+    {- [commutative]: deltas (MDCC) vs. read-modify-write physical updates
+       (the Fast / Multi / 2PC configurations, which have no commutative
+       support);}
+    {- [hotspot = Some (size, prob)]: accesses hit the first
+       [size · num_items] items with probability [prob] (Figure 6 uses
+       [prob = 0.9] and sizes 2–90 %);}
+    {- [locality = Some p]: a fraction [p] of transactions picks only items
+       whose master is in the client's data center (Figure 7).  Use
+       {!master_dc_of} as the cluster's master assignment so item masters
+       are [item mod num_dcs].}} *)
+
+type params = {
+  num_items : int;
+  items_per_txn : int;
+  max_decrement : int;
+  commutative : bool;
+  hotspot : (float * float) option;
+  locality : float option;
+  num_dcs : int;
+  initial_stock : int;
+}
+
+val default : params
+(** 10 000 items, 3 items per buy, decrement 1–3, commutative, no hotspot,
+    no locality pinning, 5 DCs, initial stock 200. *)
+
+val item_key : int -> Mdcc_storage.Key.t
+
+val master_dc_of : num_dcs:int -> Mdcc_storage.Key.t -> int
+(** [item i]'s master is DC [i mod num_dcs] — gives every DC an equal share
+    of local-master items for the locality experiment. *)
+
+val schema : Mdcc_storage.Schema.t
+
+val rows : params -> rng:Mdcc_util.Rng.t -> (Mdcc_storage.Key.t * Mdcc_storage.Value.t) list
+(** Initial item rows (stock = [initial_stock], random price). *)
+
+val generator : params -> Generator.t

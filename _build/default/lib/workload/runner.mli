@@ -1,0 +1,32 @@
+(** The experiment runner: closed-loop clients over any protocol harness.
+
+    Reproduces the paper's measurement methodology: [clients_per_dc]
+    emulated browsers per data center issue transactions back-to-back with
+    no think time (the paper foregoes wait times to stress the system); a
+    warm-up window is excluded; response time is measured from submission
+    to the commit/abort decision.  Events (e.g. a data-center failure at a
+    given time) can be injected into the run. *)
+
+type spec = {
+  clients_per_dc : int array;
+  warmup : float;  (** ms *)
+  duration : float;  (** measured window after warm-up, ms *)
+  drain : float;  (** extra time to let in-flight txns decide, ms *)
+  seed : int;
+}
+
+val default_spec : num_dcs:int -> clients:int -> spec
+(** [clients] spread evenly over the data centers; 15 s warm-up, 60 s
+    measurement, 30 s drain, seed 1. *)
+
+val spec_all_in : dc:int -> num_dcs:int -> clients:int -> spec
+(** All clients in one data center (the Figure 8 setup). *)
+
+val run :
+  ?events:(float * (unit -> unit)) list ->
+  Mdcc_protocols.Harness.t ->
+  Generator.t ->
+  spec ->
+  Metrics.t
+(** Run the experiment to completion and return the measurements.  The
+    engine must be fresh (time 0). *)

@@ -1,0 +1,56 @@
+module Engine = Mdcc_sim.Engine
+module Cluster = Mdcc_core.Cluster
+module Config = Mdcc_core.Config
+module Harness = Mdcc_protocols.Harness
+
+type protocol = Mdcc | Fast | Multi | Qw of int | Two_pc | Megastore
+
+let name = function
+  | Mdcc -> "MDCC"
+  | Fast -> "Fast"
+  | Multi -> "Multi"
+  | Qw k -> Printf.sprintf "QW-%d" k
+  | Two_pc -> "2PC"
+  | Megastore -> "Megastore*"
+
+let commutative = function
+  | Mdcc | Qw _ -> true
+  | Fast | Multi | Two_pc | Megastore -> false
+
+let make protocol ~seed ~schema ?(partitions = 1) ?(app_servers_per_dc = 1) ?(gamma = 100)
+    ?master_dc_of ~rows () =
+  let engine = Engine.create ~seed in
+  match protocol with
+  | Mdcc | Fast | Multi ->
+    let mode =
+      match protocol with
+      | Mdcc -> Config.Full
+      | Fast -> Config.Fast_only
+      | Multi | Qw _ | Two_pc | Megastore -> Config.Multi
+    in
+    let config = Config.make ~mode ~gamma ~replication:5 () in
+    let cluster =
+      Cluster.create ~engine ~partitions ~app_servers_per_dc ?master_dc_of ~config ~schema ()
+    in
+    Cluster.load cluster rows;
+    Cluster.start_maintenance cluster;
+    Harness.of_mdcc cluster ~name:(name protocol)
+  | Qw k ->
+    let fabric = Mdcc_protocols.Fabric.create ~engine ~partitions ~app_servers_per_dc ~schema () in
+    let qw = Mdcc_protocols.Quorum_writes.create ~fabric ~w:k in
+    let harness = Mdcc_protocols.Quorum_writes.harness qw in
+    harness.Harness.load rows;
+    harness
+  | Two_pc ->
+    let fabric = Mdcc_protocols.Fabric.create ~engine ~partitions ~app_servers_per_dc ~schema () in
+    let tpc = Mdcc_protocols.Two_phase_commit.create ~fabric in
+    let harness = Mdcc_protocols.Two_phase_commit.harness tpc in
+    harness.Harness.load rows;
+    harness
+  | Megastore ->
+    (* One entity group: a single partition regardless of the request. *)
+    let fabric = Mdcc_protocols.Fabric.create ~engine ~partitions:1 ~app_servers_per_dc ~schema () in
+    let ms = Mdcc_protocols.Megastore.create ~fabric () in
+    let harness = Mdcc_protocols.Megastore.harness ms in
+    harness.Harness.load rows;
+    harness

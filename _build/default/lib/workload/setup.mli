@@ -1,0 +1,38 @@
+(** One-call construction of any benchmarked system configuration.
+
+    Maps the protocol names of the evaluation section onto concrete
+    deployments sharing the same topology, schema and initial data:
+    MDCC / Fast / Multi are {!Mdcc_core} configurations; QW-k, 2PC and
+    Megastore* come from {!Mdcc_protocols}. *)
+
+open Mdcc_storage
+
+type protocol =
+  | Mdcc  (** full protocol: fast ballots + commutative options *)
+  | Fast  (** fast ballots, no commutative support *)
+  | Multi  (** classic ballots with per-record masters *)
+  | Qw of int  (** quorum writes with write quorum k *)
+  | Two_pc
+  | Megastore
+
+val name : protocol -> string
+
+val commutative : protocol -> bool
+(** Should the workload use delta updates?  Only the full MDCC protocol and
+    the QW baselines (which apply any update blindly) take deltas; Fast,
+    Multi, 2PC and Megastore* get read-modify-write updates, as in the
+    paper. *)
+
+val make :
+  protocol ->
+  seed:int ->
+  schema:Schema.t ->
+  ?partitions:int ->
+  ?app_servers_per_dc:int ->
+  ?gamma:int ->
+  ?master_dc_of:(Key.t -> int) ->
+  rows:(Key.t * Value.t) list ->
+  unit ->
+  Mdcc_protocols.Harness.t
+(** Fresh engine + deployment, pre-loaded with [rows].  Megastore* forces a
+    single partition (one entity group). *)

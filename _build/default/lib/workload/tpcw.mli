@@ -1,0 +1,32 @@
+(** A TPC-W-style workload (§5.2): the database access pattern of an
+    e-commerce site.
+
+    Like the paper we implement the database side of the web interactions
+    and skip HTML rendering and think times, and we use the most write-heavy
+    profile.  The write interactions are:
+    {ul
+    {- {e buy-confirm} — the checkout: decrement the stock of each cart item
+       subject to [stock >= 0] (the one commutative opportunity TPC-W
+       offers), insert the order and one order-line per item;}
+    {- {e buy-request} — update the customer's shopping cart;}
+    {- {e customer-registration} — insert a new customer;}
+    {- {e admin-update} — change an item's price (read-modify-write).}}
+    Browsing interactions are read-only: they issue local reads and commit
+    trivially; the runner does not measure them (the paper reports write
+    transactions only). *)
+
+type params = {
+  items : int;  (** TPC-W scale factor, in items *)
+  commutative : bool;  (** stock decrements as deltas (MDCC) or RMW *)
+  max_cart : int;  (** items per buy-confirm: 1..max_cart *)
+}
+
+val default : params
+(** 10 000 items, commutative, carts of 1–5 items. *)
+
+val schema : Mdcc_storage.Schema.t
+
+val rows : params -> rng:Mdcc_util.Rng.t -> (Mdcc_storage.Key.t * Mdcc_storage.Value.t) list
+(** Items (stock 500 + random, price), customers and their carts. *)
+
+val generator : params -> Generator.t

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Key List Mdcc_core Mdcc_sim Mdcc_storage Printf Schema Txn Value

@@ -1,0 +1,1 @@
+test/t_baselines.ml: Alcotest Float Key List Mdcc_protocols Mdcc_sim Mdcc_storage Printf Schema Txn Update Value

@@ -1,0 +1,1 @@
+test/t_consensus.ml: Alcotest Float List Mdcc_paxos Mdcc_sim Mdcc_util Printf String

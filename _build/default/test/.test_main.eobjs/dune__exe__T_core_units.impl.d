@@ -1,0 +1,1 @@
+test/t_core_units.ml: Alcotest Int Key List Mdcc_core Mdcc_sim Mdcc_storage Schema Txn Update Value

@@ -1,0 +1,1 @@
+test/t_edge.ml: Alcotest Array Format Key Mdcc_core Mdcc_paxos Mdcc_protocols Mdcc_sim Mdcc_storage Mdcc_util Printf Schema Txn Update Value

@@ -1,0 +1,1 @@
+test/t_extensions.ml: Alcotest Float Helpers List Mdcc_core Mdcc_sim Mdcc_storage Option Printf Txn Update

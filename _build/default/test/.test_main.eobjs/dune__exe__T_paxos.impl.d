@@ -1,0 +1,1 @@
+test/t_paxos.ml: Alcotest Ballot Cstruct List Mdcc_paxos Printf QCheck QCheck_alcotest Quorum String

@@ -1,0 +1,1 @@
+test/t_protocol.ml: Alcotest Helpers Key List Mdcc_core Mdcc_sim Mdcc_storage Printf Txn Update

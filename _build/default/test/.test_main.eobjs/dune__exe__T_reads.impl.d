@@ -1,0 +1,1 @@
+test/t_reads.ml: Alcotest Helpers Key List Mdcc_core Mdcc_sim Mdcc_storage Txn Update Value

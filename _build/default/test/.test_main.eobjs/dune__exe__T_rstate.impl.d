@@ -1,0 +1,1 @@
+test/t_rstate.ml: Alcotest Gen Key List Mdcc_core Mdcc_paxos Mdcc_storage QCheck QCheck_alcotest Schema Stdlib Update Value

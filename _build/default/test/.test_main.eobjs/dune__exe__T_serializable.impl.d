@@ -1,0 +1,1 @@
+test/t_serializable.ml: Alcotest Helpers List Mdcc_core Mdcc_sim Mdcc_storage Option Printf Txn Update Value

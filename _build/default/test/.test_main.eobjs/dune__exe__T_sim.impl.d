@@ -1,0 +1,1 @@
+test/t_sim.ml: Alcotest List Mdcc_sim Mdcc_util

@@ -1,0 +1,1 @@
+test/t_sql.ml: Alcotest Format Helpers Key List Mdcc_core Mdcc_sim Mdcc_sql Mdcc_storage Printf QCheck QCheck_alcotest Txn Update Value

@@ -1,0 +1,1 @@
+test/t_stats.ml: Alcotest Helpers List Mdcc_core Mdcc_sim Mdcc_storage Mdcc_util Printf Txn Update

@@ -1,0 +1,1 @@
+test/t_storage.ml: Alcotest Gen Key List Mdcc_storage Option QCheck QCheck_alcotest Schema Store Txn Update Value

@@ -1,0 +1,1 @@
+test/t_stress.ml: Alcotest Array Helpers Key List Mdcc_core Mdcc_sim Mdcc_storage Mdcc_util Printf Txn Update Value

@@ -1,0 +1,1 @@
+test/t_util.ml: Alcotest Array Float Fun Gen Int List Mdcc_util QCheck QCheck_alcotest String

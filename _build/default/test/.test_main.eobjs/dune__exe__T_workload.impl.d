@@ -1,0 +1,1 @@
+test/t_workload.ml: Alcotest Float Key List Mdcc_protocols Mdcc_sim Mdcc_storage Mdcc_util Mdcc_workload String Txn Update Value

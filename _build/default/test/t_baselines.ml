@@ -1,0 +1,262 @@
+(* Tests of the comparison protocols: quorum writes, 2PC, Megastore*. *)
+
+open Mdcc_storage
+module Engine = Mdcc_sim.Engine
+module Fabric = Mdcc_protocols.Fabric
+module Qw = Mdcc_protocols.Quorum_writes
+module Tpc = Mdcc_protocols.Two_phase_commit
+module Ms = Mdcc_protocols.Megastore
+module Harness = Mdcc_protocols.Harness
+module Net = Mdcc_sim.Network
+
+let item i = Key.make ~table:"item" ~id:(string_of_int i)
+
+let schema =
+  Schema.create
+    [
+      {
+        Schema.name = "item";
+        bounds = [ { Schema.attr = "stock"; lower = Some 0; upper = None } ];
+        master_dc = 0;
+      };
+    ]
+
+let rows n stock =
+  List.init n (fun i -> (item i, Value.of_list [ ("stock", Value.Int stock) ]))
+
+let submit_sync (h : Harness.t) ~dc txn =
+  let result = ref None in
+  h.Harness.submit ~dc txn (fun o -> result := Some o);
+  Engine.run ~until:(Engine.now h.Harness.engine +. 60_000.0) h.Harness.engine;
+  match !result with Some o -> o | None -> Alcotest.fail "undecided"
+
+let is_committed = function Txn.Committed -> true | Txn.Aborted _ -> false
+
+(* --- quorum writes ----------------------------------------------------- *)
+
+let make_qw ?(w = 3) () =
+  let engine = Engine.create ~seed:5 in
+  let fabric = Fabric.create ~engine ~schema () in
+  let qw = Qw.create ~fabric ~w in
+  let h = Qw.harness qw in
+  h.Harness.load (rows 5 100);
+  h
+
+let test_qw_commits_and_applies () =
+  let h = make_qw () in
+  let o =
+    submit_sync h ~dc:0
+      (Txn.make ~id:"q1" ~updates:[ (item 0, Update.Delta [ ("stock", -10) ]) ])
+  in
+  Alcotest.(check bool) "committed" true (is_committed o);
+  (* QW sends to all 5; after quiescence every replica applied it. *)
+  for dc = 0 to 4 do
+    match h.Harness.peek ~dc (item 0) with
+    | Some (v, _) -> Alcotest.(check int) "applied" 90 (Value.get_int v "stock")
+    | None -> Alcotest.fail "row"
+  done
+
+let test_qw_no_isolation_lost_update () =
+  (* QW provides no isolation: two concurrent read-modify-writes both
+     "commit" and one overwrites the other (the lost-update anomaly MDCC
+     prevents). *)
+  let h = make_qw () in
+  let e = h.Harness.engine in
+  let r1 = ref None and r2 = ref None in
+  h.Harness.submit ~dc:0
+    (Txn.make ~id:"a"
+       ~updates:[ (item 0, Update.Physical { vread = 1; value = Value.of_list [ ("stock", Value.Int 42) ] }) ])
+    (fun o -> r1 := Some o);
+  h.Harness.submit ~dc:1
+    (Txn.make ~id:"b"
+       ~updates:[ (item 0, Update.Physical { vread = 1; value = Value.of_list [ ("stock", Value.Int 77) ] }) ])
+    (fun o -> r2 := Some o);
+  Engine.run e;
+  Alcotest.(check bool) "both committed (no conflict detection)" true
+    ((match !r1 with Some o -> is_committed o | None -> false)
+    && match !r2 with Some o -> is_committed o | None -> false)
+
+let test_qw_no_constraints () =
+  (* QW applies blindly: stock goes negative. *)
+  let h = make_qw () in
+  let o =
+    submit_sync h ~dc:0
+      (Txn.make ~id:"q2" ~updates:[ (item 0, Update.Delta [ ("stock", -500) ]) ])
+  in
+  Alcotest.(check bool) "committed anyway" true (is_committed o);
+  match h.Harness.peek ~dc:0 (item 0) with
+  | Some (v, _) -> Alcotest.(check int) "negative stock" (-400) (Value.get_int v "stock")
+  | None -> Alcotest.fail "row"
+
+let test_qw4_slower_than_qw3 () =
+  (* QW-4 must wait for the 4th-closest data center. *)
+  let time_one w =
+    let h = make_qw ~w () in
+    let e = h.Harness.engine in
+    let t0 = Engine.now e in
+    let done_at = ref 0.0 in
+    h.Harness.submit ~dc:0
+      (Txn.make ~id:"t" ~updates:[ (item 0, Update.Delta [ ("stock", -1) ]) ])
+      (fun _ -> done_at := Engine.now e);
+    Engine.run e;
+    !done_at -. t0
+  in
+  Alcotest.(check bool) "latency(QW-4) > latency(QW-3)" true (time_one 4 > time_one 3)
+
+(* --- 2PC ---------------------------------------------------------------- *)
+
+let make_2pc () =
+  let engine = Engine.create ~seed:6 in
+  let fabric = Fabric.create ~engine ~schema () in
+  let tpc = Tpc.create ~fabric in
+  let h = Tpc.harness tpc in
+  h.Harness.load (rows 5 100);
+  (tpc, h)
+
+let test_2pc_commit () =
+  let tpc, h = make_2pc () in
+  let o =
+    submit_sync h ~dc:0
+      (Txn.make ~id:"t1"
+         ~updates:
+           [
+             (item 0, Update.Physical { vread = 1; value = Value.of_list [ ("stock", Value.Int 9) ] });
+             (item 1, Update.Delta [ ("stock", -1) ]);
+           ])
+  in
+  Alcotest.(check bool) "committed" true (is_committed o);
+  Alcotest.(check int) "locks released" 0 (Tpc.locks_held tpc);
+  for dc = 0 to 4 do
+    match h.Harness.peek ~dc (item 0) with
+    | Some (v, _) -> Alcotest.(check int) "applied everywhere" 9 (Value.get_int v "stock")
+    | None -> Alcotest.fail "row"
+  done
+
+let test_2pc_conflict_aborts () =
+  let tpc, h = make_2pc () in
+  let o1 =
+    submit_sync h ~dc:0
+      (Txn.make ~id:"t1"
+         ~updates:[ (item 0, Update.Physical { vread = 1; value = Value.of_list [ ("stock", Value.Int 9) ] }) ])
+  in
+  Alcotest.(check bool) "first commits" true (is_committed o1);
+  let o2 =
+    submit_sync h ~dc:1
+      (Txn.make ~id:"t2"
+         ~updates:[ (item 0, Update.Physical { vread = 1; value = Value.of_list [ ("stock", Value.Int 8) ] }) ])
+  in
+  Alcotest.(check bool) "stale vread aborts" false (is_committed o2);
+  Alcotest.(check int) "locks released after abort" 0 (Tpc.locks_held tpc)
+
+let test_2pc_constraint_aborts () =
+  let _, h = make_2pc () in
+  let o =
+    submit_sync h ~dc:0
+      (Txn.make ~id:"t1" ~updates:[ (item 0, Update.Delta [ ("stock", -500) ]) ])
+  in
+  Alcotest.(check bool) "constraint enforced" false (is_committed o)
+
+let suite_2pc_blocking () =
+  (* The classic 2PC flaw: the coordinator dies between prepare and
+     decision; prepared replicas stay locked forever (the blocking MDCC's
+     options avoid).  We fail the coordinator's whole DC after the prepares
+     went out. *)
+  let tpc, h = make_2pc () in
+  let e = h.Harness.engine in
+  let decided = ref false in
+  h.Harness.submit ~dc:0
+    (Txn.make ~id:"t1"
+       ~updates:[ (item 0, Update.Physical { vread = 1; value = Value.of_list [ ("stock", Value.Int 9) ] }) ])
+    (fun _ -> decided := true);
+  ignore (Engine.schedule e ~after:120.0 (fun () -> h.Harness.fail_dc 0));
+  Engine.run ~until:60_000.0 e;
+  Alcotest.(check bool) "never decided" false !decided;
+  Alcotest.(check bool) "locks still held (2PC blocks)" true (Tpc.locks_held tpc > 0)
+
+(* --- Megastore* --------------------------------------------------------- *)
+
+let make_ms () =
+  let engine = Engine.create ~seed:7 in
+  let fabric = Fabric.create ~engine ~schema () in
+  let ms = Ms.create ~fabric () in
+  let h = Ms.harness ms in
+  h.Harness.load (rows 10 100);
+  (ms, h)
+
+let test_ms_commit_and_replication () =
+  let ms, h = make_ms () in
+  let o =
+    submit_sync h ~dc:0
+      (Txn.make ~id:"m1"
+         ~updates:[ (item 0, Update.Physical { vread = 1; value = Value.of_list [ ("stock", Value.Int 3) ] }) ])
+  in
+  Alcotest.(check bool) "committed" true (is_committed o);
+  Alcotest.(check int) "one log position" 1 (Ms.log_length ms);
+  for dc = 0 to 4 do
+    match h.Harness.peek ~dc (item 0) with
+    | Some (v, _) -> Alcotest.(check int) "replicated" 3 (Value.get_int v "stock")
+    | None -> Alcotest.fail "row"
+  done
+
+let test_ms_conflict_aborts_without_position () =
+  let ms, h = make_ms () in
+  let o1 =
+    submit_sync h ~dc:0
+      (Txn.make ~id:"m1"
+         ~updates:[ (item 0, Update.Physical { vread = 1; value = Value.of_list [ ("stock", Value.Int 3) ] }) ])
+  in
+  let o2 =
+    submit_sync h ~dc:1
+      (Txn.make ~id:"m2"
+         ~updates:[ (item 0, Update.Physical { vread = 1; value = Value.of_list [ ("stock", Value.Int 4) ] }) ])
+  in
+  Alcotest.(check bool) "first commits" true (is_committed o1);
+  Alcotest.(check bool) "conflicting aborts" false (is_committed o2);
+  Alcotest.(check int) "abort consumed no log position" 1 (Ms.log_length ms)
+
+let test_ms_serialization_queueing () =
+  (* Transactions submitted together are serialized through the log: later
+     ones wait for earlier positions — the queueing that dominates the
+     paper's Figure 3. *)
+  let ms, h = make_ms () in
+  let e = h.Harness.engine in
+  let latencies = ref [] in
+  for i = 0 to 9 do
+    let t0 = 1.0 in
+    ignore t0;
+    let start = ref 0.0 in
+    ignore
+      (Engine.schedule e ~after:0.5 (fun () ->
+           start := Engine.now e;
+           h.Harness.submit ~dc:0
+             (Txn.make
+                ~id:(Printf.sprintf "m%d" i)
+                ~updates:
+                  [
+                    ( item i,
+                      Update.Physical { vread = 1; value = Value.of_list [ ("stock", Value.Int i) ] }
+                    );
+                  ])
+             (fun _ -> latencies := (Engine.now e -. !start) :: !latencies)))
+  done;
+  Engine.run ~until:120_000.0 e;
+  Alcotest.(check int) "all decided" 10 (List.length !latencies);
+  Alcotest.(check int) "10 log positions" 10 (Ms.log_length ms);
+  let sorted = List.sort Float.compare !latencies in
+  let fastest = List.hd sorted and slowest = List.nth sorted 9 in
+  Alcotest.(check bool) "strong queueing (10x spread)" true (slowest > 5.0 *. fastest)
+
+let suite =
+  [
+    Alcotest.test_case "QW commits and applies everywhere" `Quick test_qw_commits_and_applies;
+    Alcotest.test_case "QW has no isolation (lost update)" `Quick test_qw_no_isolation_lost_update;
+    Alcotest.test_case "QW has no constraints" `Quick test_qw_no_constraints;
+    Alcotest.test_case "QW-4 slower than QW-3" `Quick test_qw4_slower_than_qw3;
+    Alcotest.test_case "2PC commit" `Quick test_2pc_commit;
+    Alcotest.test_case "2PC conflict aborts" `Quick test_2pc_conflict_aborts;
+    Alcotest.test_case "2PC enforces constraints" `Quick test_2pc_constraint_aborts;
+    Alcotest.test_case "2PC blocks on coordinator failure" `Quick suite_2pc_blocking;
+    Alcotest.test_case "Megastore* commit & replication" `Quick test_ms_commit_and_replication;
+    Alcotest.test_case "Megastore* conflict aborts" `Quick test_ms_conflict_aborts_without_position;
+    Alcotest.test_case "Megastore* serializes (queueing)" `Quick test_ms_serialization_queueing;
+  ]

@@ -1,0 +1,114 @@
+(* Randomized safety tests of the standalone Classic/Fast Paxos instance:
+   agreement (all learners report one value), validity (the value was
+   proposed), and fast-value anchoring (a classic recovery cannot overwrite
+   a possibly-chosen fast value). *)
+
+module Consensus = Mdcc_paxos.Consensus
+module Engine = Mdcc_sim.Engine
+module Net = Mdcc_sim.Network
+module Topology = Mdcc_sim.Topology
+module Rng = Mdcc_util.Rng
+
+let make ?(seed = 1) ?(drop = 0.0) () =
+  let engine = Engine.create ~seed in
+  (* 5 acceptors (one per DC) + 5 proposer nodes. *)
+  let topo = Topology.add_nodes (Topology.ec2_five ()) ~per_dc:1 in
+  let net = Net.create engine topo ~drop_probability:drop () in
+  let acceptors = [ 0; 1; 2; 3; 4 ] in
+  let c = Consensus.create ~net ~acceptors () in
+  (engine, c)
+
+let test_fast_uncontended () =
+  let engine, c = make () in
+  let got = ref None in
+  Consensus.propose_fast c ~from:5 "v1" (fun v -> got := Some v);
+  Engine.run ~until:10_000.0 engine;
+  Alcotest.(check (option string)) "chosen" (Some "v1") !got;
+  Alcotest.(check (option string)) "observable" (Some "v1") (Consensus.decided c)
+
+let test_classic_uncontended () =
+  let engine, c = make () in
+  let got = ref None in
+  Consensus.propose_classic c ~from:7 "v2" (fun v -> got := Some v);
+  Engine.run ~until:10_000.0 engine;
+  Alcotest.(check (option string)) "chosen" (Some "v2") !got
+
+let test_fast_value_anchored () =
+  (* A fast-chosen value must survive any later classic ballot. *)
+  let engine, c = make () in
+  let first = ref None in
+  Consensus.propose_fast c ~from:5 "fastv" (fun v -> first := Some v);
+  Engine.run ~until:10_000.0 engine;
+  Alcotest.(check (option string)) "fast chosen" (Some "fastv") !first;
+  let second = ref None in
+  Consensus.propose_classic c ~from:8 "usurper" (fun v -> second := Some v);
+  Engine.run ~until:20_000.0 engine;
+  Alcotest.(check (option string)) "classic learns the fast value" (Some "fastv") !second
+
+let agreement_run ~seed ~drop ~proposers ~fast =
+  let engine, c = make ~seed ~drop () in
+  let decided = ref [] in
+  List.iteri
+    (fun i from ->
+      let value = Printf.sprintf "v%d" i in
+      let propose () =
+        if fast then Consensus.propose_fast c ~from value (fun v -> decided := v :: !decided)
+        else Consensus.propose_classic c ~from value (fun v -> decided := v :: !decided)
+      in
+      ignore (Engine.schedule engine ~after:(Float.of_int i *. 13.7) propose))
+    proposers;
+  Engine.run ~until:120_000.0 engine;
+  (List.length !decided, List.sort_uniq String.compare !decided, List.length proposers)
+
+let check_agreement (count, distinct, expected) =
+  Alcotest.(check int) "every proposer learned" expected count;
+  Alcotest.(check bool)
+    (Printf.sprintf "agreement (saw %d values)" (List.length distinct))
+    true
+    (List.length distinct = 1);
+  List.iter
+    (fun v -> Alcotest.(check bool) "validity" true (String.length v >= 2 && v.[0] = 'v'))
+    distinct
+
+let test_agreement_fast_contended () =
+  List.iter
+    (fun seed -> check_agreement (agreement_run ~seed ~drop:0.0 ~proposers:[ 5; 6; 7; 8; 9 ] ~fast:true))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_agreement_classic_contended () =
+  List.iter
+    (fun seed ->
+      check_agreement (agreement_run ~seed ~drop:0.0 ~proposers:[ 5; 6; 7 ] ~fast:false))
+    [ 10; 11; 12; 13 ]
+
+let test_agreement_with_message_loss () =
+  List.iter
+    (fun seed ->
+      check_agreement (agreement_run ~seed ~drop:0.05 ~proposers:[ 5; 6; 7; 8 ] ~fast:true))
+    [ 21; 22; 23 ]
+
+let test_agreement_mixed_paths () =
+  (* Fast and classic proposers racing on the same instance. *)
+  List.iter
+    (fun seed ->
+      let engine, c = make ~seed () in
+      let decided = ref [] in
+      Consensus.propose_fast c ~from:5 "vf" (fun v -> decided := v :: !decided);
+      ignore
+        (Engine.schedule engine ~after:30.0 (fun () ->
+             Consensus.propose_classic c ~from:6 "vc" (fun v -> decided := v :: !decided)));
+      Engine.run ~until:60_000.0 engine;
+      Alcotest.(check int) "both learned" 2 (List.length !decided);
+      Alcotest.(check int) "one value" 1 (List.length (List.sort_uniq String.compare !decided)))
+    [ 31; 32; 33; 34; 35 ]
+
+let suite =
+  [
+    Alcotest.test_case "fast uncontended" `Quick test_fast_uncontended;
+    Alcotest.test_case "classic uncontended" `Quick test_classic_uncontended;
+    Alcotest.test_case "fast value anchored vs classic" `Quick test_fast_value_anchored;
+    Alcotest.test_case "agreement: contended fast" `Quick test_agreement_fast_contended;
+    Alcotest.test_case "agreement: contended classic" `Quick test_agreement_classic_contended;
+    Alcotest.test_case "agreement: 5% message loss" `Quick test_agreement_with_message_loss;
+    Alcotest.test_case "agreement: mixed fast/classic" `Quick test_agreement_mixed_paths;
+  ]

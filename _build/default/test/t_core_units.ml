@@ -1,0 +1,147 @@
+(* Direct unit tests of the smaller core modules: Config, Woption, Messages,
+   Trace, and the Cluster wiring invariants. *)
+
+open Mdcc_storage
+module Config = Mdcc_core.Config
+module Woption = Mdcc_core.Woption
+module Messages = Mdcc_core.Messages
+module Cluster = Mdcc_core.Cluster
+module Engine = Mdcc_sim.Engine
+module Topology = Mdcc_sim.Topology
+module Trace = Mdcc_sim.Trace
+
+let test_config_quorums () =
+  let c = Config.make ~replication:5 () in
+  Alcotest.(check int) "classic 3/5" 3 (Config.classic_quorum c);
+  Alcotest.(check int) "fast 4/5" 4 (Config.fast_quorum c);
+  let c3 = Config.make ~replication:3 () in
+  Alcotest.(check int) "classic 2/3" 2 (Config.classic_quorum c3);
+  Alcotest.(check int) "fast 3/3" 3 (Config.fast_quorum c3);
+  Alcotest.(check bool) "replication < 3 rejected" true
+    (try
+       ignore (Config.make ~replication:2 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_config_mode_names () =
+  Alcotest.(check string) "full" "MDCC" (Config.mode_name Config.Full);
+  Alcotest.(check string) "fast" "Fast" (Config.mode_name Config.Fast_only);
+  Alcotest.(check string) "multi" "Multi" (Config.mode_name Config.Multi)
+
+let item i = Key.make ~table:"item" ~id:(string_of_int i)
+
+let test_woption_of_txn () =
+  let txn =
+    Txn.make ~id:"t9"
+      ~updates:
+        [ (item 0, Update.Delta [ ("stock", -1) ]); (item 1, Update.Insert Value.empty) ]
+  in
+  let options = Woption.of_txn txn ~coordinator:42 in
+  Alcotest.(check int) "one option per update" 2 (List.length options);
+  List.iter
+    (fun (w : Woption.t) ->
+      Alcotest.(check string) "txid" "t9" w.Woption.txid;
+      Alcotest.(check int) "coordinator" 42 w.Woption.coordinator;
+      Alcotest.(check int) "write-set embedded" 2 (List.length w.Woption.write_set))
+    options;
+  Alcotest.(check bool) "commutativity flag" true
+    (Woption.is_commutative (List.hd options))
+
+let test_messages_describe () =
+  let w =
+    {
+      Woption.txid = "t1";
+      key = item 3;
+      update = Update.Delta [ ("stock", -1) ];
+      write_set = [ item 3 ];
+      coordinator = 9;
+    }
+  in
+  let describe p = Messages.describe p in
+  Alcotest.(check string) "propose"
+    "propose(fast, t1, item/3)"
+    (describe (Messages.Propose { woption = w; route = `Fast }));
+  Alcotest.(check string) "visibility" "visibility(t1, item/3, true)"
+    (describe
+       (Messages.Visibility { txid = "t1"; key = item 3; update = w.Woption.update; committed = true }));
+  Alcotest.(check string) "batch" "batch(2)"
+    (describe
+       (Messages.Batch
+          [
+            Messages.Propose { woption = w; route = `Fast };
+            Messages.Propose { woption = w; route = `Classic };
+          ]))
+
+let test_trace_toggle () =
+  let engine = Engine.create ~seed:1 in
+  Trace.disable ();
+  Alcotest.(check bool) "disabled by default" false (Trace.enabled ());
+  (* Emission with tracing off must still consume its arguments safely. *)
+  Trace.emit engine ~tag:"test" "hello %d" 42;
+  Trace.enable ();
+  Alcotest.(check bool) "enabled" true (Trace.enabled ());
+  Trace.disable ()
+
+let schema = Schema.create [ { Schema.name = "item"; bounds = []; master_dc = 0 } ]
+
+let make_cluster ~partitions =
+  let engine = Engine.create ~seed:3 in
+  let config = Config.make ~replication:5 () in
+  Cluster.create ~engine ~partitions ~app_servers_per_dc:2 ~config ~schema ()
+
+let test_cluster_replica_groups () =
+  let cluster = make_cluster ~partitions:4 in
+  let topo = Cluster.topology cluster in
+  for i = 0 to 99 do
+    let replicas = Cluster.replicas cluster (item i) in
+    Alcotest.(check int) "five replicas" 5 (List.length replicas);
+    (* One replica per data center, all on the same partition index. *)
+    let dcs = List.map (Topology.dc_of topo) replicas |> List.sort_uniq Int.compare in
+    Alcotest.(check (list int)) "one per DC" [ 0; 1; 2; 3; 4 ] dcs;
+    let parts = List.map (fun r -> r mod 4) replicas |> List.sort_uniq Int.compare in
+    Alcotest.(check int) "same partition" 1 (List.length parts);
+    (* The master is one of the replicas. *)
+    Alcotest.(check bool) "master in group" true
+      (List.mem (Cluster.master_node cluster (item i)) replicas)
+  done
+
+let test_cluster_deterministic_mapping () =
+  let c1 = make_cluster ~partitions:4 and c2 = make_cluster ~partitions:4 in
+  for i = 0 to 49 do
+    Alcotest.(check (list int)) "stable replica mapping"
+      (Cluster.replicas c1 (item i))
+      (Cluster.replicas c2 (item i))
+  done
+
+let test_cluster_coordinators () =
+  let cluster = make_cluster ~partitions:1 in
+  Alcotest.(check int) "5 DCs x 2 app servers" 10 (List.length (Cluster.coordinators cluster));
+  Alcotest.(check bool) "out of range rejected" true
+    (try
+       ignore (Cluster.coordinator cluster ~dc:0 ~rank:2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cluster_load_and_peek () =
+  let cluster = make_cluster ~partitions:2 in
+  Cluster.load cluster [ (item 0, Value.of_list [ ("stock", Value.Int 5) ]) ];
+  for dc = 0 to 4 do
+    match Cluster.peek cluster ~dc (item 0) with
+    | Some (v, 1) -> Alcotest.(check int) "loaded" 5 (Value.get_int v "stock")
+    | Some (_, n) -> Alcotest.failf "unexpected version %d" n
+    | None -> Alcotest.fail "row missing"
+  done;
+  Alcotest.(check bool) "absent key" true (Cluster.peek cluster ~dc:0 (item 1) = None)
+
+let suite =
+  [
+    Alcotest.test_case "config quorums" `Quick test_config_quorums;
+    Alcotest.test_case "config mode names" `Quick test_config_mode_names;
+    Alcotest.test_case "woption of_txn" `Quick test_woption_of_txn;
+    Alcotest.test_case "messages describe" `Quick test_messages_describe;
+    Alcotest.test_case "trace toggle" `Quick test_trace_toggle;
+    Alcotest.test_case "cluster replica groups" `Quick test_cluster_replica_groups;
+    Alcotest.test_case "cluster deterministic mapping" `Quick test_cluster_deterministic_mapping;
+    Alcotest.test_case "cluster coordinators" `Quick test_cluster_coordinators;
+    Alcotest.test_case "cluster load & peek" `Quick test_cluster_load_and_peek;
+  ]

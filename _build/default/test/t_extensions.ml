@@ -1,0 +1,114 @@
+(* Tests of the optional optimizations: message batching (conclusion of the
+   paper) and the anti-entropy repair sweep (§3.2.3 / §5.3.4). *)
+
+open Mdcc_storage
+open Helpers
+module Engine = Mdcc_sim.Engine
+module Cluster = Mdcc_core.Cluster
+module Config = Mdcc_core.Config
+module Coordinator = Mdcc_core.Coordinator
+module Net = Mdcc_sim.Network
+
+let make_batched ?(batching = true) () =
+  let engine = Engine.create ~seed:77 in
+  let config = Config.make ~mode:Config.Full ~batching ~replication:5 () in
+  let cluster =
+    Cluster.create ~engine ~partitions:1 ~app_servers_per_dc:1 ~config ~schema:stock_schema ()
+  in
+  Cluster.load cluster (List.init 10 (fun i -> (item i, item_row 100)));
+  (engine, cluster)
+
+let multi_key_txn id =
+  Txn.make ~id
+    ~updates:
+      [
+        (item 0, Update.Delta [ ("stock", -1) ]);
+        (item 1, Update.Delta [ ("stock", -1) ]);
+        (item 2, Update.Delta [ ("stock", -1) ]);
+      ]
+
+let run_one_txn (engine, cluster) =
+  let r = ref None in
+  Coordinator.submit (Cluster.coordinator cluster ~dc:0 ~rank:0) (multi_key_txn "b1") (fun o ->
+      r := Some o);
+  Engine.run ~until:30_000.0 engine;
+  (match !r with
+  | Some Txn.Committed -> ()
+  | Some (Txn.Aborted _) | None -> Alcotest.fail "txn should commit");
+  (Net.stats (Cluster.network cluster)).Net.sent
+
+let test_batching_reduces_messages () =
+  let sent_plain = run_one_txn (make_batched ~batching:false ()) in
+  let sent_batched = run_one_txn (make_batched ~batching:true ()) in
+  (* Same 3-record commit: unbatched sends 3 proposals + 3 visibilities per
+     replica; batched folds each into one message per replica. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "batched (%d) well below unbatched (%d)" sent_batched sent_plain)
+    true
+    (Float.of_int sent_batched < 0.6 *. Float.of_int sent_plain)
+
+let test_batching_preserves_outcomes () =
+  (* Same workload with and without batching: identical outcomes & state. *)
+  let run batching =
+    let engine, cluster = make_batched ~batching () in
+    let outcomes = ref [] in
+    for i = 0 to 9 do
+      Coordinator.submit
+        (Cluster.coordinator cluster ~dc:(i mod 5) ~rank:0)
+        (multi_key_txn (Printf.sprintf "t%d" i))
+        (fun o -> outcomes := o :: !outcomes)
+    done;
+    Engine.run ~until:60_000.0 engine;
+    let stocks = List.init 10 (fun i -> stock_at cluster ~dc:0 i) in
+    (List.length (List.filter is_committed !outcomes), stocks)
+  in
+  let commits_a, stocks_a = run false in
+  let commits_b, stocks_b = run true in
+  Alcotest.(check int) "same commit count" commits_a commits_b;
+  Alcotest.(check (list int)) "same final state" stocks_a stocks_b
+
+let test_anti_entropy_repairs_recovered_dc () =
+  let engine, cluster = make_cluster ~items:5 () in
+  Cluster.fail_dc cluster 4;
+  (* Commit a mix of physical and commutative updates while DC 4 is dark:
+     deltas are NOT self-healing on the next update, so only the sweep can
+     repair them. *)
+  let o1 = run_txn engine cluster ~dc:0 [ (item 0, Update.Delta [ ("stock", -7) ]) ] in
+  let o2 =
+    run_txn engine cluster ~dc:1 [ (item 1, Update.Physical { vread = 1; value = item_row 33 }) ]
+  in
+  Alcotest.(check bool) "committed during outage" true (is_committed o1 && is_committed o2);
+  Cluster.recover_dc cluster 4;
+  Alcotest.(check int) "dc4 delta-stale" 100 (stock_at cluster ~dc:4 0);
+  Alcotest.(check int) "dc4 physical-stale" 100 (stock_at cluster ~dc:4 1);
+  Cluster.sync_dc cluster 4;
+  Engine.run ~until:(Engine.now engine +. 10_000.0) engine;
+  Alcotest.(check int) "delta repaired" 93 (stock_at cluster ~dc:4 0);
+  Alcotest.(check int) "physical repaired" 33 (stock_at cluster ~dc:4 1);
+  (* Versions agree too. *)
+  for i = 0 to 4 do
+    Alcotest.(check int) "version agrees"
+      (snd (Option.get (Cluster.peek cluster ~dc:0 (item i))))
+      (snd (Option.get (Cluster.peek cluster ~dc:4 (item i))))
+  done
+
+let test_sync_is_noop_when_current () =
+  let engine, cluster = make_cluster ~items:3 () in
+  let o = run_txn engine cluster ~dc:0 [ (item 0, Update.Delta [ ("stock", -1) ]) ] in
+  Alcotest.(check bool) "committed" true (is_committed o);
+  let before = (Net.stats (Cluster.network cluster)).Net.sent in
+  Cluster.sync_dc cluster 2;
+  Engine.run ~until:(Engine.now engine +. 5_000.0) engine;
+  let after = (Net.stats (Cluster.network cluster)).Net.sent in
+  (* Only the probe messages themselves; no catch-up traffic back. *)
+  Alcotest.(check bool) "no repair traffic" true (after - before <= 5);
+  Alcotest.(check int) "state unchanged" 99 (stock_at cluster ~dc:2 0)
+
+let suite =
+  [
+    Alcotest.test_case "batching reduces messages" `Quick test_batching_reduces_messages;
+    Alcotest.test_case "batching preserves outcomes" `Quick test_batching_preserves_outcomes;
+    Alcotest.test_case "anti-entropy repairs recovered DC" `Quick
+      test_anti_entropy_repairs_recovered_dc;
+    Alcotest.test_case "sync is a no-op when current" `Quick test_sync_is_noop_when_current;
+  ]

@@ -1,0 +1,131 @@
+(* Read strategies (§4.2): local read-committed reads may be stale; majority
+   reads return the latest committed version. *)
+
+open Mdcc_storage
+open Helpers
+module Engine = Mdcc_sim.Engine
+module Cluster = Mdcc_core.Cluster
+module Coordinator = Mdcc_core.Coordinator
+
+let read_local_sync engine c key =
+  let result = ref None and got = ref false in
+  Coordinator.read_local c key (fun r ->
+      result := r;
+      got := true);
+  Engine.run ~until:(Engine.now engine +. 10_000.0) engine;
+  Alcotest.(check bool) "read answered" true !got;
+  !result
+
+let read_majority_sync engine c key =
+  let result = ref None and got = ref false in
+  Coordinator.read_majority c key (fun r ->
+      result := r;
+      got := true);
+  Engine.run ~until:(Engine.now engine +. 10_000.0) engine;
+  Alcotest.(check bool) "read answered" true !got;
+  !result
+
+let test_local_read_returns_committed () =
+  let engine, cluster = make_cluster ~items:3 () in
+  let c = Cluster.coordinator cluster ~dc:2 ~rank:0 in
+  match read_local_sync engine c (item 0) with
+  | Some (v, ver) ->
+    Alcotest.(check int) "value" 100 (Value.get_int v "stock");
+    Alcotest.(check int) "version" 1 ver
+  | None -> Alcotest.fail "expected a row"
+
+let test_local_read_missing () =
+  let engine, cluster = make_cluster ~items:1 () in
+  let c = Cluster.coordinator cluster ~dc:0 ~rank:0 in
+  Alcotest.(check bool) "missing row reads None" true
+    (read_local_sync engine c (Key.make ~table:"item" ~id:"nope") = None)
+
+let test_local_read_never_sees_uncommitted () =
+  (* Read-committed isolation: while an option is outstanding (accepted but
+     not executed), readers still see the old value. *)
+  let engine, cluster = make_cluster ~items:1 () in
+  let c0 = Cluster.coordinator cluster ~dc:0 ~rank:0 in
+  Coordinator.submit c0
+    (Txn.make ~id:"w" ~updates:[ (item 0, Update.Physical { vread = 1; value = item_row 1 }) ])
+    (fun _ -> ());
+  (* 60ms: proposals have reached the acceptors (option outstanding) but no
+     fast quorum has been learned yet, so nothing may be visible. *)
+  Engine.run ~until:60.0 engine;
+  let c1 = Cluster.coordinator cluster ~dc:1 ~rank:0 in
+  (match read_local_sync engine c1 (item 0) with
+  | Some (v, _) ->
+    Alcotest.(check bool) "old or new, never partial" true
+      (let s = Value.get_int v "stock" in
+       s = 100 || s = 1)
+  | None -> Alcotest.fail "row must exist");
+  Engine.run engine
+
+let test_stale_local_vs_majority () =
+  (* DC 4 misses an update (outage); after recovery, a local read there is
+     stale, while a majority read returns the fresh version. *)
+  let engine, cluster = make_cluster ~items:1 () in
+  Cluster.fail_dc cluster 4;
+  let o =
+    run_txn engine cluster ~dc:0 [ (item 0, Update.Physical { vread = 1; value = item_row 5 }) ]
+  in
+  Alcotest.(check bool) "committed during outage" true (is_committed o);
+  Cluster.recover_dc cluster 4;
+  let c4 = Cluster.coordinator cluster ~dc:4 ~rank:0 in
+  (match read_local_sync engine c4 (item 0) with
+  | Some (v, ver) ->
+    Alcotest.(check int) "local read stale" 100 (Value.get_int v "stock");
+    Alcotest.(check int) "stale version" 1 ver
+  | None -> Alcotest.fail "row must exist");
+  match read_majority_sync engine c4 (item 0) with
+  | Some (v, ver) ->
+    Alcotest.(check int) "majority read fresh" 5 (Value.get_int v "stock");
+    Alcotest.(check int) "fresh version" 2 ver
+  | None -> Alcotest.fail "row must exist"
+
+let test_majority_read_of_deleted () =
+  let engine, cluster = make_cluster ~items:1 () in
+  let o = run_txn engine cluster ~dc:0 [ (item 0, Update.Delete { vread = 1 }) ] in
+  Alcotest.(check bool) "deleted" true (is_committed o);
+  let c = Cluster.coordinator cluster ~dc:3 ~rank:0 in
+  Alcotest.(check bool) "majority read sees tombstone" true
+    (read_majority_sync engine c (item 0) = None)
+
+let test_scan_local () =
+  let engine, cluster = make_cluster ~items:20 ~partitions:2 () in
+  (* Make item 7 the best seller. *)
+  let o =
+    run_txn engine cluster ~dc:0
+      [ (item 7, Update.Physical { vread = 1; value = Value.of_list [ ("stock", Value.Int 999) ] }) ]
+  in
+  Alcotest.(check bool) "setup committed" true (is_committed o);
+  let c = Cluster.coordinator cluster ~dc:2 ~rank:0 in
+  let got = ref None in
+  Coordinator.scan_local c ~table:"item" ~order_by:"stock" ~limit:3 (fun rows -> got := Some rows);
+  Engine.run ~until:(Engine.now engine +. 10_000.0) engine;
+  match !got with
+  | Some ((top_key, top_value, _) :: _ as rows) ->
+    Alcotest.(check int) "limit respected" 3 (List.length rows);
+    Alcotest.(check string) "best seller first" "7" top_key.Key.id;
+    Alcotest.(check int) "value" 999 (Value.get_int top_value "stock")
+  | Some [] -> Alcotest.fail "no rows"
+  | None -> Alcotest.fail "scan never answered"
+
+let test_scan_empty_table () =
+  let engine, cluster = make_cluster ~items:2 () in
+  let c = Cluster.coordinator cluster ~dc:0 ~rank:0 in
+  let got = ref None in
+  Coordinator.scan_local c ~table:"order" ~limit:10 (fun rows -> got := Some rows);
+  Engine.run ~until:10_000.0 engine;
+  Alcotest.(check bool) "empty table scans empty" true (!got = Some [])
+
+let suite =
+  [
+    Alcotest.test_case "local read returns committed" `Quick test_local_read_returns_committed;
+    Alcotest.test_case "local read of missing row" `Quick test_local_read_missing;
+    Alcotest.test_case "read-committed: no uncommitted data" `Quick
+      test_local_read_never_sees_uncommitted;
+    Alcotest.test_case "stale local vs fresh majority read" `Quick test_stale_local_vs_majority;
+    Alcotest.test_case "majority read of deleted row" `Quick test_majority_read_of_deleted;
+    Alcotest.test_case "local scan with order/limit" `Quick test_scan_local;
+    Alcotest.test_case "scan of empty table" `Quick test_scan_empty_table;
+  ]

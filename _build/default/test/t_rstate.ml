@@ -1,0 +1,224 @@
+(* Unit and property tests of the per-record decision logic: SetCompatible,
+   the one-outstanding-option rule, and quorum demarcation (§3.4.2). *)
+
+open Mdcc_storage
+module Rstate = Mdcc_core.Rstate
+module Woption = Mdcc_core.Woption
+module Ballot = Mdcc_paxos.Ballot
+
+let key = Key.make ~table:"item" ~id:"k"
+
+let bounds = [ { Schema.attr = "stock"; lower = Some 0; upper = None } ]
+
+let valuation ?(exists = true) ?(version = 1) stock =
+  { Rstate.value = Value.of_list [ ("stock", Value.Int stock) ]; version; exists }
+
+let woption ?(txid = "t") update =
+  { Woption.txid; key; update; write_set = [ key ]; coordinator = 99 }
+
+let pend ?(txid = "t") ?(decision = Woption.Accepted) update =
+  {
+    Rstate.woption = woption ~txid update;
+    decision;
+    ballot = Ballot.initial_fast;
+    proposed_at = 0.0;
+  }
+
+let accepted = Alcotest.testable Woption.pp_decision Woption.decision_equal
+
+let check_eval msg expected ~demarcation v ~accepted:acc up =
+  Alcotest.check accepted msg expected (Rstate.evaluate ~bounds ~demarcation v ~accepted:acc up)
+
+let esc = `Escrow
+
+let q54 = `Quorum (5, 4)
+
+let test_physical_version_check () =
+  let v = valuation ~version:3 10 in
+  check_eval "matching vread" Woption.Accepted ~demarcation:esc v ~accepted:[]
+    (Update.Physical { vread = 3; value = Value.of_list [ ("stock", Value.Int 5) ] });
+  check_eval "stale vread" Woption.Rejected ~demarcation:esc v ~accepted:[]
+    (Update.Physical { vread = 2; value = Value.empty });
+  check_eval "future vread (straggler)" Woption.Rejected ~demarcation:esc v ~accepted:[]
+    (Update.Physical { vread = 4; value = Value.empty })
+
+let test_physical_bounds () =
+  let v = valuation ~version:1 10 in
+  check_eval "value violating constraint rejected" Woption.Rejected ~demarcation:esc v
+    ~accepted:[]
+    (Update.Physical { vread = 1; value = Value.of_list [ ("stock", Value.Int (-5)) ] })
+
+let test_insert_delete () =
+  let absent = valuation ~exists:false ~version:0 0 in
+  let present = valuation ~version:2 5 in
+  check_eval "insert on absent" Woption.Accepted ~demarcation:esc absent ~accepted:[]
+    (Update.Insert Value.empty);
+  check_eval "insert on present" Woption.Rejected ~demarcation:esc present ~accepted:[]
+    (Update.Insert Value.empty);
+  check_eval "delete with version" Woption.Accepted ~demarcation:esc present ~accepted:[]
+    (Update.Delete { vread = 2 });
+  check_eval "delete stale" Woption.Rejected ~demarcation:esc present ~accepted:[]
+    (Update.Delete { vread = 1 });
+  check_eval "delta on absent" Woption.Rejected ~demarcation:esc absent ~accepted:[]
+    (Update.Delta [ ("stock", -1) ])
+
+let test_one_outstanding_option () =
+  let v = valuation ~version:1 10 in
+  let outstanding = [ pend ~txid:"other" (Update.Physical { vread = 1; value = Value.empty }) ] in
+  (* Deadlock avoidance: the later conflicting option is *rejected*, it does
+     not wait (§3.2.2). *)
+  check_eval "physical blocked by outstanding" Woption.Rejected ~demarcation:esc v
+    ~accepted:outstanding
+    (Update.Physical { vread = 1; value = Value.empty });
+  check_eval "delta blocked by outstanding physical" Woption.Rejected ~demarcation:esc v
+    ~accepted:outstanding
+    (Update.Delta [ ("stock", -1) ]);
+  let outstanding_delta = [ pend ~txid:"other" (Update.Delta [ ("stock", -1) ]) ] in
+  check_eval "physical blocked by outstanding delta" Woption.Rejected ~demarcation:esc v
+    ~accepted:outstanding_delta
+    (Update.Physical { vread = 1; value = Value.empty });
+  check_eval "delta pipelines with deltas" Woption.Accepted ~demarcation:esc v
+    ~accepted:outstanding_delta
+    (Update.Delta [ ("stock", -1) ])
+
+let test_escrow_worst_case () =
+  let v = valuation 4 in
+  (* Worst case counts all pending accepted decrements as committed. *)
+  let pending = List.init 3 (fun i -> pend ~txid:(string_of_int i) (Update.Delta [ ("stock", -1) ])) in
+  check_eval "4th decrement fits (4-3-1 >= 0)" Woption.Accepted ~demarcation:esc v
+    ~accepted:pending
+    (Update.Delta [ ("stock", -1) ]);
+  let pending4 = pend ~txid:"x" (Update.Delta [ ("stock", -1) ]) :: pending in
+  check_eval "5th decrement rejected (paper's t5 example)" Woption.Rejected ~demarcation:esc v
+    ~accepted:pending4
+    (Update.Delta [ ("stock", -1) ])
+
+let test_escrow_increments_ignore_lower () =
+  let v = valuation 0 in
+  check_eval "increment always fine for lower bound" Woption.Accepted ~demarcation:esc v
+    ~accepted:[]
+    (Update.Delta [ ("stock", 5) ]);
+  (* An increment does not relax the worst case for pending decrements:
+     pending increments might abort. *)
+  let pending = [ pend ~txid:"inc" (Update.Delta [ ("stock", 10) ]) ] in
+  check_eval "pending increment does not enable decrement" Woption.Rejected ~demarcation:esc v
+    ~accepted:pending
+    (Update.Delta [ ("stock", -1) ])
+
+let test_quorum_demarcation_limit () =
+  (* L = (N - Q_F)/N * X = X/5 with N=5, Q_F=4: from base 10 a single
+     acceptor may only go down to 2. *)
+  let v = valuation 10 in
+  check_eval "down to limit ok" Woption.Accepted ~demarcation:q54 v ~accepted:[]
+    (Update.Delta [ ("stock", -8) ]);
+  check_eval "below limit rejected even though >= 0" Woption.Rejected ~demarcation:q54 v
+    ~accepted:[]
+    (Update.Delta [ ("stock", -9) ]);
+  (* Escrow (sole decider) would allow -9. *)
+  check_eval "escrow allows -9" Woption.Accepted ~demarcation:esc v ~accepted:[]
+    (Update.Delta [ ("stock", -9) ])
+
+let test_demarcation_formulas () =
+  (* Exact integer checks of the §3.4.2 limit. *)
+  Alcotest.(check bool) "10 - 8 >= 2" true
+    (Rstate.demarcation_lower_ok ~n:5 ~qf:4 ~base:10 ~lower:0 ~pending_neg:0 ~delta_neg:(-8));
+  Alcotest.(check bool) "10 - 9 < 2" false
+    (Rstate.demarcation_lower_ok ~n:5 ~qf:4 ~base:10 ~lower:0 ~pending_neg:0 ~delta_neg:(-9));
+  Alcotest.(check bool) "nonzero lower bound shifts limit" true
+    (Rstate.demarcation_lower_ok ~n:5 ~qf:4 ~base:15 ~lower:5 ~pending_neg:0 ~delta_neg:(-8));
+  Alcotest.(check bool) "upper symmetric" true
+    (Rstate.demarcation_upper_ok ~n:5 ~qf:4 ~base:90 ~upper:100 ~pending_pos:0 ~delta_pos:8);
+  Alcotest.(check bool) "upper violated" false
+    (Rstate.demarcation_upper_ok ~n:5 ~qf:4 ~base:90 ~upper:100 ~pending_pos:0 ~delta_pos:9)
+
+let test_pending_state_helpers () =
+  let rs = Rstate.create key in
+  Alcotest.(check bool) "fast era by default" false (Rstate.in_classic_era rs ~version:0);
+  let rs2 = Rstate.create ~classic_until:5 key in
+  Alcotest.(check bool) "classic below" true (Rstate.in_classic_era rs2 ~version:4);
+  Alcotest.(check bool) "fast at" false (Rstate.in_classic_era rs2 ~version:5);
+  Rstate.add_pending rs (pend ~txid:"a" (Update.Delta [ ("stock", -1) ]));
+  Rstate.add_pending rs (pend ~txid:"b" ~decision:Woption.Rejected (Update.Delta [ ("stock", -1) ]));
+  Alcotest.(check int) "two pending" 2 (List.length rs.Rstate.pending);
+  Alcotest.(check int) "one accepted" 1 (List.length (Rstate.accepted rs));
+  Alcotest.(check bool) "find" true (Rstate.find_pending rs "a" <> None);
+  (* add_pending replaces same txid *)
+  Rstate.add_pending rs (pend ~txid:"a" ~decision:Woption.Rejected (Update.Delta [ ("stock", -1) ]));
+  Alcotest.(check int) "still two" 2 (List.length rs.Rstate.pending);
+  Alcotest.(check int) "none accepted now" 0 (List.length (Rstate.accepted rs));
+  Rstate.remove_pending rs "a";
+  Alcotest.(check int) "one left" 1 (List.length rs.Rstate.pending)
+
+(* Property: the demarcation acceptance rule is safe — for ANY subset of the
+   accepted pending decrements committing, a single acceptor's accepted set
+   never drives the replicated value below  L = lower + (n-qf)/n*(base-lower),
+   and in particular never below zero once multiplied out across a fast
+   quorum (the paper's resource argument). We check the local limit. *)
+let prop_demarcation_local_safety =
+  QCheck.Test.make ~name:"demarcation: accepted set respects local limit" ~count:500
+    QCheck.(
+      triple (int_range 0 50) (list_of_size Gen.(int_range 0 12) (int_range 1 6)) (int_range 0 5))
+    (fun (base, decs, lower) ->
+      QCheck.assume (base >= lower);
+      let v = valuation base in
+      let bounds = [ { Schema.attr = "stock"; lower = Some lower; upper = None } ] in
+      (* Feed decrements one at a time through the acceptance rule. *)
+      let accepted = ref [] in
+      List.iteri
+        (fun i d ->
+          let up = Update.Delta [ ("stock", -d) ] in
+          let dec =
+            Rstate.evaluate ~bounds ~demarcation:q54 v ~accepted:!accepted up
+          in
+          if dec = Woption.Accepted then
+            accepted := pend ~txid:(string_of_int i) up :: !accepted)
+        decs;
+      let total_accepted =
+        List.fold_left
+          (fun acc p ->
+            acc
+            + List.fold_left (fun a (_, d) -> a + d) 0 (Update.deltas p.Rstate.woption.Woption.update))
+          0 !accepted
+      in
+      (* All accepted committing leaves the local view at or above L. *)
+      5 * (base + total_accepted) >= (5 * lower) + (1 * (base - lower)))
+
+(* Property: escrow never lets the worst case cross the bound. *)
+let prop_escrow_safety =
+  QCheck.Test.make ~name:"escrow: worst case stays in bounds" ~count:500
+    QCheck.(pair (int_range 0 40) (list_of_size Gen.(int_range 0 15) (int_range (-5) 5)))
+    (fun (base, deltas) ->
+      let v = valuation base in
+      let accepted = ref [] in
+      List.iteri
+        (fun i d ->
+          QCheck.assume (d <> 0);
+          let up = Update.Delta [ ("stock", d) ] in
+          if Rstate.evaluate ~bounds ~demarcation:esc v ~accepted:!accepted up = Woption.Accepted
+          then accepted := pend ~txid:(string_of_int i) up :: !accepted)
+        deltas;
+      let neg =
+        List.fold_left
+          (fun acc p ->
+            acc
+            + Stdlib.min 0
+                (List.fold_left (fun a (_, d) -> a + d) 0 (Update.deltas p.Rstate.woption.Woption.update)))
+          0 !accepted
+      in
+      base + neg >= 0)
+
+let suite =
+  [
+    Alcotest.test_case "physical version check" `Quick test_physical_version_check;
+    Alcotest.test_case "physical bounds check" `Quick test_physical_bounds;
+    Alcotest.test_case "insert/delete validation" `Quick test_insert_delete;
+    Alcotest.test_case "one outstanding option / deadlock avoidance" `Quick
+      test_one_outstanding_option;
+    Alcotest.test_case "escrow worst case (paper t1..t5)" `Quick test_escrow_worst_case;
+    Alcotest.test_case "escrow increments" `Quick test_escrow_increments_ignore_lower;
+    Alcotest.test_case "quorum demarcation limit" `Quick test_quorum_demarcation_limit;
+    Alcotest.test_case "demarcation formulas" `Quick test_demarcation_formulas;
+    Alcotest.test_case "pending state helpers" `Quick test_pending_state_helpers;
+    QCheck_alcotest.to_alcotest prop_demarcation_local_safety;
+    QCheck_alcotest.to_alcotest prop_escrow_safety;
+  ]

@@ -1,0 +1,195 @@
+(* Tests of the §4.4 extensions: read-guard options (full serializability)
+   and session guarantees (§4.2). *)
+
+open Mdcc_storage
+open Helpers
+module Engine = Mdcc_sim.Engine
+module Cluster = Mdcc_core.Cluster
+module Coordinator = Mdcc_core.Coordinator
+module Session = Mdcc_core.Session
+
+let test_guard_only_txn_commits_when_current () =
+  let engine, cluster = make_cluster ~items:2 () in
+  let o = run_txn engine cluster ~dc:1 [ (item 0, Update.Read_guard { vread = 1 }) ] in
+  Alcotest.(check bool) "current read certifies" true (is_committed o);
+  Alcotest.(check int) "guard does not bump the version" 1
+    (snd (Option.get (Cluster.peek cluster ~dc:0 (item 0))))
+
+let test_guard_aborts_on_stale_read () =
+  let engine, cluster = make_cluster ~items:2 () in
+  let o1 =
+    run_txn engine cluster ~dc:0 [ (item 0, Update.Physical { vread = 1; value = item_row 9 }) ]
+  in
+  Alcotest.(check bool) "writer" true (is_committed o1);
+  let o2 = run_txn engine cluster ~dc:1 [ (item 0, Update.Read_guard { vread = 1 }) ] in
+  Alcotest.(check bool) "stale read rejected" false (is_committed o2)
+
+let test_serializable_read_write_txn () =
+  (* Classic OCC pattern: read item0's price, then write item1 based on it;
+     commit only if item0 is unchanged. *)
+  let engine, cluster = make_cluster ~items:3 () in
+  let txn =
+    Txn.serializable ~id:"ser-1"
+      ~reads:[ (item 0, 1) ]
+      ~updates:[ (item 1, Update.Physical { vread = 1; value = item_row 42 }) ]
+  in
+  let c = Cluster.coordinator cluster ~dc:2 ~rank:0 in
+  let r = ref None in
+  Coordinator.submit c txn (fun o -> r := Some o);
+  Engine.run ~until:30_000.0 engine;
+  Alcotest.(check bool) "commits" true (match !r with Some o -> is_committed o | None -> false);
+  Alcotest.(check int) "write applied" 42 (stock_at cluster ~dc:0 1)
+
+let test_write_skew_prevented () =
+  (* The textbook snapshot-isolation anomaly: t1 reads x writes y, t2 reads
+     y writes x.  With read guards at least one must abort. *)
+  let engine, cluster = make_cluster ~items:2 () in
+  let t1 =
+    Txn.serializable ~id:"skew-1"
+      ~reads:[ (item 0, 1) ]
+      ~updates:[ (item 1, Update.Physical { vread = 1; value = item_row 0 }) ]
+  in
+  let t2 =
+    Txn.serializable ~id:"skew-2"
+      ~reads:[ (item 1, 1) ]
+      ~updates:[ (item 0, Update.Physical { vread = 1; value = item_row 0 }) ]
+  in
+  let r1 = ref None and r2 = ref None in
+  Coordinator.submit (Cluster.coordinator cluster ~dc:0 ~rank:0) t1 (fun o -> r1 := Some o);
+  Coordinator.submit (Cluster.coordinator cluster ~dc:4 ~rank:0) t2 (fun o -> r2 := Some o);
+  Engine.run ~until:60_000.0 engine;
+  let committed =
+    List.length
+      (List.filter
+         (fun r -> match !r with Some o -> is_committed o | None -> false)
+         [ r1; r2 ])
+  in
+  Alcotest.(check bool) "no write skew: at most one commits" true (committed <= 1)
+
+let test_guards_commute_with_guards () =
+  (* Many concurrent serializable readers of the same record all commit. *)
+  let engine, cluster = make_cluster ~items:1 () in
+  let results = ref [] in
+  for dc = 0 to 4 do
+    Coordinator.submit
+      (Cluster.coordinator cluster ~dc ~rank:0)
+      (Txn.make ~id:(Printf.sprintf "g%d" dc) ~updates:[ (item 0, Update.Read_guard { vread = 1 }) ])
+      (fun o -> results := o :: !results)
+  done;
+  Engine.run ~until:30_000.0 engine;
+  Alcotest.(check int) "all five readers commit" 5
+    (List.length (List.filter is_committed !results))
+
+let test_guard_blocks_concurrent_writer () =
+  (* While a guard is outstanding, a conflicting write loses (or the guard
+     does) — they can never both commit against the same version. *)
+  let engine, cluster = make_cluster ~items:1 () in
+  let r1 = ref None and r2 = ref None in
+  Coordinator.submit
+    (Cluster.coordinator cluster ~dc:0 ~rank:0)
+    (Txn.make ~id:"guard" ~updates:[ (item 0, Update.Read_guard { vread = 1 }) ])
+    (fun o -> r1 := Some o);
+  Coordinator.submit
+    (Cluster.coordinator cluster ~dc:1 ~rank:0)
+    (Txn.make ~id:"writer" ~updates:[ (item 0, Update.Physical { vread = 1; value = item_row 3 }) ])
+    (fun o -> r2 := Some o);
+  Engine.run ~until:60_000.0 engine;
+  (* Both decided; serializability holds regardless of who won: if the
+     writer committed the guard txn must have aborted, and vice versa — but
+     both aborting is also legal under contention. *)
+  Alcotest.(check bool) "both decided" true (!r1 <> None && !r2 <> None);
+  let c1 = match !r1 with Some o -> is_committed o | None -> false in
+  let c2 = match !r2 with Some o -> is_committed o | None -> false in
+  Alcotest.(check bool) "not both" true (not (c1 && c2))
+
+(* --- sessions ----------------------------------------------------------- *)
+
+let run_until engine extra = Engine.run ~until:(Engine.now engine +. extra) engine
+
+let test_session_read_your_writes () =
+  let engine, cluster = make_cluster ~items:1 () in
+  (* DC 4's replica is cut off so its local reads would be stale. *)
+  let session = Session.create (Cluster.coordinator cluster ~dc:4 ~rank:0) in
+  Cluster.fail_dc cluster 4;
+  let o =
+    run_txn engine cluster ~dc:0 [ (item 0, Update.Physical { vread = 1; value = item_row 5 }) ]
+  in
+  Alcotest.(check bool) "write committed" true (is_committed o);
+  Cluster.recover_dc cluster 4;
+  (* The session also writes (learning version 3... here: version 2 via its
+     own write on top). *)
+  let w = ref None in
+  Session.submit session
+    (Txn.make ~id:"own" ~updates:[ (item 0, Update.Physical { vread = 2; value = item_row 7 }) ])
+    (fun o -> w := Some o);
+  run_until engine 30_000.0;
+  Alcotest.(check bool) "own write committed" true
+    (match !w with Some o -> is_committed o | None -> false);
+  Alcotest.(check int) "watermark" 3 (Session.watermark session (item 0));
+  (* DC 4's replica DID apply the visibility (it was alive again), but even
+     when reading through the session the answer can never be older than
+     version 3. *)
+  let r = ref None in
+  Session.read session (item 0) (fun x -> r := Some x);
+  run_until engine 10_000.0;
+  match !r with
+  | Some (Some (v, version)) ->
+    Alcotest.(check bool) "version >= watermark" true (version >= 3);
+    Alcotest.(check int) "sees own write" 7 (Value.get_int v "stock")
+  | Some None | None -> Alcotest.fail "read failed"
+
+let test_session_monotonic_reads () =
+  let engine, cluster = make_cluster ~items:1 () in
+  let session = Session.create (Cluster.coordinator cluster ~dc:4 ~rank:0) in
+  (* First the session observes a fresh version via a majority read path:
+     write from dc0 while dc4 is partitioned, then session reads. *)
+  Cluster.fail_dc cluster 4;
+  let o =
+    run_txn engine cluster ~dc:0 [ (item 0, Update.Physical { vread = 1; value = item_row 9 }) ]
+  in
+  Alcotest.(check bool) "committed" true (is_committed o);
+  Cluster.recover_dc cluster 4;
+  (* dc4's replica is still at version 1 (it missed the visibility). *)
+  Alcotest.(check int) "dc4 stale" 100 (stock_at cluster ~dc:4 0);
+  let r1 = ref None in
+  Session.read session (item 0) (fun x -> r1 := Some x);
+  run_until engine 10_000.0;
+  (match !r1 with
+  | Some (Some (_, version)) ->
+    (* The local replica was behind the... actually behind nothing yet: the
+       session had no watermark, so a stale first read is permitted.  From
+       now on reads must never go backwards. *)
+    let m1 = version in
+    let r2 = ref None in
+    Session.read session (item 0) (fun x -> r2 := Some x);
+    run_until engine 10_000.0;
+    (match !r2 with
+    | Some (Some (_, v2)) -> Alcotest.(check bool) "monotonic" true (v2 >= m1)
+    | Some None | None -> Alcotest.fail "second read failed")
+  | Some None | None -> Alcotest.fail "first read failed");
+  (* After the session observes the fresh version via majority read, local
+     stale reads are upgraded transparently. *)
+  let r3 = ref None in
+  Coordinator.read_majority (Cluster.coordinator cluster ~dc:4 ~rank:0) (item 0) (fun _ -> ());
+  Session.submit session
+    (Txn.make ~id:"touch" ~updates:[ (item 0, Update.Read_guard { vread = 2 }) ])
+    (fun _ -> ());
+  run_until engine 30_000.0;
+  Session.read session (item 0) (fun x -> r3 := Some x);
+  run_until engine 10_000.0;
+  match !r3 with
+  | Some (Some (_, version)) -> Alcotest.(check bool) "upgraded to fresh" true (version >= 2)
+  | Some None | None -> Alcotest.fail "third read failed"
+
+let suite =
+  [
+    Alcotest.test_case "guard-only txn commits when current" `Quick
+      test_guard_only_txn_commits_when_current;
+    Alcotest.test_case "guard aborts on stale read" `Quick test_guard_aborts_on_stale_read;
+    Alcotest.test_case "serializable read+write txn" `Quick test_serializable_read_write_txn;
+    Alcotest.test_case "write skew prevented" `Quick test_write_skew_prevented;
+    Alcotest.test_case "guards commute with guards" `Quick test_guards_commute_with_guards;
+    Alcotest.test_case "guard vs writer: never both" `Quick test_guard_blocks_concurrent_writer;
+    Alcotest.test_case "session read-your-writes" `Quick test_session_read_your_writes;
+    Alcotest.test_case "session monotonic reads" `Quick test_session_monotonic_reads;
+  ]

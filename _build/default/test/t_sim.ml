@@ -1,0 +1,238 @@
+(* Tests of the discrete-event simulator: heap, engine, topology, network. *)
+
+module Event_queue = Mdcc_sim.Event_queue
+module Engine = Mdcc_sim.Engine
+module Topology = Mdcc_sim.Topology
+module Net = Mdcc_sim.Network
+
+let test_heap_ordering () =
+  let q = Event_queue.create () in
+  let log = ref [] in
+  let push at seq = ignore (Event_queue.push q ~at ~seq (fun () -> log := (at, seq) :: !log)) in
+  push 5.0 1;
+  push 1.0 2;
+  push 3.0 3;
+  push 1.0 4;
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some e ->
+      e.Event_queue.run ();
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "time order with FIFO ties"
+    [ (1.0, 2); (1.0, 4); (3.0, 3); (5.0, 1) ]
+    (List.rev !log)
+
+let test_heap_cancel () =
+  let q = Event_queue.create () in
+  let fired = ref false in
+  let e = Event_queue.push q ~at:1.0 ~seq:1 (fun () -> fired := true) in
+  Event_queue.cancel e;
+  Alcotest.(check bool) "cancelled popped as none" true (Event_queue.pop q = None);
+  Alcotest.(check bool) "never fired" false !fired
+
+let test_heap_many () =
+  let q = Event_queue.create () in
+  let n = 10_000 in
+  let rng = Mdcc_util.Rng.create 11 in
+  for i = 1 to n do
+    ignore (Event_queue.push q ~at:(Mdcc_util.Rng.float rng 1000.0) ~seq:i ignore)
+  done;
+  Alcotest.(check int) "size" n (Event_queue.size q);
+  let last = ref neg_infinity in
+  let count = ref 0 in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some e ->
+      Alcotest.(check bool) "monotone" true (e.Event_queue.at >= !last);
+      last := e.Event_queue.at;
+      incr count;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "all popped" n !count
+
+let test_engine_ordering_and_clock () =
+  let e = Engine.create ~seed:1 in
+  let log = ref [] in
+  ignore (Engine.schedule e ~after:10.0 (fun () -> log := ("b", Engine.now e) :: !log));
+  ignore (Engine.schedule e ~after:5.0 (fun () -> log := ("a", Engine.now e) :: !log));
+  Engine.run e;
+  Alcotest.(check (list (pair string (float 0.0))))
+    "fired in order at right times"
+    [ ("a", 5.0); ("b", 10.0) ]
+    (List.rev !log)
+
+let test_engine_nested_schedule () =
+  let e = Engine.create ~seed:1 in
+  let hits = ref 0 in
+  ignore
+    (Engine.schedule e ~after:1.0 (fun () ->
+         incr hits;
+         ignore (Engine.schedule e ~after:1.0 (fun () -> incr hits))));
+  Engine.run e;
+  Alcotest.(check int) "nested event ran" 2 !hits;
+  Alcotest.(check (float 0.0)) "clock at last event" 2.0 (Engine.now e)
+
+let test_engine_until () =
+  let e = Engine.create ~seed:1 in
+  let hits = ref 0 in
+  ignore (Engine.schedule e ~after:5.0 (fun () -> incr hits));
+  ignore (Engine.schedule e ~after:50.0 (fun () -> incr hits));
+  Engine.run ~until:10.0 e;
+  Alcotest.(check int) "only first fired" 1 !hits;
+  Alcotest.(check (float 0.0)) "clock advanced to until" 10.0 (Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "second fires later" 2 !hits
+
+let test_engine_cancel () =
+  let e = Engine.create ~seed:1 in
+  let hits = ref 0 in
+  let h = Engine.schedule e ~after:5.0 (fun () -> incr hits) in
+  Engine.cancel h;
+  Engine.run e;
+  Alcotest.(check int) "cancelled" 0 !hits
+
+let test_topology_ec2 () =
+  let topo = Topology.ec2_five () in
+  Alcotest.(check int) "5 DCs" 5 (Topology.num_dcs topo);
+  Alcotest.(check int) "5 nodes" 5 (Topology.num_nodes topo);
+  Alcotest.(check (float 0.0)) "self latency 0" 0.0 (Topology.one_way topo 0 0);
+  (* symmetric *)
+  Alcotest.(check (float 0.0)) "symmetric" (Topology.one_way topo 0 1) (Topology.one_way topo 1 0);
+  Alcotest.(check bool) "west-east < west-eu" true
+    (Topology.one_way topo Topology.us_west Topology.us_east
+    < Topology.one_way topo Topology.us_west 2)
+
+let test_topology_partitioned () =
+  let topo = Topology.ec2_five ~nodes_per_dc:3 () in
+  Alcotest.(check int) "15 nodes" 15 (Topology.num_nodes topo);
+  Alcotest.(check (list int)) "dc1 nodes" [ 3; 4; 5 ] (Topology.nodes_in_dc topo 1);
+  (* Same-DC latency is the intra-DC latency. *)
+  Alcotest.(check (float 0.0)) "intra" 0.5 (Topology.one_way topo 3 4)
+
+let test_topology_add_nodes () =
+  let topo = Topology.add_nodes (Topology.ec2_five ~nodes_per_dc:2 ()) ~per_dc:1 in
+  Alcotest.(check int) "15 nodes" 15 (Topology.num_nodes topo);
+  Alcotest.(check int) "new node in dc0" 0 (Topology.dc_of topo 10);
+  Alcotest.(check int) "new node in dc4" 4 (Topology.dc_of topo 14)
+
+type Net.payload += Ping of int
+
+let test_network_delivery () =
+  let e = Engine.create ~seed:2 in
+  let topo = Topology.ec2_five () in
+  let net = Net.create e topo ~jitter_sigma:0.0 () in
+  let received = ref [] in
+  Net.register net 1 (fun ~src p ->
+      match p with Ping n -> received := (src, n, Engine.now e) :: !received | _ -> ());
+  Net.send net ~src:0 ~dst:1 (Ping 42);
+  Engine.run e;
+  match !received with
+  | [ (src, n, at) ] ->
+    Alcotest.(check int) "src" 0 src;
+    Alcotest.(check int) "payload" 42 n;
+    (* us-west <-> us-east one way = 40ms + 0.25 floor *)
+    Alcotest.(check (float 0.01)) "latency" 40.25 at
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let test_network_failed_node_drops () =
+  let e = Engine.create ~seed:2 in
+  let net = Net.create e (Topology.ec2_five ()) ~jitter_sigma:0.0 () in
+  let received = ref 0 in
+  Net.register net 1 (fun ~src:_ _ -> incr received);
+  Net.fail_node net 1;
+  Net.send net ~src:0 ~dst:1 (Ping 1);
+  Engine.run e;
+  Alcotest.(check int) "dropped" 0 !received;
+  Alcotest.(check int) "stat" 1 (Net.stats net).Net.dropped;
+  Net.recover_node net 1;
+  Net.send net ~src:0 ~dst:1 (Ping 2);
+  Engine.run e;
+  Alcotest.(check int) "delivered after recovery" 1 !received
+
+let test_network_inflight_failure () =
+  (* A message in flight to a node that fails before delivery is lost. *)
+  let e = Engine.create ~seed:2 in
+  let net = Net.create e (Topology.ec2_five ()) ~jitter_sigma:0.0 () in
+  let received = ref 0 in
+  Net.register net 1 (fun ~src:_ _ -> incr received);
+  Net.send net ~src:0 ~dst:1 (Ping 1);
+  ignore (Engine.schedule e ~after:1.0 (fun () -> Net.fail_node net 1));
+  Engine.run e;
+  Alcotest.(check int) "in-flight message killed" 0 !received
+
+let test_network_fail_dc () =
+  let e = Engine.create ~seed:2 in
+  let topo = Topology.ec2_five ~nodes_per_dc:2 () in
+  let net = Net.create e topo ~jitter_sigma:0.0 () in
+  let received = ref 0 in
+  List.iter
+    (fun n -> Net.register net n (fun ~src:_ _ -> incr received))
+    (Topology.all_nodes topo);
+  Net.fail_dc net 1;
+  Net.send net ~src:0 ~dst:2 (Ping 1);
+  Net.send net ~src:0 ~dst:3 (Ping 1);
+  Net.send net ~src:0 ~dst:4 (Ping 1);
+  Engine.run e;
+  Alcotest.(check int) "only dc2 node got it" 1 !received
+
+let test_network_drop_probability () =
+  let e = Engine.create ~seed:3 in
+  let net = Net.create e (Topology.ec2_five ()) ~drop_probability:0.5 ~jitter_sigma:0.0 () in
+  let received = ref 0 in
+  Net.register net 1 (fun ~src:_ _ -> incr received);
+  for _ = 1 to 1000 do
+    Net.send net ~src:0 ~dst:1 (Ping 1)
+  done;
+  Engine.run e;
+  Alcotest.(check bool) "~half dropped" true (!received > 400 && !received < 600)
+
+let test_network_jitter_positive () =
+  let e = Engine.create ~seed:4 in
+  let net = Net.create e (Topology.ec2_five ()) ~jitter_sigma:0.1 () in
+  for _ = 1 to 100 do
+    let l = Net.latency_sample net ~src:0 ~dst:1 in
+    Alcotest.(check bool) "latency positive and near base" true (l > 20.0 && l < 100.0)
+  done
+
+let test_network_determinism () =
+  let run seed =
+    let e = Engine.create ~seed in
+    let net = Net.create e (Topology.ec2_five ()) () in
+    let log = ref [] in
+    Net.register net 1 (fun ~src:_ p ->
+        match p with Ping n -> log := (n, Engine.now e) :: !log | _ -> ());
+    for i = 1 to 20 do
+      Net.send net ~src:0 ~dst:1 (Ping i)
+    done;
+    Engine.run e;
+    !log
+  in
+  Alcotest.(check bool) "same seed, same trace" true (run 9 = run 9);
+  Alcotest.(check bool) "different seed, different trace" true (run 9 <> run 10)
+
+let suite =
+  [
+    Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
+    Alcotest.test_case "heap cancel" `Quick test_heap_cancel;
+    Alcotest.test_case "heap 10k monotone" `Quick test_heap_many;
+    Alcotest.test_case "engine ordering & clock" `Quick test_engine_ordering_and_clock;
+    Alcotest.test_case "engine nested schedule" `Quick test_engine_nested_schedule;
+    Alcotest.test_case "engine run until" `Quick test_engine_until;
+    Alcotest.test_case "engine cancel" `Quick test_engine_cancel;
+    Alcotest.test_case "topology ec2" `Quick test_topology_ec2;
+    Alcotest.test_case "topology partitioned" `Quick test_topology_partitioned;
+    Alcotest.test_case "topology add_nodes" `Quick test_topology_add_nodes;
+    Alcotest.test_case "network delivery & latency" `Quick test_network_delivery;
+    Alcotest.test_case "network failed node drops" `Quick test_network_failed_node_drops;
+    Alcotest.test_case "network in-flight failure" `Quick test_network_inflight_failure;
+    Alcotest.test_case "network fail dc" `Quick test_network_fail_dc;
+    Alcotest.test_case "network drop probability" `Quick test_network_drop_probability;
+    Alcotest.test_case "network jitter" `Quick test_network_jitter_positive;
+    Alcotest.test_case "network determinism" `Quick test_network_determinism;
+  ]

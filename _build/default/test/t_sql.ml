@@ -1,0 +1,286 @@
+(* Tests of the SQL-like language: tokenizer/parser unit tests and
+   end-to-end execution against a live cluster. *)
+
+open Mdcc_storage
+open Helpers
+module Engine = Mdcc_sim.Engine
+module Cluster = Mdcc_core.Cluster
+module Session = Mdcc_core.Session
+module Ast = Mdcc_sql.Ast
+module Parser = Mdcc_sql.Parser
+module Exec = Mdcc_sql.Exec
+
+(* --- parser ------------------------------------------------------------ *)
+
+let parse_ok src =
+  match Parser.parse_statement src with
+  | Ok stmt -> stmt
+  | Error e -> Alcotest.failf "unexpected parse error: %a" Parser.pp_error e
+
+let parse_err src =
+  match Parser.parse_statement src with
+  | Ok stmt -> Alcotest.failf "expected error, parsed: %a" Ast.pp_statement stmt
+  | Error _ -> ()
+
+let test_parse_select () =
+  match parse_ok "SELECT * FROM item WHERE id = 'x1'" with
+  | Ast.Select { table; id } ->
+    Alcotest.(check string) "table" "item" table;
+    Alcotest.(check string) "id" "x1" id
+  | _ -> Alcotest.fail "wrong statement"
+
+let test_parse_insert () =
+  match parse_ok "INSERT INTO item (id, stock, name) VALUES ('x', 10, 'socks')" with
+  | Ast.Insert { table; id; columns } ->
+    Alcotest.(check string) "table" "item" table;
+    Alcotest.(check string) "id" "x" id;
+    Alcotest.(check int) "two non-key columns" 2 (List.length columns);
+    Alcotest.(check bool) "stock=10" true (List.assoc "stock" columns = Ast.Int 10);
+    Alcotest.(check bool) "name='socks'" true (List.assoc "name" columns = Ast.Str "socks")
+  | _ -> Alcotest.fail "wrong statement"
+
+let test_parse_update_delta () =
+  match parse_ok "UPDATE item SET stock = stock - 2, sold = sold + 2 WHERE id = '7'" with
+  | Ast.Update { assignments; _ } ->
+    Alcotest.(check bool) "commutative" true (Ast.is_commutative assignments);
+    Alcotest.(check bool) "minus two" true (List.mem (Ast.Add ("stock", -2)) assignments);
+    Alcotest.(check bool) "plus two" true (List.mem (Ast.Add ("sold", 2)) assignments)
+  | _ -> Alcotest.fail "wrong statement"
+
+let test_parse_update_absolute () =
+  match parse_ok "update item set price = 99 where id = '7'" with
+  | Ast.Update { assignments; _ } ->
+    Alcotest.(check bool) "not commutative" false (Ast.is_commutative assignments)
+  | _ -> Alcotest.fail "wrong statement"
+
+let test_parse_delete_begin_commit () =
+  (match parse_ok "DELETE FROM item WHERE id = 'gone'" with
+  | Ast.Delete { table; id } ->
+    Alcotest.(check string) "table" "item" table;
+    Alcotest.(check string) "id" "gone" id
+  | _ -> Alcotest.fail "wrong statement");
+  Alcotest.(check bool) "begin" true (parse_ok "BEGIN" = Ast.Begin);
+  Alcotest.(check bool) "commit" true (parse_ok "commit" = Ast.Commit)
+
+let test_parse_script () =
+  match Parser.parse_script "BEGIN; UPDATE item SET stock = stock - 1 WHERE id = 'a'; COMMIT;" with
+  | Ok [ Ast.Begin; Ast.Update _; Ast.Commit ] -> ()
+  | Ok stmts -> Alcotest.failf "parsed %d statements" (List.length stmts)
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+
+let test_parse_errors () =
+  parse_err "SELEC * FROM item WHERE id = 'x'";
+  parse_err "SELECT * FROM item WHERE name = 'x'";
+  parse_err "UPDATE item SET stock = other + 1 WHERE id = 'x'";
+  parse_err "INSERT INTO item (stock) VALUES (1)";
+  parse_err "INSERT INTO item (id, stock) VALUES ('x')";
+  parse_err "SELECT * FROM item WHERE id = 'x' garbage";
+  parse_err "UPDATE item SET stock = 'unterminated WHERE id = 'x'"
+
+let test_parse_negative_literal () =
+  match parse_ok "INSERT INTO ledger (id, balance) VALUES ('a', -5)" with
+  | Ast.Insert { columns; _ } ->
+    Alcotest.(check bool) "negative" true (List.assoc "balance" columns = Ast.Int (-5))
+  | _ -> Alcotest.fail "wrong statement"
+
+(* Property: pretty-printing a statement and re-parsing it is the identity
+   (for identifier-safe names). *)
+let gen_name = QCheck.Gen.(map (fun i -> Printf.sprintf "col%d" i) (int_range 0 20))
+
+let gen_statement =
+  let open QCheck.Gen in
+  let lit = oneof [ map (fun i -> Ast.Int i) (int_range (-500) 500);
+                    map (fun i -> Ast.Str (Printf.sprintf "v%d" i)) (int_range 0 99) ] in
+  let table = map (fun i -> Printf.sprintf "tbl%d" i) (int_range 0 5) in
+  let id = map (fun i -> Printf.sprintf "k%d" i) (int_range 0 99) in
+  let assignment =
+    oneof
+      [ map2 (fun a l -> Ast.Set (a, l)) gen_name lit;
+        map2 (fun a d -> Ast.Add (a, d)) gen_name (oneof [ int_range 1 9; int_range (-9) (-1) ]) ]
+  in
+  oneof
+    [
+      map2 (fun table id -> Ast.Select { table; id }) table id;
+      map3
+        (fun table id columns -> Ast.Insert { table; id; columns })
+        table id
+        (list_size (int_range 0 4) (pair gen_name lit));
+      map3
+        (fun table id assignments -> Ast.Update { table; id; assignments })
+        table id
+        (list_size (int_range 1 4) assignment);
+      map2 (fun table id -> Ast.Delete { table; id }) table id;
+      return Ast.Begin;
+      return Ast.Commit;
+    ]
+
+let prop_parser_roundtrip =
+  QCheck.Test.make ~name:"pp/parse round-trip" ~count:300 (QCheck.make gen_statement)
+    (fun stmt ->
+      let printed = Format.asprintf "%a" Ast.pp_statement stmt in
+      match Parser.parse_statement printed with
+      | Ok stmt' -> stmt = stmt'
+      | Error _ -> false)
+
+(* --- execution ---------------------------------------------------------- *)
+
+let setup () =
+  let engine, cluster = make_cluster ~items:5 () in
+  let session = Session.create (Cluster.coordinator cluster ~dc:0 ~rank:0) in
+  (engine, cluster, session)
+
+let exec engine session ?serializable src =
+  let result = ref None in
+  Exec.run_string ?serializable session ~txid:(txid ()) src (fun r -> result := Some r);
+  Engine.run ~until:(Engine.now engine +. 60_000.0) engine;
+  match !result with
+  | Some (Ok r) -> r
+  | Some (Error e) -> Alcotest.failf "parse error: %a" Parser.pp_error e
+  | None -> Alcotest.fail "script never finished"
+
+let committed (r : Exec.exec_result) =
+  match r.Exec.outcome with Txn.Committed -> true | Txn.Aborted _ -> false
+
+let test_exec_select () =
+  let engine, _, session = setup () in
+  let r = exec engine session "SELECT * FROM item WHERE id = '0'" in
+  Alcotest.(check bool) "committed" true (committed r);
+  match r.Exec.rows with
+  | [ { value = Some v; version; _ } ] ->
+    Alcotest.(check int) "stock" 100 (Value.get_int v "stock");
+    Alcotest.(check int) "version" 1 version
+  | _ -> Alcotest.fail "expected one row"
+
+let test_exec_autocommit_update () =
+  let engine, cluster, session = setup () in
+  let r = exec engine session "UPDATE item SET stock = stock - 25 WHERE id = '1'" in
+  Alcotest.(check bool) "committed" true (committed r);
+  Alcotest.(check int) "applied everywhere" 75 (stock_at cluster ~dc:3 1)
+
+let test_exec_txn_atomic () =
+  let engine, cluster, session = setup () in
+  let r =
+    exec engine session
+      "BEGIN; UPDATE item SET stock = stock - 1 WHERE id = '0'; UPDATE item SET stock = \
+       stock - 2 WHERE id = '1'; INSERT INTO order (id, item) VALUES ('o1', 0); COMMIT"
+  in
+  Alcotest.(check bool) "committed" true (committed r);
+  Alcotest.(check int) "item0" 99 (stock_at cluster ~dc:0 0);
+  Alcotest.(check int) "item1" 98 (stock_at cluster ~dc:4 1);
+  Alcotest.(check bool) "order inserted" true
+    (Cluster.peek cluster ~dc:2 (Key.make ~table:"order" ~id:"o1") <> None)
+
+let test_exec_constraint_abort () =
+  let engine, cluster, session = setup () in
+  let r = exec engine session "UPDATE item SET stock = stock - 500 WHERE id = '0'" in
+  Alcotest.(check bool) "aborted" false (committed r);
+  Alcotest.(check int) "unchanged" 100 (stock_at cluster ~dc:0 0)
+
+let test_exec_absolute_update_rmw () =
+  let engine, cluster, session = setup () in
+  let r = exec engine session "UPDATE item SET price = 42, stock = stock - 1 WHERE id = '2'" in
+  Alcotest.(check bool) "committed" true (committed r);
+  match Cluster.peek cluster ~dc:1 (item 2) with
+  | Some (v, _) ->
+    Alcotest.(check int) "price set" 42 (Value.get_int v "price");
+    Alcotest.(check int) "stock decremented" 99 (Value.get_int v "stock")
+  | None -> Alcotest.fail "row missing"
+
+let test_exec_insert_select_delete () =
+  let engine, _, session = setup () in
+  let r1 = exec engine session "INSERT INTO order (id, total) VALUES ('z9', 7)" in
+  Alcotest.(check bool) "insert" true (committed r1);
+  let r2 = exec engine session "SELECT * FROM order WHERE id = 'z9'" in
+  (match r2.Exec.rows with
+  | [ { value = Some v; _ } ] -> Alcotest.(check int) "total" 7 (Value.get_int v "total")
+  | _ -> Alcotest.fail "row expected");
+  let r3 = exec engine session "DELETE FROM order WHERE id = 'z9'" in
+  Alcotest.(check bool) "delete" true (committed r3);
+  let r4 = exec engine session "SELECT * FROM order WHERE id = 'z9'" in
+  match r4.Exec.rows with
+  | [ { value = None; _ } ] -> ()
+  | _ -> Alcotest.fail "row should be gone"
+
+let test_exec_duplicate_insert_aborts () =
+  let engine, _, session = setup () in
+  ignore (exec engine session "INSERT INTO order (id, total) VALUES ('dup', 1)");
+  let r = exec engine session "INSERT INTO order (id, total) VALUES ('dup', 2)" in
+  Alcotest.(check bool) "duplicate aborted" false (committed r)
+
+let test_exec_serializable_script () =
+  (* Read item0, then write item1 — with ~serializable the read is
+     certified; a concurrent change to item0 between the read and the
+     commit aborts the script. *)
+  let engine, cluster, session = setup () in
+  let other = Cluster.coordinator cluster ~dc:4 ~rank:0 in
+  let result = ref None in
+  Exec.run_string ~serializable:true session ~txid:"ser"
+    "BEGIN; SELECT * FROM item WHERE id = '0'; UPDATE item SET price = 5 WHERE id = '1'; COMMIT"
+    (fun r -> result := Some r);
+  (* While the script's reads are in flight, another client overwrites
+     item0 — schedule it to land between the read and the commit. *)
+  ignore
+    (Engine.schedule engine ~after:5.0 (fun () ->
+         Mdcc_core.Coordinator.submit other
+           (Txn.make ~id:"intruder"
+              ~updates:[ (item 0, Update.Physical { vread = 1; value = item_row 1 }) ])
+           (fun _ -> ())));
+  Engine.run ~until:60_000.0 engine;
+  match !result with
+  | Some (Ok r) ->
+    (* Either the guard caught the intruder (abort) or the script won the
+       race and the intruder aborted — serializability allows both, but
+       they cannot both commit (checked via final state). *)
+    let intruder_won = stock_at cluster ~dc:0 0 = 1 in
+    let script_committed = committed r in
+    Alcotest.(check bool) "not both" true (not (intruder_won && script_committed))
+  | Some (Error e) -> Alcotest.failf "parse error: %a" Parser.pp_error e
+  | None -> Alcotest.fail "script never finished"
+
+let test_exec_select_all () =
+  let engine, _, session = setup () in
+  (* item 2 becomes the best seller. *)
+  let setup_r = exec engine session "UPDATE item SET stock = 500 WHERE id = '2'" in
+  Alcotest.(check bool) "setup committed" true (committed setup_r);
+  let r = exec engine session "SELECT * FROM item ORDER BY stock LIMIT 2" in
+  Alcotest.(check bool) "committed" true (committed r);
+  (match r.Exec.rows with
+  | { key; value = Some v; _ } :: _ :: [] ->
+    Alcotest.(check string) "top row" "2" key.Key.id;
+    Alcotest.(check int) "stock" 500 (Value.get_int v "stock")
+  | _ -> Alcotest.fail "expected two rows");
+  let all = exec engine session "SELECT * FROM item" in
+  Alcotest.(check int) "default scan returns all 5" 5 (List.length all.Exec.rows)
+
+let test_exec_merged_deltas () =
+  let engine, cluster, session = setup () in
+  let r =
+    exec engine session
+      "BEGIN; UPDATE item SET stock = stock - 1 WHERE id = '3'; UPDATE item SET stock = \
+       stock - 2 WHERE id = '3'; COMMIT"
+  in
+  Alcotest.(check bool) "committed" true (committed r);
+  Alcotest.(check int) "deltas merged" 97 (stock_at cluster ~dc:0 3)
+
+let suite =
+  [
+    Alcotest.test_case "parse SELECT" `Quick test_parse_select;
+    Alcotest.test_case "parse INSERT" `Quick test_parse_insert;
+    Alcotest.test_case "parse UPDATE (delta)" `Quick test_parse_update_delta;
+    Alcotest.test_case "parse UPDATE (absolute)" `Quick test_parse_update_absolute;
+    Alcotest.test_case "parse DELETE/BEGIN/COMMIT" `Quick test_parse_delete_begin_commit;
+    Alcotest.test_case "parse script" `Quick test_parse_script;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse negative literal" `Quick test_parse_negative_literal;
+    QCheck_alcotest.to_alcotest prop_parser_roundtrip;
+    Alcotest.test_case "exec SELECT" `Quick test_exec_select;
+    Alcotest.test_case "exec auto-commit update" `Quick test_exec_autocommit_update;
+    Alcotest.test_case "exec atomic multi-statement txn" `Quick test_exec_txn_atomic;
+    Alcotest.test_case "exec constraint abort" `Quick test_exec_constraint_abort;
+    Alcotest.test_case "exec absolute update (RMW)" `Quick test_exec_absolute_update_rmw;
+    Alcotest.test_case "exec insert/select/delete" `Quick test_exec_insert_select_delete;
+    Alcotest.test_case "exec duplicate insert aborts" `Quick test_exec_duplicate_insert_aborts;
+    Alcotest.test_case "exec serializable script" `Quick test_exec_serializable_script;
+    Alcotest.test_case "exec merged deltas" `Quick test_exec_merged_deltas;
+    Alcotest.test_case "exec SELECT-all scan" `Quick test_exec_select_all;
+  ]

@@ -1,0 +1,208 @@
+(* Unit tests for the storage substrate: values, keys, schema, updates,
+   transactions and the versioned store. *)
+
+open Mdcc_storage
+
+let key_a = Key.make ~table:"item" ~id:"a"
+
+let test_value_basics () =
+  let v = Value.of_list [ ("stock", Value.Int 5); ("name", Value.Str "x") ] in
+  Alcotest.(check int) "get_int" 5 (Value.get_int v "stock");
+  Alcotest.(check int) "missing attr is 0" 0 (Value.get_int v "absent");
+  Alcotest.(check bool) "get some" true (Value.get v "name" <> None);
+  let v2 = Value.add_delta v "stock" (-2) in
+  Alcotest.(check int) "delta applied" 3 (Value.get_int v2 "stock");
+  Alcotest.(check int) "original untouched" 5 (Value.get_int v "stock");
+  let v3 = Value.add_delta v "fresh" 7 in
+  Alcotest.(check int) "delta creates attr" 7 (Value.get_int v3 "fresh")
+
+let test_value_get_int_on_string () =
+  let v = Value.of_list [ ("name", Value.Str "x") ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Value.get_int v "name");
+       false
+     with Invalid_argument _ -> true)
+
+let test_value_equal () =
+  let a = Value.of_list [ ("x", Value.Int 1); ("y", Value.Str "s") ] in
+  let b = Value.of_list [ ("y", Value.Str "s"); ("x", Value.Int 1) ] in
+  Alcotest.(check bool) "order independent" true (Value.equal a b);
+  Alcotest.(check bool) "differ" false (Value.equal a (Value.set a "x" (Value.Int 2)))
+
+let test_key_ordering () =
+  let a = Key.make ~table:"a" ~id:"2" and b = Key.make ~table:"b" ~id:"1" in
+  Alcotest.(check bool) "table first" true (Key.compare a b < 0);
+  Alcotest.(check bool) "equal" true (Key.equal key_a (Key.make ~table:"item" ~id:"a"));
+  Alcotest.(check string) "to_string" "item/a" (Key.to_string key_a)
+
+let stock_bound = { Schema.attr = "stock"; lower = Some 0; upper = Some 100 }
+
+let schema =
+  Schema.create
+    [ { Schema.name = "item"; bounds = [ stock_bound ]; master_dc = 2 } ]
+
+let test_schema_lookup () =
+  Alcotest.(check int) "master dc" 2 (Schema.master_dc schema key_a);
+  Alcotest.(check int) "bounds" 1 (List.length (Schema.bounds_of schema key_a));
+  Alcotest.(check bool) "unknown table raises" true
+    (try
+       ignore (Schema.table schema "nope");
+       false
+     with Not_found -> true)
+
+let test_schema_duplicate () =
+  Alcotest.(check bool) "duplicate raises" true
+    (try
+       ignore
+         (Schema.create
+            [
+              { Schema.name = "t"; bounds = []; master_dc = 0 };
+              { Schema.name = "t"; bounds = []; master_dc = 1 };
+            ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_schema_check_value () =
+  let ok = Value.of_list [ ("stock", Value.Int 50) ] in
+  let low = Value.of_list [ ("stock", Value.Int (-1)) ] in
+  let high = Value.of_list [ ("stock", Value.Int 101) ] in
+  Alcotest.(check bool) "in bounds" true (Schema.check_value schema key_a ok);
+  Alcotest.(check bool) "below" false (Schema.check_value schema key_a low);
+  Alcotest.(check bool) "above" false (Schema.check_value schema key_a high);
+  (* Missing attribute counts as 0, which is inside [0,100]. *)
+  Alcotest.(check bool) "missing ok" true (Schema.check_value schema key_a Value.empty)
+
+let test_txn_duplicate_key_rejected () =
+  Alcotest.(check bool) "duplicate key raises" true
+    (try
+       ignore
+         (Txn.make ~id:"t"
+            ~updates:
+              [ (key_a, Update.Delta [ ("stock", -1) ]); (key_a, Update.Delta [ ("stock", -1) ]) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_txn_predicates () =
+  let ro = Txn.make ~id:"r" ~updates:[] in
+  Alcotest.(check bool) "read only" true (Txn.is_read_only ro);
+  let d = Txn.make ~id:"d" ~updates:[ (key_a, Update.Delta [ ("stock", -1) ]) ] in
+  Alcotest.(check bool) "commutative only" true (Txn.commutative_only d);
+  let m =
+    Txn.make ~id:"m"
+      ~updates:
+        [
+          (key_a, Update.Delta [ ("stock", -1) ]);
+          (Key.make ~table:"item" ~id:"b", Update.Insert Value.empty);
+        ]
+  in
+  Alcotest.(check bool) "mixed not commutative-only" false (Txn.commutative_only m)
+
+let fresh_store () = Store.create schema
+
+let test_store_insert_read () =
+  let s = fresh_store () in
+  Alcotest.(check bool) "absent" true (Store.read s key_a = None);
+  Alcotest.(check int) "version 0" 0 (Store.version s key_a);
+  Store.apply s key_a (Update.Insert (Value.of_list [ ("stock", Value.Int 9) ]));
+  (match Store.read s key_a with
+  | Some (v, ver) ->
+    Alcotest.(check int) "value" 9 (Value.get_int v "stock");
+    Alcotest.(check int) "version 1" 1 ver
+  | None -> Alcotest.fail "expected row");
+  Alcotest.(check int) "size" 1 (Store.size s)
+
+let test_store_validate () =
+  let s = fresh_store () in
+  Alcotest.(check bool) "insert ok on absent" true (Store.validate s key_a (Update.Insert Value.empty));
+  Alcotest.(check bool) "physical fails on absent" false
+    (Store.validate s key_a (Update.Physical { vread = 0; value = Value.empty }));
+  Store.apply s key_a (Update.Insert Value.empty);
+  Alcotest.(check bool) "insert fails on present" false
+    (Store.validate s key_a (Update.Insert Value.empty));
+  Alcotest.(check bool) "physical ok at v1" true
+    (Store.validate s key_a (Update.Physical { vread = 1; value = Value.empty }));
+  Alcotest.(check bool) "physical stale" false
+    (Store.validate s key_a (Update.Physical { vread = 0; value = Value.empty }));
+  Alcotest.(check bool) "delta ok when exists" true
+    (Store.validate s key_a (Update.Delta [ ("stock", 1) ]))
+
+let test_store_version_jump () =
+  (* Applying a physical update sets version = vread + 1: a replica that
+     missed an update converges when it executes the next one. *)
+  let s = fresh_store () in
+  Store.apply s key_a (Update.Insert (Value.of_list [ ("stock", Value.Int 1) ]));
+  Store.apply s key_a
+    (Update.Physical { vread = 4; value = Value.of_list [ ("stock", Value.Int 42) ] });
+  Alcotest.(check int) "version jumped" 5 (Store.version s key_a);
+  match Store.read s key_a with
+  | Some (v, _) -> Alcotest.(check int) "value" 42 (Value.get_int v "stock")
+  | None -> Alcotest.fail "row"
+
+let test_store_delete_and_reinsert () =
+  let s = fresh_store () in
+  Store.apply s key_a (Update.Insert (Value.of_list [ ("stock", Value.Int 1) ]));
+  Store.apply s key_a (Update.Delete { vread = 1 });
+  Alcotest.(check bool) "gone" true (Store.read s key_a = None);
+  Alcotest.(check int) "tombstone version" 2 (Store.version s key_a);
+  Store.apply s key_a (Update.Insert (Value.of_list [ ("stock", Value.Int 3) ]));
+  match Store.read s key_a with
+  | Some (v, ver) ->
+    Alcotest.(check int) "reinserted" 3 (Value.get_int v "stock");
+    Alcotest.(check int) "version continues" 3 ver
+  | None -> Alcotest.fail "row"
+
+let test_store_delta_apply () =
+  let s = fresh_store () in
+  Store.apply s key_a (Update.Insert (Value.of_list [ ("stock", Value.Int 10) ]));
+  Store.apply s key_a (Update.Delta [ ("stock", -3); ("sold", 3) ]);
+  match Store.read s key_a with
+  | Some (v, ver) ->
+    Alcotest.(check int) "stock" 7 (Value.get_int v "stock");
+    Alcotest.(check int) "sold" 3 (Value.get_int v "sold");
+    Alcotest.(check int) "version" 2 ver
+  | None -> Alcotest.fail "row"
+
+let test_store_fold_iter () =
+  let s = fresh_store () in
+  for i = 0 to 9 do
+    Store.apply s (Key.make ~table:"item" ~id:(string_of_int i)) (Update.Insert Value.empty)
+  done;
+  Alcotest.(check int) "fold counts" 10 (Store.fold s ~init:0 ~f:(fun _ _ acc -> acc + 1));
+  let n = ref 0 in
+  Store.iter s (fun _ _ -> incr n);
+  Alcotest.(check int) "iter counts" 10 !n
+
+(* Property: a random interleaving of valid updates keeps version strictly
+   increasing and equal to the number of applied updates when they are all
+   deltas after one insert. *)
+let prop_delta_versions =
+  QCheck.Test.make ~name:"store versions count applied updates" ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 30) (int_range (-5) 5))
+    (fun deltas ->
+      let s = fresh_store () in
+      Store.apply s key_a (Update.Insert Value.empty);
+      List.iter (fun d -> Store.apply s key_a (Update.Delta [ ("stock", d) ])) deltas;
+      Store.version s key_a = 1 + List.length deltas
+      && Value.get_int (fst (Option.get (Store.read s key_a))) "stock"
+         = List.fold_left ( + ) 0 deltas)
+
+let suite =
+  [
+    Alcotest.test_case "value basics" `Quick test_value_basics;
+    Alcotest.test_case "value get_int on string raises" `Quick test_value_get_int_on_string;
+    Alcotest.test_case "value equality" `Quick test_value_equal;
+    Alcotest.test_case "key ordering" `Quick test_key_ordering;
+    Alcotest.test_case "schema lookup" `Quick test_schema_lookup;
+    Alcotest.test_case "schema duplicate table" `Quick test_schema_duplicate;
+    Alcotest.test_case "schema check_value" `Quick test_schema_check_value;
+    Alcotest.test_case "txn duplicate key rejected" `Quick test_txn_duplicate_key_rejected;
+    Alcotest.test_case "txn predicates" `Quick test_txn_predicates;
+    Alcotest.test_case "store insert/read" `Quick test_store_insert_read;
+    Alcotest.test_case "store validate" `Quick test_store_validate;
+    Alcotest.test_case "store version jump" `Quick test_store_version_jump;
+    Alcotest.test_case "store delete & reinsert" `Quick test_store_delete_and_reinsert;
+    Alcotest.test_case "store delta apply" `Quick test_store_delta_apply;
+    Alcotest.test_case "store fold/iter" `Quick test_store_fold_iter;
+    QCheck_alcotest.to_alcotest prop_delta_versions;
+  ]

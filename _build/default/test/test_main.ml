@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "mdcc"
+    [
+      ("util", T_util.suite);
+      ("sim", T_sim.suite);
+      ("paxos", T_paxos.suite);
+      ("consensus", T_consensus.suite);
+      ("storage", T_storage.suite);
+      ("rstate", T_rstate.suite);
+      ("protocol", T_protocol.suite);
+      ("recovery", T_recovery.suite);
+      ("stress", T_stress.suite);
+      ("reads", T_reads.suite);
+      ("serializable", T_serializable.suite);
+      ("extensions", T_extensions.suite);
+      ("core-units", T_core_units.suite);
+      ("stats", T_stats.suite);
+      ("sql", T_sql.suite);
+      ("edge", T_edge.suite);
+      ("baselines", T_baselines.suite);
+      ("workload", T_workload.suite);
+    ]
