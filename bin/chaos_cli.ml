@@ -1,0 +1,177 @@
+(* mdcc-chaos: seed-sweeping chaos runner.
+
+     dune exec bin/chaos_cli.exe -- sweep --seeds 50
+     dune exec bin/chaos_cli.exe -- sweep --seeds 20 --scenario dc_outage --json
+     dune exec bin/chaos_cli.exe -- sweep --seeds 50 --plant-bug 3
+     dune exec bin/chaos_cli.exe -- replay --seed 17 --scenario random --trace
+     dune exec bin/chaos_cli.exe -- list
+
+   Sweeps N seeds across the scenario matrix (clean, DC outage, asymmetric
+   partition, drop spike, latency surge, master failover, random), checking
+   every run's history for safety violations.  Everything is deterministic:
+   a violating (seed, scenario) pair replays its violation exactly. *)
+
+module Nemesis = Mdcc_chaos.Nemesis
+module Runner = Mdcc_chaos.Runner
+
+let workload_of_string = function
+  | "deltas" -> Some Runner.Deltas
+  | "rmw" -> Some Runner.Rmw
+  | "mixed" -> Some Runner.Mixed
+  | _ -> None
+
+let make_spec ~seed ~scenario ~workload ~txns ~items ~plant_bug ~trace =
+  Runner.spec ~seed ~scenario ~workload ~txns ~items ?fast_quorum_override:plant_bug
+    ~capture_trace:trace ()
+
+(* One run; on a violation, re-run the same spec with trace capture so the
+   report carries the full protocol interleaving. *)
+let run_verbose spec =
+  let r = Runner.run spec in
+  if Runner.ok r || spec.Runner.capture_trace then r
+  else Runner.run { spec with Runner.capture_trace = true }
+
+let sweep ~seeds ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace =
+  let scenarios =
+    match scenario with
+    | None -> Nemesis.matrix
+    | Some name -> (
+      match Nemesis.scenario_named name with
+      | Some s -> [ s ]
+      | None ->
+        Printf.eprintf "unknown scenario %S (see `chaos_cli list')\n" name;
+        exit 2)
+  in
+  let workload =
+    match workload_of_string workload with
+    | Some w -> w
+    | None ->
+      Printf.eprintf "unknown workload %S (deltas|rmw|mixed)\n" workload;
+      exit 2
+  in
+  let bad = ref [] in
+  let total = ref 0 in
+  List.iter
+    (fun scenario ->
+      for seed = 1 to seeds do
+        incr total;
+        let spec = make_spec ~seed ~scenario ~workload ~txns ~items ~plant_bug ~trace in
+        let r = run_verbose spec in
+        if not (Runner.ok r) then bad := r :: !bad;
+        if json then print_endline (Runner.report_to_json r)
+        else print_endline (Runner.report_to_string ~verbose:(not (Runner.ok r)) r)
+      done)
+    scenarios;
+  let bad = List.rev !bad in
+  if not json then begin
+    Printf.printf "\n%d runs (%d seeds x %d scenarios): %d with violations\n" !total seeds
+      (List.length scenarios) (List.length bad);
+    List.iter
+      (fun r ->
+        Printf.printf "  seed %d / %s: %s\n" r.Runner.r_seed r.Runner.r_scenario
+          (String.concat "; "
+             (List.map
+                (fun v -> v.Mdcc_chaos.Checker.invariant)
+                r.Runner.r_violations)))
+      bad
+  end;
+  if bad <> [] then exit 1
+
+let replay ~seed ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace =
+  let scenario =
+    match Nemesis.scenario_named scenario with
+    | Some s -> s
+    | None ->
+      Printf.eprintf "unknown scenario %S (see `chaos_cli list')\n" scenario;
+      exit 2
+  in
+  let workload =
+    match workload_of_string workload with
+    | Some w -> w
+    | None ->
+      Printf.eprintf "unknown workload %S (deltas|rmw|mixed)\n" workload;
+      exit 2
+  in
+  let spec = make_spec ~seed ~scenario ~workload ~txns ~items ~plant_bug ~trace in
+  let r = Runner.run spec in
+  if json then print_endline (Runner.report_to_json r)
+  else begin
+    print_endline (Runner.report_to_string ~verbose:true r);
+    if trace then begin
+      print_endline "--- trace ---";
+      List.iter print_endline r.Runner.r_trace
+    end
+  end;
+  if not (Runner.ok r) then exit 1
+
+open Cmdliner
+
+let seeds_arg = Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per scenario.")
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"The seed to replay.")
+
+let scenario_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "scenario" ] ~docv:"NAME" ~doc:"Restrict the sweep to one scenario.")
+
+let scenario_req =
+  Arg.(value & opt string "random" & info [ "scenario" ] ~docv:"NAME" ~doc:"Scenario to run.")
+
+let workload_arg =
+  Arg.(
+    value & opt string "mixed"
+    & info [ "workload" ] ~docv:"W" ~doc:"Workload: deltas, rmw or mixed.")
+
+let txns_arg =
+  Arg.(value & opt int 40 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per run.")
+
+let items_arg = Arg.(value & opt int 4 & info [ "items" ] ~docv:"N" ~doc:"Stock rows per run.")
+
+let plant_bug_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "plant-bug" ] ~docv:"Q"
+        ~doc:
+          "Deliberately shrink the fast quorum to $(docv) acceptors (e.g. 3 of 5), breaking \
+           quorum intersection; the sweep must catch the resulting violations.")
+
+let json_flag = Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object per run.")
+
+let trace_flag =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Capture the protocol trace in every report.")
+
+let sweep_cmd =
+  let doc = "Sweep seeds across the scenario matrix and check every history." in
+  let run seeds scenario workload txns items plant_bug json trace =
+    sweep ~seeds ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc)
+    Term.(
+      const run $ seeds_arg $ scenario_opt $ workload_arg $ txns_arg $ items_arg $ plant_bug_arg
+      $ json_flag $ trace_flag)
+
+let replay_cmd =
+  let doc = "Re-run a single (seed, scenario) pair, verbosely." in
+  let run seed scenario workload txns items plant_bug json trace =
+    replay ~seed ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc)
+    Term.(
+      const run $ seed_arg $ scenario_req $ workload_arg $ txns_arg $ items_arg $ plant_bug_arg
+      $ json_flag $ trace_flag)
+
+let list_cmd =
+  let doc = "List the scenario matrix." in
+  let run () =
+    List.iter (fun s -> Printf.printf "  %s\n" s.Nemesis.sc_name) Nemesis.matrix
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "deterministic fault-injection sweeps with history checking" in
+  let info = Cmd.info "mdcc-chaos" ~doc in
+  exit (Cmd.eval (Cmd.group info [ sweep_cmd; replay_cmd; list_cmd ]))

@@ -1,0 +1,189 @@
+open Mdcc_core
+module Engine = Mdcc_sim.Engine
+module Net = Mdcc_sim.Network
+module Topology = Mdcc_sim.Topology
+module Rng = Mdcc_util.Rng
+
+type fault =
+  | Crash_node of int
+  | Restart_node of int
+  | Fail_dc of int
+  | Recover_dc of int
+  | Cut_link of { src : int; dst : int }
+  | Heal_link of { src : int; dst : int }
+  | Isolate_dc_inbound of int
+  | Heal_dc_links of int
+  | Drop_spike of float
+  | Latency_surge of float
+  | Heal_all
+
+let label = function
+  | Crash_node n -> Printf.sprintf "crash node%d" n
+  | Restart_node n -> Printf.sprintf "restart node%d" n
+  | Fail_dc dc -> Printf.sprintf "fail dc%d" dc
+  | Recover_dc dc -> Printf.sprintf "recover dc%d" dc
+  | Cut_link { src; dst } -> Printf.sprintf "cut link %d->%d" src dst
+  | Heal_link { src; dst } -> Printf.sprintf "heal link %d->%d" src dst
+  | Isolate_dc_inbound dc -> Printf.sprintf "isolate dc%d inbound" dc
+  | Heal_dc_links dc -> Printf.sprintf "heal dc%d links" dc
+  | Drop_spike p -> Printf.sprintf "drop probability %.2f" p
+  | Latency_surge f -> Printf.sprintf "latency x%.1f" f
+  | Heal_all -> "heal all"
+
+let apply cluster fault =
+  let net = Cluster.network cluster in
+  let topo = Cluster.topology cluster in
+  match fault with
+  | Crash_node n -> Cluster.fail_node cluster n
+  | Restart_node n -> Cluster.restart_node cluster n
+  | Fail_dc dc -> Cluster.fail_dc cluster dc
+  | Recover_dc dc ->
+    Cluster.recover_dc cluster dc;
+    Cluster.sync_dc cluster dc
+  | Cut_link { src; dst } -> Net.cut_link net ~src ~dst
+  | Heal_link { src; dst } -> Net.heal_link net ~src ~dst
+  | Isolate_dc_inbound dc ->
+    List.iter
+      (fun dst ->
+        List.iter
+          (fun src -> if Topology.dc_of topo src <> dc then Net.cut_link net ~src ~dst)
+          (Topology.all_nodes topo))
+      (Topology.nodes_in_dc topo dc)
+  | Heal_dc_links dc ->
+    List.iter
+      (fun inside ->
+        List.iter
+          (fun other ->
+            Net.heal_link net ~src:other ~dst:inside;
+            Net.heal_link net ~src:inside ~dst:other)
+          (Topology.all_nodes topo))
+      (Topology.nodes_in_dc topo dc)
+  | Drop_spike p -> Net.set_drop_probability net p
+  | Latency_surge f -> Net.set_latency_factor net f
+  | Heal_all -> Net.heal_all net
+
+type schedule = (float * fault) list
+
+let install ?history cluster schedule =
+  let engine = Cluster.engine cluster in
+  List.iter
+    (fun (time, fault) ->
+      ignore
+        (Engine.schedule_at engine ~at:time (fun () ->
+             (match history with
+             | Some h -> History.record h (History.Fault { time = Engine.now engine; label = label fault })
+             | None -> ());
+             apply cluster fault)))
+    schedule
+
+let schedule_to_string schedule =
+  match schedule with
+  | [] -> "  (no faults)"
+  | _ ->
+    String.concat "\n"
+      (List.map (fun (time, fault) -> Printf.sprintf "  %8.1f  %s" time (label fault)) schedule)
+
+type scenario = {
+  sc_name : string;
+  sc_build : rng:Rng.t -> cluster:Cluster.t -> horizon:float -> schedule;
+}
+
+(* A fault window inside [0, horizon]: start in the first part of the run,
+   end before the horizon so the heal phase gets exercised too. *)
+let window rng ~horizon =
+  let start = (0.1 +. Rng.float rng 0.3) *. horizon in
+  let stop = start +. ((0.2 +. Rng.float rng 0.3) *. horizon) in
+  (start, Float.min stop (0.95 *. horizon))
+
+let storage_node_ids cluster =
+  List.map Storage_node.node_id (Cluster.storage_nodes cluster)
+
+let clean = { sc_name = "clean"; sc_build = (fun ~rng:_ ~cluster:_ ~horizon:_ -> []) }
+
+let dc_outage =
+  {
+    sc_name = "dc_outage";
+    sc_build =
+      (fun ~rng ~cluster ~horizon ->
+        let dc = Rng.int rng (Cluster.num_dcs cluster) in
+        let start, stop = window rng ~horizon in
+        [ (start, Fail_dc dc); (stop, Recover_dc dc) ]);
+  }
+
+let asymmetric_partition =
+  {
+    sc_name = "asymmetric_partition";
+    sc_build =
+      (fun ~rng ~cluster ~horizon ->
+        let dc = Rng.int rng (Cluster.num_dcs cluster) in
+        let start, stop = window rng ~horizon in
+        [ (start, Isolate_dc_inbound dc); (stop, Heal_dc_links dc) ]);
+  }
+
+let drop_spike =
+  {
+    sc_name = "drop_spike";
+    sc_build =
+      (fun ~rng ~cluster ~horizon ->
+        let base = Net.base_drop_probability (Cluster.network cluster) in
+        let start, stop = window rng ~horizon in
+        [ (start, Drop_spike 0.15); (stop, Drop_spike base) ]);
+  }
+
+let latency_surge =
+  {
+    sc_name = "latency_surge";
+    sc_build =
+      (fun ~rng ~cluster:_ ~horizon ->
+        let start, stop = window rng ~horizon in
+        [ (start, Latency_surge 6.0); (stop, Latency_surge 1.0) ]);
+  }
+
+let master_failover =
+  {
+    sc_name = "master_failover";
+    sc_build =
+      (fun ~rng ~cluster ~horizon ->
+        let nodes = Array.of_list (storage_node_ids cluster) in
+        let victim = Rng.pick rng nodes in
+        let start, stop = window rng ~horizon in
+        [ (start, Crash_node victim); (stop, Restart_node victim) ]);
+  }
+
+let random_faults =
+  {
+    sc_name = "random";
+    sc_build =
+      (fun ~rng ~cluster ~horizon ->
+        let dcs = Cluster.num_dcs cluster in
+        let nodes = Array.of_list (storage_node_ids cluster) in
+        let base = Net.base_drop_probability (Cluster.network cluster) in
+        let pair () =
+          let start, stop = window rng ~horizon in
+          match Rng.int rng 6 with
+          | 0 ->
+            let dc = Rng.int rng dcs in
+            [ (start, Fail_dc dc); (stop, Recover_dc dc) ]
+          | 1 ->
+            let dc = Rng.int rng dcs in
+            [ (start, Isolate_dc_inbound dc); (stop, Heal_dc_links dc) ]
+          | 2 ->
+            let v = Rng.pick rng nodes in
+            [ (start, Crash_node v); (stop, Restart_node v) ]
+          | 3 ->
+            [ (start, Drop_spike (0.05 +. Rng.float rng 0.15)); (stop, Drop_spike base) ]
+          | 4 -> [ (start, Latency_surge (2.0 +. Rng.float rng 6.0)); (stop, Latency_surge 1.0) ]
+          | _ ->
+            let src = Rng.pick rng nodes and dst = Rng.pick rng nodes in
+            [ (start, Cut_link { src; dst }); (stop, Heal_link { src; dst }) ]
+        in
+        let k = 2 + Rng.int rng 3 in
+        List.concat (List.init k (fun _ -> pair ()))
+        |> List.sort (fun (a, _) (b, _) -> Float.compare a b));
+  }
+
+let matrix =
+  [ clean; dc_outage; asymmetric_partition; drop_spike; latency_surge; master_failover;
+    random_faults ]
+
+let scenario_named name = List.find_opt (fun s -> String.equal s.sc_name name) matrix

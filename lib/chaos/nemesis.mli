@@ -1,0 +1,75 @@
+(** The nemesis: declarative, schedulable fault injection.
+
+    A fault schedule is a list of [(time, fault)] pairs over the simulated
+    clock.  Schedules can be written explicitly (scripted scenarios) or
+    generated from a seeded RNG ({!random_faults}), so every chaos run —
+    including its faults — is reproducible from a single seed.
+
+    Faults cover the failure modes of the paper's evaluation and beyond:
+    whole-data-center outages (§5.3.4's Figure 8 experiment), single-node
+    crashes with restart-and-recover, {e directed} link cuts (asymmetric
+    partitions a [fail_dc] cannot express), random message-drop spikes, and
+    WAN latency surges. *)
+
+open Mdcc_core
+
+type fault =
+  | Crash_node of int  (** fail one node; its store survives for restart *)
+  | Restart_node of int  (** recover the node + peer anti-entropy sweep *)
+  | Fail_dc of int  (** the paper's data-center outage *)
+  | Recover_dc of int  (** recover the DC + master-directed anti-entropy *)
+  | Cut_link of { src : int; dst : int }  (** cut the directed link *)
+  | Heal_link of { src : int; dst : int }
+  | Isolate_dc_inbound of int
+      (** cut every link {e into} the DC: it can send but not receive — an
+          asymmetric partition *)
+  | Heal_dc_links of int  (** heal every cut link touching the DC *)
+  | Drop_spike of float  (** set the network's drop probability *)
+  | Latency_surge of float  (** set the network's latency factor *)
+  | Heal_all  (** recover everything and restore base drop/latency *)
+
+val label : fault -> string
+
+val apply : Cluster.t -> fault -> unit
+(** Execute the fault against the cluster's network immediately. *)
+
+type schedule = (float * fault) list
+
+val install : ?history:History.t -> Cluster.t -> schedule -> unit
+(** Schedule every fault on the cluster's engine.  When [history] is given,
+    each fault is recorded as a {!History.Fault} event at injection time. *)
+
+val schedule_to_string : schedule -> string
+
+(** A named schedule generator: given the run's RNG, cluster and fault
+    horizon (faults are generated in [\[0, horizon\]]), produce a schedule.
+    The same RNG state yields the same schedule. *)
+type scenario = {
+  sc_name : string;
+  sc_build : rng:Mdcc_util.Rng.t -> cluster:Cluster.t -> horizon:float -> schedule;
+}
+
+val clean : scenario  (** no faults — the baseline *)
+
+val dc_outage : scenario  (** fail a random DC mid-run, recover it later *)
+
+val asymmetric_partition : scenario
+(** isolate a random DC's inbound links for a window *)
+
+val drop_spike : scenario  (** 15% random message loss for a window *)
+
+val latency_surge : scenario  (** 6x WAN latency for a window *)
+
+val master_failover : scenario
+(** crash a random storage node (per-key master for ~1/5 of the keys) and
+    restart it later — forces coordinator master-bypass rotation *)
+
+val random_faults : scenario
+(** 2–4 random fault/heal pairs drawn from all of the above *)
+
+val matrix : scenario list
+(** The scenario matrix the chaos CLI sweeps: [clean; dc_outage;
+    asymmetric_partition; drop_spike; latency_surge; master_failover;
+    random_faults]. *)
+
+val scenario_named : string -> scenario option

@@ -1,0 +1,302 @@
+open Mdcc_storage
+open Mdcc_core
+module Engine = Mdcc_sim.Engine
+module Trace = Mdcc_sim.Trace
+module Rng = Mdcc_util.Rng
+module Generator = Mdcc_workload.Generator
+
+type workload = Deltas | Rmw | Mixed
+
+type spec = {
+  seed : int;
+  scenario : Nemesis.scenario;
+  workload : workload;
+  txns : int;
+  items : int;
+  stock : int;
+  horizon : float;
+  drain : float;
+  mode : Config.mode;
+  fast_quorum_override : int option;
+  capture_trace : bool;
+}
+
+let spec ?(workload = Mixed) ?(txns = 40) ?(items = 4) ?(stock = 60) ?(horizon = 10_000.0)
+    ?(drain = 60_000.0) ?(mode = Config.Full) ?fast_quorum_override ?(capture_trace = false)
+    ~seed ~scenario () =
+  { seed; scenario; workload; txns; items; stock; horizon; drain; mode; fast_quorum_override;
+    capture_trace }
+
+type report = {
+  r_seed : int;
+  r_scenario : string;
+  r_schedule : Nemesis.schedule;
+  r_submitted : int;
+  r_committed : int;
+  r_aborted : int;
+  r_undecided : int;
+  r_events : int;
+  r_violations : Checker.violation list;
+  r_trace : string list;
+}
+
+let ok r = r.r_violations = []
+
+(* ------------------------------------------------------------------ *)
+(* Fixture                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let item i = Key.make ~table:"item" ~id:(string_of_int i)
+
+let stock_schema =
+  Schema.create
+    [
+      {
+        Schema.name = "item";
+        bounds = [ { Schema.attr = "stock"; lower = Some 0; upper = None } ];
+        master_dc = 0;
+      };
+    ]
+
+let item_row stock = Value.of_list [ ("stock", Value.Int stock) ]
+
+(* Key style under the Mixed workload: even items take commutative deltas,
+   odd items take serializable read-modify-writes.  Keeping the styles on
+   disjoint keys keeps the per-key version order meaningful for the
+   serializability check. *)
+let delta_keys s =
+  match s.workload with
+  | Deltas -> List.init s.items (fun i -> i)
+  | Rmw -> []
+  | Mixed -> List.filter (fun i -> i mod 2 = 0) (List.init s.items (fun i -> i))
+
+let rmw_keys s =
+  match s.workload with
+  | Deltas -> []
+  | Rmw -> List.init s.items (fun i -> i)
+  | Mixed -> List.filter (fun i -> i mod 2 = 1) (List.init s.items (fun i -> i))
+
+(* ------------------------------------------------------------------ *)
+(* The run                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type decided = { d_txn : Txn.t; d_outcome : Txn.outcome }
+
+let build_delta_txn rng ctx keys =
+  let i = List.nth keys (Rng.int rng (List.length keys)) in
+  let amount = -Rng.int_in rng 1 2 in
+  Txn.make ~id:(Generator.fresh_txid ctx) ~updates:[ (item i, Update.Delta [ ("stock", amount) ]) ]
+
+(* Optimistic read-modify-write: read two records at this DC's replica (the
+   optimistic-execution phase), write one with a physical update, guard the
+   other — write skew would commit a conflict cycle, which the checker's
+   serializability invariant must rule out. *)
+let build_rmw_txn rng ctx cluster ~dc keys =
+  let n = List.length keys in
+  let i = List.nth keys (Rng.int rng n) in
+  let j = List.nth keys (Rng.int rng n) in
+  let read key =
+    match Cluster.peek cluster ~dc key with Some (v, ver) -> (v, ver) | None -> (item_row 0, 0)
+  in
+  let v_i, ver_i = read (item i) in
+  let stock = Value.get_int v_i "stock" in
+  let value = Value.set v_i "stock" (Value.Int (max 0 (stock - 1))) in
+  let reads =
+    if j <> i then [ (item i, ver_i); (item j, snd (read (item j))) ] else [ (item i, ver_i) ]
+  in
+  Txn.serializable ~id:(Generator.fresh_txid ctx) ~reads
+    ~updates:[ (item i, Update.Physical { vread = ver_i; value }) ]
+
+let run s =
+  let engine = Engine.create ~seed:s.seed in
+  let config =
+    Config.make ~mode:s.mode ~learn_timeout:600.0 ~txn_timeout:1500.0 ~dangling_scan_every:500.0
+      ?fast_quorum_override:s.fast_quorum_override ~replication:5 ()
+  in
+  let history = History.create () in
+  let cluster = Cluster.create ~engine ~history ~config ~schema:stock_schema () in
+  Cluster.load cluster (List.init s.items (fun i -> (item i, item_row s.stock)));
+  Cluster.start_maintenance cluster;
+  (* The fault schedule derives from the seed alone: same seed, same runs. *)
+  let sched_rng = Rng.create ((s.seed * 2654435761) lxor 0x6e656d) in
+  let schedule =
+    s.scenario.Nemesis.sc_build ~rng:sched_rng ~cluster ~horizon:s.horizon
+    @ [ (s.horizon, Nemesis.Heal_all) ]
+  in
+  Nemesis.install ~history cluster schedule;
+  (* After healing, two peer-directed anti-entropy sweeps (spaced so the
+     first round's catchups land before the second probes). *)
+  ignore (Engine.schedule_at engine ~at:(s.horizon +. 4_000.0) (fun () -> Cluster.sync_all cluster));
+  ignore (Engine.schedule_at engine ~at:(s.horizon +. 12_000.0) (fun () -> Cluster.sync_all cluster));
+  (* Trace capture (the violating-seed replay path). *)
+  let trace_buf = ref [] in
+  let was_tracing = Trace.enabled () in
+  if s.capture_trace then begin
+    Trace.set_sink (fun line -> trace_buf := line :: !trace_buf);
+    Trace.enable ()
+  end;
+  (* Scripted clients: [txns] transactions at random times from random DCs. *)
+  let crng = Rng.create ((s.seed * 31) + 7) in
+  let dcs = Cluster.num_dcs cluster in
+  let ctxs =
+    Array.init dcs (fun dc -> Generator.make_ctx ~rng:(Rng.split crng) ~dc ~client_id:dc)
+  in
+  let decided = ref [] in
+  let submitted = ref 0 in
+  let deltas = delta_keys s and rmws = rmw_keys s in
+  for _ = 1 to s.txns do
+    let dc = Rng.int crng dcs in
+    let at = Rng.float crng s.horizon in
+    let style_delta =
+      match (deltas, rmws) with
+      | [], _ -> false
+      | _, [] -> true
+      | _, _ -> Rng.bool crng
+    in
+    incr submitted;
+    ignore
+      (Engine.schedule_at engine ~at (fun () ->
+           (* Build at submission time so reads see the current local state. *)
+           let txn =
+             if style_delta then build_delta_txn crng ctxs.(dc) deltas
+             else build_rmw_txn crng ctxs.(dc) cluster ~dc rmws
+           in
+           Coordinator.submit
+             (Cluster.coordinator cluster ~dc ~rank:0)
+             txn
+             (fun outcome -> decided := { d_txn = txn; d_outcome = outcome } :: !decided)))
+  done;
+  Engine.run ~until:(s.horizon +. s.drain) engine;
+  if s.capture_trace then begin
+    Trace.reset_sink ();
+    if not was_tracing then Trace.disable ()
+  end;
+  (* ---- checks ---- *)
+  let violations = ref (Checker.check ~bounds:(Schema.bounds_of stock_schema) history) in
+  let add invariant detail = violations := !violations @ [ { Checker.invariant; detail } ] in
+  (* Liveness: everything submitted must have decided once all faults healed. *)
+  let undecided = !submitted - List.length !decided in
+  if undecided > 0 then
+    add "liveness" (Printf.sprintf "%d of %d transactions never decided" undecided !submitted);
+  (* Convergence: after heal + anti-entropy + drain, every replica agrees. *)
+  for i = 0 to s.items - 1 do
+    let reference = Cluster.peek cluster ~dc:0 (item i) in
+    for dc = 1 to dcs - 1 do
+      let got = Cluster.peek cluster ~dc (item i) in
+      let equal =
+        match (reference, got) with
+        | None, None -> true
+        | Some (v1, ver1), Some (v2, ver2) -> Value.equal v1 v2 && ver1 = ver2
+        | Some _, None | None, Some _ -> false
+      in
+      if not equal then
+        add "convergence"
+          (Printf.sprintf "item %d differs between dc0 (%s) and dc%d (%s)" i
+             (match reference with Some (_, v) -> Printf.sprintf "v%d" v | None -> "-")
+             dc
+             (match got with Some (_, v) -> Printf.sprintf "v%d" v | None -> "-"))
+    done
+  done;
+  (* Delta accounting: on keys only ever written commutatively, the final
+     stock must equal the initial stock plus the committed deltas. *)
+  let physical_touched = Hashtbl.create 16 in
+  let expected = Hashtbl.create 16 in
+  List.iter
+    (fun { d_txn; d_outcome } ->
+      match d_outcome with
+      | Txn.Committed ->
+        List.iter
+          (fun (key, up) ->
+            match up with
+            | Update.Delta ds ->
+              let sum = List.fold_left (fun a (_, d) -> a + d) 0 ds in
+              let existing = Option.value (Hashtbl.find_opt expected key) ~default:0 in
+              Hashtbl.replace expected key (existing + sum)
+            | Update.Physical _ | Update.Insert _ | Update.Delete _ ->
+              Hashtbl.replace physical_touched key ()
+            | Update.Read_guard _ -> ())
+          d_txn.Txn.updates
+      | Txn.Aborted _ -> ())
+    !decided;
+  List.iter
+    (fun i ->
+      let key = item i in
+      if not (Hashtbl.mem physical_touched key) then begin
+        let committed_deltas = Option.value (Hashtbl.find_opt expected key) ~default:0 in
+        let want = s.stock + committed_deltas in
+        match Cluster.peek cluster ~dc:0 key with
+        | Some (v, _) ->
+          let got = Value.get_int v "stock" in
+          if got <> want then
+            add "accounting"
+              (Printf.sprintf "item %d stock is %d, expected initial %d + committed deltas %d = %d"
+                 i got s.stock committed_deltas want)
+        | None -> add "accounting" (Printf.sprintf "item %d disappeared" i)
+      end)
+    (delta_keys s);
+  let committed =
+    List.length (List.filter (fun d -> d.d_outcome = Txn.Committed) !decided)
+  in
+  {
+    r_seed = s.seed;
+    r_scenario = s.scenario.Nemesis.sc_name;
+    r_schedule = schedule;
+    r_submitted = !submitted;
+    r_committed = committed;
+    r_aborted = List.length !decided - committed;
+    r_undecided = undecided;
+    r_events = History.length history;
+    r_violations = !violations;
+    r_trace = List.rev !trace_buf;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let report_to_string ?(verbose = false) r =
+  let head =
+    Printf.sprintf "seed %4d  %-20s  %3d txns: %3d committed %3d aborted %d undecided  %5d events  %s"
+      r.r_seed r.r_scenario r.r_submitted r.r_committed r.r_aborted r.r_undecided r.r_events
+      (if r.r_violations = [] then "ok"
+       else Printf.sprintf "%d VIOLATIONS" (List.length r.r_violations))
+  in
+  if (not verbose) && r.r_violations = [] then head
+  else
+    String.concat "\n"
+      (head
+       :: (Printf.sprintf "  fault schedule:\n%s" (Nemesis.schedule_to_string r.r_schedule))
+       :: List.map (fun v -> "  " ^ Checker.violation_to_string v) r.r_violations)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let report_to_json r =
+  let strings l = String.concat "," (List.map (fun s -> Printf.sprintf "\"%s\"" (json_escape s)) l) in
+  Printf.sprintf
+    "{\"seed\":%d,\"scenario\":\"%s\",\"submitted\":%d,\"committed\":%d,\"aborted\":%d,\
+     \"undecided\":%d,\"events\":%d,\"schedule\":[%s],\"violations\":[%s],\"trace\":[%s]}"
+    r.r_seed (json_escape r.r_scenario) r.r_submitted r.r_committed r.r_aborted r.r_undecided
+    r.r_events
+    (String.concat ","
+       (List.map
+          (fun (t, f) -> Printf.sprintf "{\"at\":%.1f,\"fault\":\"%s\"}" t (json_escape (Nemesis.label f)))
+          r.r_schedule))
+    (String.concat ","
+       (List.map
+          (fun (v : Checker.violation) ->
+            Printf.sprintf "{\"invariant\":\"%s\",\"detail\":\"%s\"}" (json_escape v.Checker.invariant)
+              (json_escape v.Checker.detail))
+          r.r_violations))
+    (strings r.r_trace)

@@ -28,7 +28,7 @@ let default_master_dc ~dcs key =
   Hashtbl.hash (Key.to_string key ^ "#master") mod dcs
 
 let create ~engine ?topology ?(partitions = 1) ?(app_servers_per_dc = 1) ?(jitter_sigma = 0.05)
-    ?(drop_probability = 0.0) ?master_dc_of ~config ~schema () =
+    ?(drop_probability = 0.0) ?master_dc_of ?history ~config ~schema () =
   let storage_topo =
     match topology with
     | Some topo -> topo
@@ -51,14 +51,15 @@ let create ~engine ?topology ?(partitions = 1) ?(app_servers_per_dc = 1) ?(jitte
   in
   let nodes =
     Array.init (dcs * partitions) (fun node_id ->
-        Storage_node.create ~net ~config ~node_id ~schema ~replicas ~master_of ())
+        Storage_node.create ~net ~config ~node_id ~schema ~replicas ~master_of ?history ())
   in
   let base = dcs * partitions in
   let coords =
     Array.init (dcs * app_servers_per_dc) (fun i ->
         let dc = i / app_servers_per_dc in
         let local_nodes = List.init partitions (fun p -> (dc * partitions) + p) in
-        Coordinator.create ~net ~config ~node_id:(base + i) ~replicas ~master_of ~local_nodes ())
+        Coordinator.create ~net ~config ~node_id:(base + i) ~replicas ~master_of ~local_nodes
+          ?history ())
   in
   { engine; net; config; topo; schema; partitions; app_per_dc = app_servers_per_dc; dcs;
     nodes; coords; master_dc_of }
@@ -107,3 +108,14 @@ let sync_dc t dc =
   for p = 0 to t.partitions - 1 do
     Storage_node.sync_with_masters t.nodes.((dc * t.partitions) + p)
   done
+
+let fail_node t node = Net.fail_node t.net node
+
+let restart_node t node =
+  Net.recover_node t.net node;
+  (* A restarting storage node immediately runs the peer-directed
+     anti-entropy sweep: its committed store survived the crash (durable
+     storage), but it may have missed whole instances while down. *)
+  if node < Array.length t.nodes then Storage_node.sync_with_peers t.nodes.(node)
+
+let sync_all t = Array.iter Storage_node.sync_with_peers t.nodes

@@ -21,6 +21,7 @@ val create :
   ?jitter_sigma:float ->
   ?drop_probability:float ->
   ?master_dc_of:(Key.t -> int) ->
+  ?history:History.t ->
   config:Config.t ->
   schema:Schema.t ->
   unit ->
@@ -28,7 +29,9 @@ val create :
 (** [topology] must contain exactly [partitions] nodes per data center (the
     storage nodes); app-server nodes are appended automatically.  Default
     topology: the paper's five EC2 regions.  [config.replication] must equal
-    the number of data centers. *)
+    the number of data centers.  When [history] is given, every coordinator
+    and storage node records into it (chaos testing; see
+    {!Mdcc_chaos.Runner}). *)
 
 val engine : t -> Mdcc_sim.Engine.t
 val network : t -> Mdcc_sim.Network.t
@@ -68,3 +71,16 @@ val recover_dc : t -> int -> unit
 val sync_dc : t -> int -> unit
 (** Run the anti-entropy sweep on every storage node of a data center
     (typically right after {!recover_dc}). *)
+
+val fail_node : t -> int -> unit
+(** Crash a single node (all its traffic is dropped until restart). *)
+
+val restart_node : t -> int -> unit
+(** Restart-with-recovery entry point: bring a crashed node back (its
+    committed store is durable and survives the crash) and immediately run
+    the peer-directed anti-entropy sweep so it repairs any instance it
+    missed while down.  App-server nodes are simply reconnected. *)
+
+val sync_all : t -> unit
+(** Peer-directed anti-entropy on every storage node — what a chaos run
+    executes after healing all faults so replicas can reconverge. *)

@@ -8,15 +8,24 @@ type t = {
   txn_timeout : float;
   dangling_scan_every : float;
   batching : bool;
+  fast_quorum_override : int option;
 }
 
 let make ?(mode = Full) ?(gamma = 100) ?(learn_timeout = 1200.0) ?(txn_timeout = 5000.0)
-    ?(dangling_scan_every = 1000.0) ?(batching = false) ~replication () =
+    ?(dangling_scan_every = 1000.0) ?(batching = false) ?fast_quorum_override ~replication () =
   if replication < 3 then invalid_arg "Config.make: replication must be >= 3";
-  { mode; replication; gamma; learn_timeout; txn_timeout; dangling_scan_every; batching }
+  (match fast_quorum_override with
+  | Some q when q < 1 || q > replication ->
+    invalid_arg "Config.make: fast_quorum_override out of range"
+  | Some _ | None -> ());
+  { mode; replication; gamma; learn_timeout; txn_timeout; dangling_scan_every; batching;
+    fast_quorum_override }
 
 let classic_quorum t = Mdcc_paxos.Quorum.classic_size ~n:t.replication
 
-let fast_quorum t = Mdcc_paxos.Quorum.fast_size ~n:t.replication
+let fast_quorum t =
+  match t.fast_quorum_override with
+  | Some q -> q
+  | None -> Mdcc_paxos.Quorum.fast_size ~n:t.replication
 
 let mode_name = function Full -> "MDCC" | Fast_only -> "Fast" | Multi -> "Multi"

@@ -29,6 +29,12 @@ type t = {
       (** fold messages for the same destination node into one network
           message (proposals and visibility notifications) — the batching
           optimization of the paper's conclusion *)
+  fast_quorum_override : int option;
+      (** {b testing only}: force {!fast_quorum} to this size instead of the
+          safe [ceil(3n/4)].  Exists so the chaos checker can demonstrate it
+          catches real protocol bugs — an undersized fast quorum (e.g. 3 of
+          5) breaks the Fast Paxos intersection requirement and must show up
+          as a safety violation.  Never set this in a real deployment. *)
 }
 
 val make :
@@ -38,6 +44,7 @@ val make :
   ?txn_timeout:float ->
   ?dangling_scan_every:float ->
   ?batching:bool ->
+  ?fast_quorum_override:int ->
   replication:int ->
   unit ->
   t

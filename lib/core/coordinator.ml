@@ -64,7 +64,10 @@ type t = {
   mutable next_rid : int;
   stats : stats;
   rng : Rng.t;
+  history : History.t option;  (* chaos-testing execution recorder *)
 }
+
+let record t ev = match t.history with Some h -> History.record h ev | None -> ()
 
 (* How long a collision keeps steering this coordinator to the master before
    it probes fast ballots again (client-side half of the γ policy). *)
@@ -149,6 +152,7 @@ let decide t (ts : txn_state) =
     else t.stats.assisted_commits <- t.stats.assisted_commits + 1
   | Txn.Aborted _ -> t.stats.aborts <- t.stats.aborts + 1);
   trace t "decide %s %s" ts.txn.Txn.id (Format.asprintf "%a" Txn.pp_outcome outcome);
+  record t (History.Decided { time = now t; txid = ts.txn.Txn.id; outcome });
   (* Asynchronous Learned/Visibility notification: execute or void every
      option; correctness does not depend on its timing (§3.2.1). *)
   let pairs =
@@ -273,6 +277,7 @@ let submit t txn callback =
     in
     let ts = { txn; callback; keys; undecided = Key.Map.cardinal keys; timeout = None } in
     Hashtbl.replace t.txns txn.Txn.id ts;
+    record t (History.Submitted { time = now t; coordinator = t.id; txn });
     send_all t (Key.Map.fold (fun _ ks acc -> propose_payloads t ks @ acc) keys []);
     arm_timeout t ts
   end
@@ -377,7 +382,7 @@ let rec handle t ~src payload =
   | Messages.Scan_reply { rid; rows } -> on_scan_reply t rid rows
   | _ -> ()
 
-let create ~net ~config ~node_id ~replicas ~master_of ?(local_nodes = []) () =
+let create ~net ~config ~node_id ~replicas ~master_of ?(local_nodes = []) ?history () =
   let engine = Net.engine net in
   let t =
     {
@@ -404,6 +409,7 @@ let create ~net ~config ~node_id ~replicas ~master_of ?(local_nodes = []) () =
           timeout_recoveries = 0;
         };
       rng = Rng.split (Engine.rng engine);
+      history;
     }
   in
   Net.register net node_id (fun ~src payload -> handle t ~src payload);

@@ -27,11 +27,13 @@ val create :
   replicas:(Key.t -> int list) ->
   master_of:(Key.t -> int) ->
   ?local_nodes:int list ->
+  ?history:History.t ->
   unit ->
   t
 (** Registers the app-server's message handler on the network.
     [local_nodes] are the storage nodes of this app-server's data center
-    (needed only for {!scan_local}). *)
+    (needed only for {!scan_local}).  When [history] is given, every
+    submission and decision is recorded into it (chaos testing). *)
 
 val node_id : t -> int
 

@@ -1,7 +1,12 @@
 open Mdcc_storage
 open Mdcc_paxos
 
-type rebase = { value : Value.t; version : int; exists : bool }
+(* A committed-state snapshot used by recovery and anti-entropy.  [included]
+   lists every transaction whose effect is folded into [value]: the receiver
+   marks them visible so a late Visibility delivery cannot re-apply them
+   (commutative deltas carry no version guard, so state transfer without the
+   txid watermark double-counts them). *)
+type rebase = { value : Value.t; version : int; exists : bool; included : Txn.id list }
 
 type vote = { woption : Woption.t; decision : Woption.decision; ballot : Ballot.t }
 
@@ -22,6 +27,8 @@ type Mdcc_sim.Network.payload +=
       version : int;
       value : Value.t;
       exists : bool;
+      included : Txn.id list;
+      decided : (Txn.id * bool) list;
     }
   | Phase2a of {
       key : Key.t;

@@ -24,9 +24,13 @@
 open Mdcc_storage
 open Mdcc_paxos
 
-type rebase = { value : Value.t; version : int; exists : bool }
+type rebase = { value : Value.t; version : int; exists : bool; included : Txn.id list }
 (** Committed state shipped by a master to re-base stragglers / reset the
-    commutative base value after a demarcation collision (§3.4.2). *)
+    commutative base value after a demarcation collision (§3.4.2).
+    [included] is the watermark of transactions folded into [value]: the
+    receiver marks them visible so a late Visibility delivery cannot
+    re-apply them (commutative deltas carry no version guard, so state
+    transfer without the watermark would double-count them). *)
 
 type vote = { woption : Woption.t; decision : Woption.decision; ballot : Ballot.t }
 (** One pending acceptance reported in Phase1b or to recovery. *)
@@ -48,6 +52,11 @@ type Mdcc_sim.Network.payload +=
       version : int;
       value : Value.t;
       exists : bool;
+      included : Txn.id list;
+      decided : (Txn.id * bool) list;
+          (** visibility outcomes this acceptor knows for the key: final
+              decisions a recovery must confirm, never contradict (the
+              executed/voided option no longer appears in [votes]) *)
     }
   | Phase2a of {
       key : Key.t;

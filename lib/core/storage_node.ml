@@ -17,7 +17,7 @@ type round = {
 (* Collision recovery / mastership acquisition in progress for one record. *)
 type recovery = {
   mutable rc_ballot : Ballot.t;
-  mutable rc_resp : (int * Messages.vote list * Messages.rebase) list;
+  mutable rc_resp : (int * Messages.vote list * Messages.rebase * (Txn.id * bool) list) list;
   mutable rc_extras : Woption.t list;
   mutable rc_notify : int list;
   mutable rc_done : bool;
@@ -55,16 +55,48 @@ type t = {
   store : Store.t;
   records : Rstate.t Key.Tbl.t;
   visible : (string, bool) Hashtbl.t;  (* "txid#key" -> txn committed? *)
+  decided_log : (string, (Txn.id * bool) list) Hashtbl.t;
+      (* key -> visibility outcomes known at this replica.  A visibility is
+         a final decision, yet it erases the option's pending vote, so later
+         classic ballots cannot re-learn it from votes alone: the log is
+         shipped in Phase1b (recovery must honor it) and its committed
+         subset in every rebase (receivers dedupe late Visibilities). *)
   masters : mstate Key.Tbl.t;
   recoveries : (Txn.id, txrec) Hashtbl.t;
   rng : Rng.t;
+  history : History.t option;  (* chaos-testing execution recorder *)
 }
+
+let record t ev = match t.history with Some h -> History.record h ev | None -> ()
 
 let node_id t = t.id
 
 let store t = t.store
 
 let vkey txid key = txid ^ "#" ^ Key.to_string key
+
+let decided_for t key =
+  Option.value (Hashtbl.find_opt t.decided_log (Key.to_string key)) ~default:[]
+
+let record_decided t key txid committed =
+  let k = Key.to_string key in
+  let cur = Option.value (Hashtbl.find_opt t.decided_log k) ~default:[] in
+  if not (List.mem_assoc txid cur) then Hashtbl.replace t.decided_log k ((txid, committed) :: cur)
+
+let incorporated_txids t key =
+  List.filter_map (fun (txid, committed) -> if committed then Some txid else None)
+    (decided_for t key)
+
+(* A snapshot of our committed state, tagged with every transaction folded
+   into it. *)
+let rebase_of t key =
+  let row = Store.ensure t.store key in
+  {
+    Messages.value = row.Store.value;
+    version = row.Store.version;
+    exists = row.Store.exists;
+    included = incorporated_txids t key;
+  }
 
 let default_classic_until config =
   match config.Config.mode with Config.Multi -> max_int | Config.Full | Config.Fast_only -> 0
@@ -161,7 +193,7 @@ let fast_propose t (w : Woption.t) =
             ballot = Ballot.initial_fast;
             proposed_at = now t;
           };
-        trace t "fast vote %s %s" w.Woption.txid
+        trace t "fast vote %s %s %s" w.Woption.txid (Key.to_string key)
           (match decision with Woption.Accepted -> "acc" | Woption.Rejected -> "rej");
         reply decision
       end)
@@ -178,18 +210,26 @@ let acceptor_phase1a t key ballot =
         { Messages.woption = p.Rstate.woption; decision = p.Rstate.decision; ballot = p.Rstate.ballot })
       rs.Rstate.pending
   in
-  let row = Store.ensure t.store key in
-  ( ok,
-    rs.Rstate.promised,
-    votes,
-    { Messages.value = row.Store.value; version = row.Store.version; exists = row.Store.exists } )
+  (ok, rs.Rstate.promised, votes, rebase_of t key, decided_for t key)
 
 let apply_rebase t key (rb : Messages.rebase) =
   let row = Store.ensure t.store key in
   if rb.Messages.version > row.Store.version then begin
     row.Store.value <- rb.Messages.value;
     row.Store.version <- rb.Messages.version;
-    row.Store.exists <- rb.Messages.exists
+    row.Store.exists <- rb.Messages.exists;
+    (* The re-based state already reflects these transactions: mark them
+       visible so a late Visibility cannot re-apply them (deltas carry no
+       version guard, so a commutative update would otherwise be counted
+       twice), and drop any still-pending option they left behind. *)
+    List.iter
+      (fun txid ->
+        if not (Hashtbl.mem t.visible (vkey txid key)) then begin
+          Hashtbl.replace t.visible (vkey txid key) true;
+          Rstate.remove_pending (rstate t key) txid
+        end;
+        record_decided t key txid true)
+      rb.Messages.included
   end
 
 let acceptor_phase2a t key ballot (w : Woption.t) decision classic_until rebase =
@@ -198,17 +238,38 @@ let acceptor_phase2a t key ballot (w : Woption.t) decision classic_until rebase 
     rs.Rstate.promised <- ballot;
     rs.Rstate.classic_until <- Stdlib.max rs.Rstate.classic_until classic_until;
     (match rebase with Some rb -> apply_rebase t key rb | None -> ());
-    if not (Hashtbl.mem t.visible (vkey w.Woption.txid key)) then
-      Rstate.add_pending rs
-        { Rstate.woption = w; decision; ballot; proposed_at = now t };
-    (true, ballot, decision)
+    match Hashtbl.find_opt t.visible (vkey w.Woption.txid key) with
+    | Some committed ->
+      (* The option's visibility already executed here: that decision is
+         final, answer it instead of the proposer's. *)
+      (true, ballot, if committed then Woption.Accepted else Woption.Rejected)
+    | None ->
+      Rstate.add_pending rs { Rstate.woption = w; decision; ballot; proposed_at = now t };
+      (true, ballot, decision)
   end
   else (false, rs.Rstate.promised, decision)
 
 (* Execute or void an option (Algorithm 3, ApplyVisibility). *)
 let visibility t txid key (update : Update.t) committed =
-  if not (Hashtbl.mem t.visible (vkey txid key)) then begin
+  let unknown_update =
+    (* A recovery that learned the transaction committed without ever seeing
+       this key's real option ships a placeholder update (vread = -1). *)
+    committed && match update with Update.Physical { vread; _ } -> vread < 0 | _ -> false
+  in
+  if unknown_update then begin
+    (* We cannot execute what we do not know.  Refuse the message: the
+       pending vote stays (so conflicting rounds cannot validate against our
+       stale row) and the master's committed state — whose rebase watermark
+       settles this transaction — repairs us instead. *)
+    if not (Hashtbl.mem t.visible (vkey txid key)) then begin
+      trace t "visibility %s %s unknown update: catching up" txid (Key.to_string key);
+      if t.master_of key <> t.id then
+        send t (t.master_of key) (Messages.Catchup_request { key })
+    end
+  end
+  else if not (Hashtbl.mem t.visible (vkey txid key)) then begin
     Hashtbl.replace t.visible (vkey txid key) committed;
+    record_decided t key txid committed;
     let rs = rstate t key in
     Rstate.remove_pending rs txid;
     if committed then begin
@@ -222,8 +283,21 @@ let visibility t txid key (update : Update.t) committed =
         | Update.Delta _ -> true
         | Update.Read_guard _ -> false
       in
-      if apply_it then Store.apply t.store key update
-    end;
+      if apply_it then begin
+        Store.apply t.store key update;
+        record t
+          (History.Applied
+             {
+               time = now t;
+               node = t.id;
+               txid;
+               key;
+               version = row.Store.version;
+               value = row.Store.value;
+             })
+      end
+    end
+    else record t (History.Voided { time = now t; node = t.id; txid; key });
     trace t "visibility %s %s -> %s" txid (Key.to_string key)
       (if committed then "exec" else "void")
   end
@@ -267,7 +341,7 @@ let rec master_phase2b t ~src key txid ballot ok _decision =
             if dst = t.id then txn_recovery_learned t txid key r.r_dec
             else send t dst (Messages.Learned { key; txid; decision = r.r_dec }))
           targets;
-        trace t "classic learned %s %s" txid
+        trace t "classic learned %s %s %s" txid (Key.to_string key)
           (match r.r_dec with Woption.Accepted -> "acc" | Woption.Rejected -> "rej");
         process_queue t key
       end
@@ -347,16 +421,21 @@ and master_propose t (w : Woption.t) ~notify =
     match List.find_opt (fun r -> String.equal r.r_opt.Woption.txid txid) ms.m_rounds with
     | Some r -> r.r_notify <- union r.r_notify notify
     | None -> (
-      match Rstate.find_pending rs txid with
-      | Some p when not (Ballot.is_fast p.Rstate.ballot) ->
-        (* Already decided by a completed classic round. *)
-        tell p.Rstate.decision
-      | Some _ | None -> (
-        match ms.m_recovery with
-        | Some rc ->
-          if not (List.exists (fun o -> String.equal o.Woption.txid txid) rc.rc_extras) then
-            rc.rc_extras <- w :: rc.rc_extras;
-          rc.rc_notify <- union rc.rc_notify notify
+      match ms.m_recovery with
+      | Some rc ->
+        if not (List.exists (fun o -> String.equal o.Woption.txid txid) rc.rc_extras) then
+          rc.rc_extras <- w :: rc.rc_extras;
+        rc.rc_notify <- union rc.rc_notify notify
+      | None -> (
+        match Rstate.find_pending rs txid with
+        | Some _ ->
+          (* A local vote for the option exists — fast, or classic from a
+             round we no longer track.  Either way a vote is not a decision
+             (the round may have died short of a quorum), and re-running a
+             fresh round against our own state would have the option
+             conflicting with its own pending vote.  Recovery reads a quorum
+             and classifies the vote correctly. *)
+          start_recovery t key ~extras:[ w ] ~notify
         | None ->
           let row = valuation t key in
           let era_classic = Rstate.in_classic_era rs ~version:row.Rstate.version in
@@ -410,8 +489,8 @@ and broadcast_phase1a t key rc =
   List.iter
     (fun replica ->
       if replica = t.id then begin
-        let ok, promised, votes, rb = acceptor_phase1a t key ballot in
-        master_phase1b t ~src:t.id key ballot ok promised votes rb
+        let ok, promised, votes, rb, decided = acceptor_phase1a t key ballot in
+        master_phase1b t ~src:t.id key ballot ok promised votes rb decided
       end
       else send t replica (Messages.Phase1a { key; ballot }))
     (t.replicas key)
@@ -431,13 +510,13 @@ and watch_recovery t key rc =
            watch_recovery t key rc
          | Some _ | None -> ()))
 
-and master_phase1b t ~src key ballot ok promised votes rebase =
+and master_phase1b t ~src key ballot ok promised votes rebase decided =
   let ms = mstate t key in
   match ms.m_recovery with
   | Some rc when Ballot.equal ballot rc.rc_ballot && not rc.rc_done ->
     if ok then begin
-      if not (List.exists (fun (a, _, _) -> a = src) rc.rc_resp) then
-        rc.rc_resp <- (src, votes, rebase) :: rc.rc_resp;
+      if not (List.exists (fun (a, _, _, _) -> a = src) rc.rc_resp) then
+        rc.rc_resp <- (src, votes, rebase, decided) :: rc.rc_resp;
       if List.length rc.rc_resp >= qc t then resolve_recovery t key rc
     end
     else begin
@@ -462,11 +541,9 @@ and resolve_recovery t key rc =
   (* Re-base: the freshest committed state any responder reported. *)
   let rebase =
     List.fold_left
-      (fun best (_, _, rb) ->
+      (fun best (_, _, rb, _) ->
         if rb.Messages.version > best.Messages.version then rb else best)
-      (let row = Store.ensure t.store key in
-       { Messages.value = row.Store.value; version = row.Store.version; exists = row.Store.exists })
-      rc.rc_resp
+      (rebase_of t key) rc.rc_resp
   in
   apply_rebase t key rebase;
   (* Candidate options: every pending vote reported, plus escalated extras. *)
@@ -474,7 +551,7 @@ and resolve_recovery t key rc =
     Hashtbl.create 16
   in
   List.iter
-    (fun (_, votes, _) ->
+    (fun (_, votes, _, _) ->
       List.iter
         (fun (v : Messages.vote) ->
           let txid = v.Messages.woption.Woption.txid in
@@ -491,12 +568,25 @@ and resolve_recovery t key rc =
       if not (Hashtbl.mem candidates w.Woption.txid) then
         Hashtbl.replace candidates w.Woption.txid (w, []))
     rc.rc_extras;
-  (* Split decided-by-visibility, forced, and free candidates. *)
+  (* Visibility outcomes known anywhere in the quorum (or locally) are final
+     — a concurrent recovery already executed or voided these options, and
+     this ballot must confirm, not contradict, them. *)
+  let known_viz : (Txn.id, bool) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (txid, c) -> Hashtbl.replace known_viz txid c) (decided_for t key);
+  List.iter
+    (fun (_, _, _, decided) ->
+      List.iter (fun (txid, c) -> Hashtbl.replace known_viz txid c) decided)
+    rc.rc_resp;
+  (* Split candidates: decided-by-visibility, classic-voted (a vote cast in
+     some classic round — for each option only its highest-ballot vote
+     matters), fast-threshold ("might have been chosen" at the fast
+     ballot), and free. *)
   let threshold = qf - (n - quorum_size) in
-  let already_visible = ref [] and forced = ref [] and free = ref [] in
+  let already_visible = ref [] and classic_voted = ref [] and fast_forced = ref [] in
+  let free = ref [] in
   Hashtbl.iter
     (fun txid (w, votes) ->
-      match Hashtbl.find_opt t.visible (vkey txid key) with
+      match Hashtbl.find_opt known_viz txid with
       | Some committed ->
         already_visible :=
           (w, if committed then Woption.Accepted else Woption.Rejected) :: !already_visible
@@ -506,16 +596,14 @@ and resolve_recovery t key rc =
           |> List.sort (fun (_, b1) (_, b2) -> Ballot.compare b2 b1)
         in
         match classic_votes with
-        | (d, _) :: _ -> forced := (w, d) :: !forced
+        | (d, b) :: _ -> classic_voted := (w, d, b) :: !classic_voted
         | [] ->
           let acc = List.length (List.filter (fun (d, _) -> d = Woption.Accepted) votes) in
           let rej = List.length (List.filter (fun (d, _) -> d = Woption.Rejected) votes) in
-          if acc >= threshold then forced := (w, Woption.Accepted) :: !forced
-          else if rej >= threshold then forced := (w, Woption.Rejected) :: !forced
+          if acc >= threshold then fast_forced := (w, Woption.Accepted) :: !fast_forced
+          else if rej >= threshold then fast_forced := (w, Woption.Rejected) :: !fast_forced
           else free := w :: !free))
     candidates;
-  (* Validate the free options deterministically, oldest instance first,
-     against the re-based state plus everything already forced accepted. *)
   let base_val =
     {
       Rstate.value = rebase.Messages.value;
@@ -526,12 +614,7 @@ and resolve_recovery t key rc =
   let as_pending w d =
     { Rstate.woption = w; decision = d; ballot = rc.rc_ballot; proposed_at = now t }
   in
-  let accepted_so_far =
-    ref
-      (List.filter_map
-         (fun (w, d) -> if d = Woption.Accepted then Some (as_pending w d) else None)
-         !forced)
-  in
+  let accepted_so_far = ref [] in
   let instance_of (w : Woption.t) =
     match w.Woption.update with
     | Update.Physical { vread; _ } | Update.Delete { vread } | Update.Read_guard { vread } ->
@@ -539,14 +622,74 @@ and resolve_recovery t key rc =
     | Update.Insert _ -> 0
     | Update.Delta _ -> max_int
   in
-  let free_sorted =
-    List.sort
-      (fun a b ->
+  let sort_opts =
+    List.sort (fun a b ->
         match Int.compare (instance_of a) (instance_of b) with
         | 0 -> String.compare a.Woption.txid b.Woption.txid
         | c -> c)
-      !free
   in
+  (* A classic vote proves the option *might* have been chosen in that
+     round, nothing more: the round may have died short of a quorum, and its
+     stale vote can linger in an acceptor's log long after a higher ballot
+     chose a conflicting option (whose own votes vanish once visibility
+     executes them).  So accepted non-commutative classic-voted options are
+     re-validated against the re-based state, highest ballot first.  That
+     order is what makes this safe: had the option truly been chosen, a
+     classic quorum voted for it, every later recovery quorum intersects
+     that one, so no conflicting option could have been chosen since —
+     the re-based state still satisfies it and re-validation re-accepts it.
+     An option re-validation rejects provably was never chosen. *)
+  let classic_checked =
+    let sorted =
+      List.sort (fun (_, _, b1) (_, _, b2) -> Ballot.compare b2 b1) !classic_voted
+    in
+    List.map
+      (fun ((w : Woption.t), d, _) ->
+        if d = Woption.Accepted && not (Update.is_commutative w.Woption.update) then begin
+          let d' =
+            Rstate.evaluate ~bounds:(bounds t key) ~demarcation:`Escrow base_val
+              ~accepted:!accepted_so_far w.Woption.update
+          in
+          if d' = Woption.Accepted then accepted_so_far := as_pending w d' :: !accepted_so_far;
+          (w, d')
+        end
+        else begin
+          if d = Woption.Accepted then accepted_so_far := as_pending w d :: !accepted_so_far;
+          (w, d)
+        end)
+      sorted
+  in
+  (* Fast votes likewise only prove a non-commutative option *might* have
+     been chosen (the rest of the fast quorum is outside this view).  When
+     such an option no longer applies to the re-based state, or conflicts
+     with an option already validated above, it cannot in fact have been
+     chosen — a fast quorum would have had to intersect the classic /
+     rebasing quorum — so it must be rejected, not committed alongside.
+     Commutative deltas keep the threshold decision: they carry no instance
+     to conflict on. *)
+  let fast_checked =
+    let sorted =
+      sort_opts (List.map fst !fast_forced)
+      |> List.map (fun w -> (w, List.assq w !fast_forced))
+    in
+    List.map
+      (fun ((w : Woption.t), d) ->
+        if d = Woption.Accepted && not (Update.is_commutative w.Woption.update) then begin
+          let d' =
+            Rstate.evaluate ~bounds:(bounds t key) ~demarcation:`Escrow base_val
+              ~accepted:!accepted_so_far w.Woption.update
+          in
+          if d' = Woption.Accepted then accepted_so_far := as_pending w d' :: !accepted_so_far;
+          (w, d')
+        end
+        else begin
+          if d = Woption.Accepted then accepted_so_far := as_pending w d :: !accepted_so_far;
+          (w, d)
+        end)
+      sorted
+  in
+  (* Validate the free options deterministically, oldest instance first,
+     against the re-based state plus everything already forced accepted. *)
   let decided_free =
     List.map
       (fun w ->
@@ -556,7 +699,7 @@ and resolve_recovery t key rc =
         in
         if d = Woption.Accepted then accepted_so_far := as_pending w d :: !accepted_so_far;
         (w, d))
-      free_sorted
+      (sort_opts !free)
   in
   (* Install the classic window and become the stable master. *)
   let classic_until =
@@ -579,7 +722,7 @@ and resolve_recovery t key rc =
         (union [ w.Woption.coordinator ] rc.rc_notify))
     !already_visible;
   (* Re-propose every undecided option at the classic ballot. *)
-  let outcomes = !forced @ decided_free in
+  let outcomes = classic_checked @ fast_checked @ decided_free in
   List.iter
     (fun ((w : Woption.t), d) ->
       let r =
@@ -592,7 +735,9 @@ and resolve_recovery t key rc =
       broadcast_phase2a t key rc.rc_ballot w d ~classic_until ~rebase:(Some rebase))
     outcomes;
   trace t "recovery resolved %s: %d options (%d forced, %d free)" (Key.to_string key)
-    (List.length outcomes) (List.length !forced) (List.length decided_free)
+    (List.length outcomes)
+    (List.length classic_checked + List.length fast_checked)
+    (List.length decided_free)
 
 (* ------------------------------------------------------------------ *)
 (* Dangling-transaction recovery (app-server failure, §3.2.3)          *)
@@ -802,22 +947,12 @@ let rec handle t ~src payload =
       (fun (key, version) ->
         let row = Store.ensure t.store key in
         if row.Store.version > version then
-          send t src
-            (Messages.Catchup
-               {
-                 key;
-                 rebase =
-                   {
-                     Messages.value = row.Store.value;
-                     version = row.Store.version;
-                     exists = row.Store.exists;
-                   };
-               }))
+          send t src (Messages.Catchup { key; rebase = rebase_of t key }))
       entries
   | Messages.Propose { woption; route = `Fast } -> fast_propose t woption
   | Messages.Propose { woption; route = `Classic } -> master_propose t woption ~notify:[]
   | Messages.Phase1a { key; ballot } ->
-    let ok, promised, votes, rb = acceptor_phase1a t key ballot in
+    let ok, promised, votes, rb, decided = acceptor_phase1a t key ballot in
     send t src
       (Messages.Phase1b
          {
@@ -829,9 +964,14 @@ let rec handle t ~src payload =
            version = rb.Messages.version;
            value = rb.Messages.value;
            exists = rb.Messages.exists;
+           included = rb.Messages.included;
+           decided;
          })
-  | Messages.Phase1b { key; ballot; ok; promised; votes; version; value; exists } ->
-    master_phase1b t ~src key ballot ok promised votes { Messages.value; version; exists }
+  | Messages.Phase1b { key; ballot; ok; promised; votes; version; value; exists; included; decided }
+    ->
+    master_phase1b t ~src key ballot ok promised votes
+      { Messages.value; version; exists; included }
+      decided
   | Messages.Phase2a { key; ballot; woption; decision; classic_until; rebase } ->
     let ok, b, d = acceptor_phase2a t key ballot woption decision classic_until rebase in
     send t src
@@ -850,13 +990,7 @@ let rec handle t ~src payload =
   | Messages.Catchup_request { key } ->
     let row = Store.ensure t.store key in
     if row.Store.version > 0 then
-      send t src
-        (Messages.Catchup
-           {
-             key;
-             rebase =
-               { Messages.value = row.Store.value; version = row.Store.version; exists = row.Store.exists };
-           })
+      send t src (Messages.Catchup { key; rebase = rebase_of t key })
   | Messages.Catchup { key; rebase } -> apply_rebase t key rebase
   | Messages.Scan_request { rid; table; order_by; limit } ->
     let rows = ref [] in
@@ -885,7 +1019,7 @@ let rec handle t ~src payload =
          { rid; key; value = row.Store.value; version = row.Store.version; exists = row.Store.exists })
   | _ -> ()
 
-let create ~net ~config ~node_id ~schema ~replicas ~master_of () =
+let create ~net ~config ~node_id ~schema ~replicas ~master_of ?history () =
   let engine = Net.engine net in
   let t =
     {
@@ -899,9 +1033,11 @@ let create ~net ~config ~node_id ~schema ~replicas ~master_of () =
       store = Store.create schema;
       records = Key.Tbl.create 1024;
       visible = Hashtbl.create 4096;
+      decided_log = Hashtbl.create 1024;
       masters = Key.Tbl.create 256;
       recoveries = Hashtbl.create 64;
       rng = Rng.split (Engine.rng engine);
+      history;
     }
   in
   Net.register net node_id (fun ~src payload -> handle t ~src payload);
@@ -933,6 +1069,22 @@ let sync_with_masters t =
   Hashtbl.iter
     (fun master entries -> send t master (Messages.Sync_request { entries }))
     by_master
+
+(* Stronger anti-entropy for a node restarting after a crash: probe every
+   replica of every key we hold, not just the masters.  A crashed node may
+   have missed instances of keys it {e masters} — their state is newer at the
+   other replicas, which the master-directed sweep above never asks. *)
+let sync_with_peers t =
+  let by_peer = Hashtbl.create 8 in
+  Store.iter t.store (fun key row ->
+      List.iter
+        (fun peer ->
+          if peer <> t.id then begin
+            let existing = Option.value (Hashtbl.find_opt by_peer peer) ~default:[] in
+            Hashtbl.replace by_peer peer ((key, row.Store.version) :: existing)
+          end)
+        (t.replicas key));
+  Hashtbl.iter (fun peer entries -> send t peer (Messages.Sync_request { entries })) by_peer
 
 let start_maintenance t =
   let period = t.config.Config.dangling_scan_every in

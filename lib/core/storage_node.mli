@@ -36,12 +36,14 @@ val create :
   schema:Schema.t ->
   replicas:(Key.t -> int list) ->
   master_of:(Key.t -> int) ->
+  ?history:History.t ->
   unit ->
   t
 (** Build the node and register its message handler on the network.
     [replicas key] must list the full replica group of [key] (including this
     node when it replicates [key]); [master_of key] is the node currently
-    responsible for classic ballots on [key]. *)
+    responsible for classic ballots on [key].  When [history] is given,
+    every option execution/void is recorded into it (chaos testing). *)
 
 val node_id : t -> int
 
@@ -59,6 +61,13 @@ val sync_with_masters : t -> unit
     the local version; newer committed state comes back via [Catchup].  The
     "background process" that brings a recovered data center up to date
     (§5.3.4). *)
+
+val sync_with_peers : t -> unit
+(** Like {!sync_with_masters}, but probe {e every} replica of every key this
+    node holds.  A node restarting after a crash may be stale even on keys
+    it masters (the other replicas kept committing while it was down), which
+    the master-directed sweep cannot repair.  Part of the
+    restart-with-recovery path ({!Cluster.restart_node}). *)
 
 val start_maintenance : t -> unit
 (** Arm the periodic dangling-transaction scan (call after setup; scans run

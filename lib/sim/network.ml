@@ -11,11 +11,14 @@ type stats = {
 type t = {
   engine : Engine.t;
   topo : Topology.t;
-  drop_probability : float;
+  base_drop_probability : float;
+  mutable drop_probability : float;
+  mutable latency_factor : float;
   jitter_sigma : float;
   rng : Rng.t;
   handlers : (src:Topology.node_id -> payload -> unit) option array;
   failed : bool array;
+  cut : (Topology.node_id * Topology.node_id, unit) Hashtbl.t;
   stats : stats;
 }
 
@@ -23,11 +26,14 @@ let create engine topo ?(drop_probability = 0.0) ?(jitter_sigma = 0.05) () =
   {
     engine;
     topo;
+    base_drop_probability = drop_probability;
     drop_probability;
+    latency_factor = 1.0;
     jitter_sigma;
     rng = Rng.split (Engine.rng engine);
     handlers = Array.make (Topology.num_nodes topo) None;
     failed = Array.make (Topology.num_nodes topo) false;
+    cut = Hashtbl.create 64;
     stats = { sent = 0; delivered = 0; dropped = 0 };
   }
 
@@ -45,20 +51,24 @@ let latency_sample t ~src ~dst =
     if t.jitter_sigma <= 0.0 then 1.0
     else Rng.lognormal t.rng ~mu:0.0 ~sigma:t.jitter_sigma
   in
-  floor_latency +. (base *. jitter)
+  floor_latency +. (base *. t.latency_factor *. jitter)
+
+let link_cut t ~src ~dst = Hashtbl.mem t.cut (src, dst)
+
+let blocked t ~src ~dst = t.failed.(src) || t.failed.(dst) || link_cut t ~src ~dst
 
 let send t ~src ~dst payload =
   t.stats.sent <- t.stats.sent + 1;
-  if t.failed.(src) || t.failed.(dst) then t.stats.dropped <- t.stats.dropped + 1
+  if blocked t ~src ~dst then t.stats.dropped <- t.stats.dropped + 1
   else if t.drop_probability > 0.0 && Rng.bernoulli t.rng t.drop_probability then
     t.stats.dropped <- t.stats.dropped + 1
   else begin
     let delay = latency_sample t ~src ~dst in
     ignore
       (Engine.schedule t.engine ~after:delay (fun () ->
-           (* Failures that happened while the message was in flight also
-              kill it: a dead data center receives nothing. *)
-           if t.failed.(src) || t.failed.(dst) then t.stats.dropped <- t.stats.dropped + 1
+           (* Failures and link cuts that happened while the message was in
+              flight also kill it: a dead data center receives nothing. *)
+           if blocked t ~src ~dst then t.stats.dropped <- t.stats.dropped + 1
            else begin
              match t.handlers.(dst) with
              | None -> t.stats.dropped <- t.stats.dropped + 1
@@ -79,5 +89,29 @@ let is_failed t node = t.failed.(node)
 let fail_dc t dc = List.iter (fail_node t) (Topology.nodes_in_dc t.topo dc)
 
 let recover_dc t dc = List.iter (recover_node t) (Topology.nodes_in_dc t.topo dc)
+
+let cut_link t ~src ~dst = Hashtbl.replace t.cut (src, dst) ()
+
+let heal_link t ~src ~dst = Hashtbl.remove t.cut (src, dst)
+
+let set_drop_probability t p =
+  if p < 0.0 || p >= 1.0 then invalid_arg "Network.set_drop_probability";
+  t.drop_probability <- p
+
+let drop_probability t = t.drop_probability
+
+let base_drop_probability t = t.base_drop_probability
+
+let set_latency_factor t f =
+  if f <= 0.0 then invalid_arg "Network.set_latency_factor";
+  t.latency_factor <- f
+
+let latency_factor t = t.latency_factor
+
+let heal_all t =
+  Array.fill t.failed 0 (Array.length t.failed) false;
+  Hashtbl.reset t.cut;
+  t.drop_probability <- t.base_drop_probability;
+  t.latency_factor <- 1.0
 
 let stats t = t.stats

@@ -55,6 +55,37 @@ val fail_dc : t -> int -> unit
 
 val recover_dc : t -> int -> unit
 
+val cut_link : t -> src:Topology.node_id -> dst:Topology.node_id -> unit
+(** Cut the {e directed} link [src -> dst]: messages from [src] to [dst] are
+    dropped (at send or delivery time) until {!heal_link}.  Cutting only one
+    direction yields the asymmetric partitions that [fail_node]/[fail_dc]
+    cannot express — a node that can send but not receive, or vice versa. *)
+
+val heal_link : t -> src:Topology.node_id -> dst:Topology.node_id -> unit
+
+val link_cut : t -> src:Topology.node_id -> dst:Topology.node_id -> bool
+
+val set_drop_probability : t -> float -> unit
+(** Change the random-drop probability of a {e live} network (the chaos
+    nemesis' drop-probability spike).  Raises [Invalid_argument] outside
+    [\[0, 1)]. *)
+
+val drop_probability : t -> float
+
+val base_drop_probability : t -> float
+(** The value given at {!create} (what {!heal_all} restores). *)
+
+val set_latency_factor : t -> float -> unit
+(** Multiply every subsequent latency draw by this factor (default 1.0) —
+    the nemesis' latency surge.  Raises [Invalid_argument] if [<= 0]. *)
+
+val latency_factor : t -> float
+
+val heal_all : t -> unit
+(** Recover every node, heal every cut link, and restore the create-time
+    drop probability and a latency factor of 1.0.  In-flight messages that
+    were already dropped stay dropped. *)
+
 val latency_sample : t -> src:Topology.node_id -> dst:Topology.node_id -> float
 (** One latency draw for the pair, exactly as [send] would use (exposed for
     tests and for modelling local reads). *)

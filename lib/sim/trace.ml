@@ -6,7 +6,17 @@ let disable () = flag := false
 
 let enabled () = !flag
 
+let stdout_sink line = print_endline line
+
+let sink = ref stdout_sink
+
+let set_sink f = sink := f
+
+let reset_sink () = sink := stdout_sink
+
 let emit engine ~tag fmt =
   Printf.ksprintf
-    (fun msg -> if !flag then Printf.printf "[%10.2f] %-12s %s\n" (Engine.now engine) tag msg)
+    (fun msg ->
+      if !flag then
+        !sink (Printf.sprintf "[%10.2f] %-12s %s" (Engine.now engine) tag msg))
     fmt

@@ -9,5 +9,15 @@ val disable : unit -> unit
 val enabled : unit -> bool
 
 val emit : Engine.t -> tag:string -> ('a, unit, string, unit) format4 -> 'a
-(** [emit engine ~tag fmt ...] prints ["[%8.2f] %-10s msg"] to stdout when
-    tracing is enabled; otherwise the arguments are consumed and ignored. *)
+(** [emit engine ~tag fmt ...] formats ["[%8.2f] %-10s msg"] and hands the
+    line to the current sink when tracing is enabled; otherwise the
+    arguments are consumed and ignored. *)
+
+val set_sink : (string -> unit) -> unit
+(** Redirect trace lines (without trailing newline) to a custom consumer —
+    e.g. a buffer, so a chaos run can attach the interleaved protocol trace
+    of a violating seed to its report instead of losing it to the
+    terminal. *)
+
+val reset_sink : unit -> unit
+(** Restore the default stdout sink. *)

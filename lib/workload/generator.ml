@@ -12,6 +12,8 @@ type t = {
   prepare : ctx -> Mdcc_protocols.Harness.t -> (Txn.t -> unit) -> unit;
 }
 
+let make_ctx ~rng ~dc ~client_id = { rng; dc; client_id; seq = 0 }
+
 let fresh_txid ctx =
   ctx.seq <- ctx.seq + 1;
   Printf.sprintf "c%d-%d" ctx.client_id ctx.seq

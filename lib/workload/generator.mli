@@ -21,6 +21,10 @@ type t = {
   prepare : ctx -> Mdcc_protocols.Harness.t -> (Txn.t -> unit) -> unit;
 }
 
+val make_ctx : rng:Mdcc_util.Rng.t -> dc:int -> client_id:int -> ctx
+(** Fresh client context with [seq = 0] — used by the experiment harness and
+    by the chaos runner's scripted clients. *)
+
 val fresh_txid : ctx -> Txn.id
 (** Unique id ["c<client>-<seq>"]; increments [seq]. *)
 

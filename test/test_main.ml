@@ -19,4 +19,5 @@ let () =
       ("edge", T_edge.suite);
       ("baselines", T_baselines.suite);
       ("workload", T_workload.suite);
+      ("chaos", T_chaos.suite);
     ]
