@@ -1,0 +1,52 @@
+(* mdcc_lint command-line driver.
+
+   Exit codes: 0 clean, 1 unsuppressed findings, 2 parse/usage error. *)
+
+module Driver = Mdcc_lint.Driver
+module Finding = Mdcc_lint.Finding
+module Allowlist = Mdcc_lint.Allowlist
+
+let run allow_file json roots =
+  let allow =
+    match allow_file with
+    | None -> []
+    | Some path -> Allowlist.load path
+  in
+  match Driver.scan ~allow roots with
+  | exception Driver.Parse_error { file; message } ->
+    Printf.eprintf "lint: cannot parse %s: %s\n" file message;
+    exit 2
+  | exception Failure msg ->
+    Printf.eprintf "lint: %s\n" msg;
+    exit 2
+  | report ->
+    if json then print_endline (Driver.report_to_json report)
+    else begin
+      List.iter (fun f -> print_endline (Finding.to_string f)) report.Driver.rp_findings;
+      Printf.printf "lint: %d file(s) scanned, %d violation(s), %d allowlisted\n"
+        report.Driver.rp_scanned
+        (List.length report.Driver.rp_findings)
+        (List.length report.Driver.rp_suppressed)
+    end;
+    if report.Driver.rp_findings <> [] then exit 1
+
+open Cmdliner
+
+let allow_arg =
+  let doc = "Allowlist file (RULE PATH[:LINE] per line, # comments)." in
+  Arg.(value & opt (some file) None & info [ "allow" ] ~docv:"FILE" ~doc)
+
+let json_arg =
+  let doc = "Emit a single-line machine-readable JSON report." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let roots_arg =
+  let doc = "Directories to scan recursively for .ml files." in
+  Arg.(value & pos_all string [ "lib"; "bin" ] & info [] ~docv:"DIR" ~doc)
+
+let cmd =
+  let doc = "determinism & aliasing static analysis for the MDCC tree" in
+  let info = Cmd.info "mdcc-lint" ~doc in
+  Cmd.v info Term.(const run $ allow_arg $ json_arg $ roots_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,5 +1,6 @@
 open Mdcc_storage
 module History = Mdcc_core.History
+module Table = Mdcc_util.Table
 
 type violation = { invariant : string; detail : string }
 
@@ -65,7 +66,7 @@ let reads_of (txn : Txn.t) =
 
 let check_atomic_visibility tbl =
   let out = ref [] in
-  Hashtbl.iter
+  Table.sorted_iter ~compare:String.compare
     (fun txid info ->
       let add detail = out := { invariant = "atomic-visibility"; detail } :: !out in
       if info.applied <> [] && info.voided <> [] then
@@ -91,7 +92,7 @@ let check_atomic_visibility tbl =
 let check_lost_updates tbl =
   (* (key, vread) -> committed physical/delete writers *)
   let writers : (Key.t * int, Txn.id list) Hashtbl.t = Hashtbl.create 64 in
-  Hashtbl.iter
+  Table.sorted_iter ~compare:String.compare
     (fun txid info ->
       match info.txn with
       | Some txn when committed info ->
@@ -106,8 +107,8 @@ let check_lost_updates tbl =
           txn.Txn.updates
       | Some _ | None -> ())
     tbl;
-  Hashtbl.fold
-    (fun (key, vread) txids acc ->
+  List.fold_left
+    (fun acc ((key, vread), txids) ->
       match txids with
       | [] | [ _ ] -> acc
       | _ ->
@@ -119,7 +120,7 @@ let check_lost_updates tbl =
               (String.concat ", " (List.sort String.compare txids));
         }
         :: acc)
-    writers []
+    [] (Table.sorted_bindings writers)
 
 (* ------------------------------------------------------------------ *)
 (* 3. Read-committed visibility                                        *)
@@ -146,7 +147,7 @@ let check_read_committed tbl =
     v <= 1
     || (match Hashtbl.find_opt valid key with Some s -> Hashtbl.mem s v | None -> false)
   in
-  Hashtbl.iter
+  Table.sorted_iter ~compare:String.compare
     (fun _ info ->
       List.iter (fun (_, key, version, _) -> mark key version) info.applied;
       match info.txn with
@@ -160,7 +161,7 @@ let check_read_committed tbl =
       | Some _ | None -> ())
     tbl;
   let out = ref [] in
-  Hashtbl.iter
+  Table.sorted_iter ~compare:String.compare
     (fun txid info ->
       match info.txn with
       | Some txn when committed info ->
@@ -197,12 +198,12 @@ let is_classic (txn : Txn.t) =
 let check_serializability tbl =
   (* Participants: committed classic transactions with known write-sets. *)
   let participants : (Txn.id * Txn.t * info) list =
-    Hashtbl.fold
-      (fun txid info acc ->
+    List.fold_left
+      (fun acc (txid, info) ->
         match info.txn with
         | Some txn when committed info && is_classic txn -> (txid, txn, info) :: acc
         | Some _ | None -> acc)
-      tbl []
+      [] (Table.sorted_bindings ~compare:String.compare tbl)
   in
   (* Writers per key with the version each write installed. *)
   let writers : (Key.t, (Txn.id * int) list ref) Hashtbl.t = Hashtbl.create 64 in
@@ -240,7 +241,7 @@ let check_serializability tbl =
   in
   List.iter (fun (txid, _, _) -> if not (Hashtbl.mem edges txid) then Hashtbl.add edges txid (ref [])) participants;
   (* WW: per-key version order. *)
-  Hashtbl.iter
+  Table.sorted_iter
     (fun _ l ->
       let sorted = List.sort (fun (_, a) (_, b) -> Int.compare a b) !l in
       let rec link = function
@@ -289,7 +290,11 @@ let check_serializability tbl =
         Hashtbl.replace color node 2
     end
   in
-  Hashtbl.iter (fun node _ -> if !cycle = None then dfs [] node) edges;
+  (* DFS roots in sorted order: *which* cycle gets reported must be a pure
+     function of the history, not of hash-table layout. *)
+  List.iter
+    (fun (node, _) -> if !cycle = None then dfs [] node)
+    (Table.sorted_bindings ~compare:String.compare edges);
   match !cycle with
   | None -> []
   | Some path ->
@@ -308,7 +313,7 @@ let check_serializability tbl =
 
 let check_demarcation ~bounds tbl =
   let out = ref [] in
-  Hashtbl.iter
+  Table.sorted_iter ~compare:String.compare
     (fun txid info ->
       List.iter
         (fun (node, key, version, value) ->

@@ -3,6 +3,7 @@ open Mdcc_core
 module Engine = Mdcc_sim.Engine
 module Trace = Mdcc_sim.Trace
 module Rng = Mdcc_util.Rng
+module Invariant = Mdcc_util.Invariant
 module Generator = Mdcc_workload.Generator
 
 type workload = Deltas | Rmw | Mixed
@@ -135,6 +136,13 @@ let run s =
     Trace.set_sink (fun line -> trace_buf := line :: !trace_buf);
     Trace.enable ()
   end;
+  (* Tagged invariant violations (Util.Invariant) land in the recorded
+     history before the exception unwinds, so a replay shows *where* a
+     protocol invariant died instead of an anonymous process teardown. *)
+  Invariant.set_sink (fun v ->
+      History.record history
+        (History.Fault { time = Engine.now engine; label = Invariant.to_string v });
+      Trace.emit engine ~tag:"invariant" "%s" (Invariant.to_string v));
   (* Scripted clients: [txns] transactions at random times from random DCs. *)
   let crng = Rng.create ((s.seed * 31) + 7) in
   let dcs = Cluster.num_dcs cluster in
@@ -167,6 +175,7 @@ let run s =
              (fun outcome -> decided := { d_txn = txn; d_outcome = outcome } :: !decided)))
   done;
   Engine.run ~until:(s.horizon +. s.drain) engine;
+  Invariant.reset_sink ();
   if s.capture_trace then begin
     Trace.reset_sink ();
     if not was_tracing then Trace.disable ()

@@ -2,6 +2,7 @@ open Mdcc_storage
 module Engine = Mdcc_sim.Engine
 module Net = Mdcc_sim.Network
 module Topology = Mdcc_sim.Topology
+module Invariant = Mdcc_util.Invariant
 
 type t = {
   engine : Engine.t;
@@ -36,9 +37,12 @@ let create ~engine ?topology ?(partitions = 1) ?(app_servers_per_dc = 1) ?(jitte
   in
   let dcs = Topology.num_dcs storage_topo in
   if config.Config.replication <> dcs then
-    invalid_arg "Cluster.create: config.replication must equal the number of data centers";
+    Invariant.violate ~context:"Cluster.create"
+      "config.replication (%d) must equal the number of data centers (%d)"
+      config.Config.replication dcs;
   if Topology.num_nodes storage_topo <> dcs * partitions then
-    invalid_arg "Cluster.create: topology must have exactly `partitions` nodes per DC";
+    Invariant.violate ~context:"Cluster.create"
+      "topology must have exactly `partitions` (%d) nodes per DC" partitions;
   let topo = Topology.add_nodes storage_topo ~per_dc:app_servers_per_dc in
   let net = Net.create engine topo ~drop_probability ~jitter_sigma () in
   let master_dc_of =
@@ -76,7 +80,7 @@ let num_dcs t = t.dcs
 
 let coordinator t ~dc ~rank =
   if dc < 0 || dc >= t.dcs || rank < 0 || rank >= t.app_per_dc then
-    invalid_arg "Cluster.coordinator: out of range";
+    Invariant.violate ~context:"Cluster.coordinator" "dc %d / rank %d out of range" dc rank;
   t.coords.((dc * t.app_per_dc) + rank)
 
 let coordinators t = Array.to_list t.coords

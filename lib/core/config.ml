@@ -13,10 +13,13 @@ type t = {
 
 let make ?(mode = Full) ?(gamma = 100) ?(learn_timeout = 1200.0) ?(txn_timeout = 5000.0)
     ?(dangling_scan_every = 1000.0) ?(batching = false) ?fast_quorum_override ~replication () =
-  if replication < 3 then invalid_arg "Config.make: replication must be >= 3";
+  let module Invariant = Mdcc_util.Invariant in
+  if replication < 3 then
+    Invariant.violate ~context:"Config.make" "replication must be >= 3, got %d" replication;
   (match fast_quorum_override with
   | Some q when q < 1 || q > replication ->
-    invalid_arg "Config.make: fast_quorum_override out of range"
+    Invariant.violate ~context:"Config.make" "fast_quorum_override %d out of range [1, %d]" q
+      replication
   | Some _ | None -> ());
   { mode; replication; gamma; learn_timeout; txn_timeout; dangling_scan_every; batching;
     fast_quorum_override }

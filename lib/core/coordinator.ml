@@ -5,6 +5,8 @@ module Engine = Mdcc_sim.Engine
 module Topology = Mdcc_sim.Topology
 module Trace = Mdcc_sim.Trace
 module Rng = Mdcc_util.Rng
+module Table = Mdcc_util.Table
+module Invariant = Mdcc_util.Invariant
 
 type key_state = {
   woption : Woption.t;
@@ -105,7 +107,7 @@ let send_all t pairs =
         let existing = Option.value (Hashtbl.find_opt by_dst dst) ~default:[] in
         Hashtbl.replace by_dst dst (p :: existing))
       pairs;
-    Hashtbl.iter
+    Table.sorted_iter ~compare:Int.compare
       (fun dst ps ->
         match ps with
         | [ p ] -> send t dst p
@@ -290,7 +292,12 @@ let local_replica t key =
   let topo = Net.topology t.net in
   match List.find_opt (fun r -> Topology.dc_of topo r = t.dc) (t.replicas key) with
   | Some r -> r
-  | None -> List.hd (t.replicas key)
+  | None -> (
+    match t.replicas key with
+    | r :: _ -> r
+    | [] ->
+      Invariant.violate ~node:t.id ~context:"Coordinator.local_replica"
+        "key %s has no replicas" (Key.to_string key))
 
 let new_read t key ~need cb =
   let rid = t.next_rid in

@@ -1,11 +1,12 @@
 open Mdcc_storage
 open Mdcc_paxos
+module Engine = Mdcc_sim.Engine
 
 type pending = {
   woption : Woption.t;
   mutable decision : Woption.decision;
   mutable ballot : Ballot.t;
-  mutable proposed_at : float;
+  mutable proposed_at : Engine.sim_time;
 }
 
 type t = {

@@ -26,7 +26,11 @@ type pending = {
   woption : Woption.t;
   mutable decision : Woption.decision;  (** this replica's current vote *)
   mutable ballot : Ballot.t;  (** ballot the vote was cast at *)
-  mutable proposed_at : float;  (** virtual time, for dangling detection *)
+  mutable proposed_at : Mdcc_sim.Engine.sim_time;
+      (** {e simulated} time, for dangling detection.  The [sim_time]
+          type (not bare [float]) is how lint rule R1 asserts the field
+          is fed from the engine clock, never the wall clock: the only
+          writers are [Storage_node]'s [now t] call sites. *)
 }
 
 type t = {

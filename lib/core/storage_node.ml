@@ -4,6 +4,7 @@ module Net = Mdcc_sim.Network
 module Engine = Mdcc_sim.Engine
 module Trace = Mdcc_sim.Trace
 module Rng = Mdcc_util.Rng
+module Table = Mdcc_util.Table
 
 (* A classic Phase 2 round this master is running for one option. *)
 type round = {
@@ -584,7 +585,9 @@ and resolve_recovery t key rc =
   let threshold = qf - (n - quorum_size) in
   let already_visible = ref [] and classic_voted = ref [] and fast_forced = ref [] in
   let free = ref [] in
-  Hashtbl.iter
+  (* Sorted by txid: the order candidates are classified (and therefore the
+     order recovered options re-propose) must not depend on hash order. *)
+  Table.sorted_iter ~compare:String.compare
     (fun txid (w, votes) ->
       match Hashtbl.find_opt known_viz txid with
       | Some committed ->
@@ -920,7 +923,7 @@ let txn_recovery_status t txid key status acceptor =
 let scan_dangling t =
   let deadline_factor key = if t.master_of key = t.id then 1.0 else 3.0 in
   let stale = ref [] in
-  Key.Tbl.iter
+  Key.Tbl.sorted_iter
     (fun key rs ->
       List.iter
         (fun (p : Rstate.pending) ->
@@ -1053,7 +1056,10 @@ let load t rows =
     rows
 
 let pending_options t =
-  Key.Tbl.fold (fun _ rs acc -> acc + List.length rs.Rstate.pending) t.records 0
+  List.fold_left
+    (fun acc (_, rs) -> acc + List.length rs.Rstate.pending)
+    0
+    (Key.Tbl.sorted_bindings t.records)
 
 (* Anti-entropy sweep: probe the master of every key we hold with our
    version; stale keys come back via Catchup.  The "background process" that
@@ -1066,7 +1072,9 @@ let sync_with_masters t =
         let existing = Option.value (Hashtbl.find_opt by_master master) ~default:[] in
         Hashtbl.replace by_master master ((key, row.Store.version) :: existing)
       end);
-  Hashtbl.iter
+  (* Probe masters in node-id order; entry lists are already in key order
+     because [Store.iter] is sorted. *)
+  Table.sorted_iter ~compare:Int.compare
     (fun master entries -> send t master (Messages.Sync_request { entries }))
     by_master
 
@@ -1084,7 +1092,9 @@ let sync_with_peers t =
             Hashtbl.replace by_peer peer ((key, row.Store.version) :: existing)
           end)
         (t.replicas key));
-  Hashtbl.iter (fun peer entries -> send t peer (Messages.Sync_request { entries })) by_peer
+  Table.sorted_iter ~compare:Int.compare
+    (fun peer entries -> send t peer (Messages.Sync_request { entries }))
+    by_peer
 
 let start_maintenance t =
   let period = t.config.Config.dangling_scan_every in

@@ -1,0 +1,52 @@
+type entry = { a_rule : string; a_path : string; a_line : int option }
+type t = entry list
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse_path tok =
+  match String.rindex_opt tok ':' with
+  | Some i -> (
+    let path = String.sub tok 0 i in
+    let tail = String.sub tok (i + 1) (String.length tok - i - 1) in
+    match int_of_string_opt tail with
+    | Some line -> (path, Some line)
+    | None -> (tok, None))
+  | None -> (tok, None)
+
+let of_string text =
+  String.split_on_char '\n' text
+  |> List.concat_map (fun line ->
+         let line = String.trim (strip_comment line) in
+         if String.equal line "" then []
+         else
+           match
+             String.split_on_char ' ' line
+             |> List.concat_map (String.split_on_char '\t')
+             |> List.filter (fun t -> not (String.equal t ""))
+           with
+           | [ rule; path_tok ] ->
+             let a_path, a_line = parse_path path_tok in
+             [ { a_rule = rule; a_path; a_line } ]
+           | _ -> failwith (Printf.sprintf "malformed allowlist line: %S" line))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let rule_matches entry_rule finding_rule =
+  String.equal entry_rule "*"
+  || String.equal entry_rule finding_rule
+  || String.equal entry_rule (Finding.family finding_rule)
+
+let permits (t : t) (f : Finding.t) =
+  List.exists
+    (fun e ->
+      rule_matches e.a_rule f.Finding.rule
+      && String.equal e.a_path f.Finding.file
+      && match e.a_line with None -> true | Some l -> l = f.Finding.line)
+    t

@@ -1,0 +1,24 @@
+(** Explicit suppression list for lint findings.
+
+    File format: one entry per line, [#] starts a comment.
+
+    {v
+    <rule-or-family> <path>[:<line>]
+    R1              lib/util/table.ml      # whole family, whole file
+    R1-hash-iter    lib/foo.ml:42          # one rule, one line
+    *               lib/generated.ml       # everything in a file
+    v} *)
+
+type entry = { a_rule : string; a_path : string; a_line : int option }
+type t = entry list
+
+val of_string : string -> t
+(** Parse allowlist text. Raises [Failure] on a malformed line. *)
+
+val load : string -> t
+(** Read and parse an allowlist file. *)
+
+val permits : t -> Finding.t -> bool
+(** [permits t f] is true when some entry matches [f]'s rule (exactly, by
+    family prefix, or ["*"]), file path, and — when the entry pins one —
+    line number. *)

@@ -1,0 +1,60 @@
+exception Parse_error of { file : string; message : string }
+
+type source = { src_rel : string; src_path : string }
+
+type report = {
+  rp_scanned : int;
+  rp_findings : Finding.t list;
+  rp_suppressed : Finding.t list;
+}
+
+let parse_file ~rel ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Location.init lexbuf rel;
+      try Parse.implementation lexbuf
+      with exn -> raise (Parse_error { file = rel; message = Printexc.to_string exn }))
+
+(* Deterministic recursive walk: children visited in byte order, hidden
+   directories and build artefacts skipped. *)
+let rec walk dir acc =
+  let entries = Sys.readdir dir |> Array.to_list |> List.sort String.compare in
+  List.fold_left
+    (fun acc name ->
+      if String.length name = 0 || name.[0] = '.' || String.equal name "_build" then acc
+      else
+        let full = Filename.concat dir name in
+        if Sys.is_directory full then walk full acc
+        else if Filename.check_suffix name ".ml" then
+          { src_rel = Rules.norm_rel full; src_path = full } :: acc
+        else acc)
+    acc entries
+
+let collect roots =
+  List.fold_left (fun acc root -> walk root acc) [] roots
+  |> List.sort (fun a b -> String.compare a.src_rel b.src_rel)
+
+let scan_sources ?(allow = []) sources =
+  let parsed =
+    List.map (fun s -> (s, parse_file ~rel:s.src_rel ~path:s.src_path)) sources
+  in
+  let env =
+    Rules.build_env
+      (List.map (fun (s, str) -> (Rules.module_name_of_rel s.src_rel, str)) parsed)
+  in
+  let all =
+    List.concat_map (fun (s, str) -> Rules.check env ~rel:s.src_rel str) parsed
+    |> List.sort Finding.compare
+  in
+  let rp_suppressed, rp_findings = List.partition (Allowlist.permits allow) all in
+  { rp_scanned = List.length sources; rp_findings; rp_suppressed }
+
+let scan ?allow roots = scan_sources ?allow (collect roots)
+
+let report_to_json r =
+  let arr fs = String.concat "," (List.map Finding.to_json fs) in
+  Printf.sprintf "{\"version\":1,\"scanned\":%d,\"violations\":%d,\"findings\":[%s],\"allowlisted\":[%s]}"
+    r.rp_scanned (List.length r.rp_findings) (arr r.rp_findings) (arr r.rp_suppressed)

@@ -1,0 +1,49 @@
+type t = {
+  rule : string;  (* e.g. "R1-hash-iter" *)
+  file : string;  (* repo-relative path *)
+  line : int;  (* 1-based *)
+  col : int;  (* 0-based, as compilers print *)
+  ident : string;  (* the offending identifier / constructor *)
+  message : string;
+}
+
+let family rule =
+  match String.index_opt rule '-' with
+  | Some i -> String.sub rule 0 i
+  | None -> rule
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match Int.compare a.col b.col with
+      | 0 -> (
+        match String.compare a.rule b.rule with
+        | 0 -> String.compare a.ident b.ident
+        | c -> c)
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d: [%s] %s (%s)" f.file f.line f.col f.rule f.message f.ident
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf "{\"rule\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"ident\":\"%s\",\"message\":\"%s\"}"
+    (json_escape f.rule) (json_escape f.file) f.line f.col (json_escape f.ident)
+    (json_escape f.message)

@@ -1,6 +1,7 @@
 module Net = Mdcc_sim.Network
 module Engine = Mdcc_sim.Engine
 module Rng = Mdcc_util.Rng
+module Invariant = Mdcc_util.Invariant
 
 type Net.payload +=
   | Cp_fast of { pid : int; value : string }
@@ -237,7 +238,9 @@ let proposer_handle t ~src payload =
 (* ------------------------------------------------------------------ *)
 
 let create ~net ~acceptors () =
-  if List.length acceptors < 3 then invalid_arg "Consensus.create: need >= 3 acceptors";
+  if List.length acceptors < 3 then
+    Invariant.violate ~context:"Consensus.create" "need >= 3 acceptors, got %d"
+      (List.length acceptors);
   let engine = Net.engine net in
   let t =
     {
@@ -291,18 +294,18 @@ let propose_classic t ~from value callback =
   start_classic t p
 
 let decided t =
+  let bindings = Mdcc_util.Table.sorted_bindings ~compare:Int.compare t.states in
   let holders v ~fast_only =
-    Hashtbl.fold
-      (fun _ s acc ->
+    List.fold_left
+      (fun acc (_, s) ->
         match (s.vballot, s.vvalue) with
         | Some b, Some v' when String.equal v v' && ((not fast_only) || Ballot.is_fast b) ->
           acc + 1
         | _ -> acc)
-      t.states 0
+      0 bindings
   in
   let values =
-    Hashtbl.fold (fun _ s acc -> match s.vvalue with Some v -> v :: acc | None -> acc) t.states []
-    |> List.sort_uniq String.compare
+    List.filter_map (fun (_, s) -> s.vvalue) bindings |> List.sort_uniq String.compare
   in
   List.find_opt (fun v -> holders v ~fast_only:true >= qf t || holders v ~fast_only:false >= qc t)
     values

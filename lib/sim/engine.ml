@@ -1,7 +1,9 @@
 module Rng = Mdcc_util.Rng
 
+type sim_time = float
+
 type t = {
-  mutable now : float;
+  mutable now : sim_time;
   mutable seq : int;
   queue : Event_queue.t;
   rng : Rng.t;

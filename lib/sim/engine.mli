@@ -8,13 +8,20 @@
 
 type t
 
+type sim_time = float
+(** A point on the {e simulated} clock, in milliseconds.  Protocol state
+    that stores a timestamp must use this alias rather than bare [float]:
+    `mdcc_lint` rule R1 statically asserts that [*_at] record fields in
+    the protocol core are typed [sim_time], which makes "fed from the
+    engine clock, never the wall clock" checkable at build time. *)
+
 type handle
 (** A cancellable scheduled event (used to implement protocol timeouts). *)
 
 val create : seed:int -> t
 (** Fresh engine with virtual time 0 and an RNG derived from [seed]. *)
 
-val now : t -> float
+val now : t -> sim_time
 (** Current virtual time in milliseconds. *)
 
 val rng : t -> Mdcc_util.Rng.t

@@ -22,9 +22,19 @@ end
 module Map = Map.Make (Ord)
 module Set = Set.Make (Ord)
 
-module Tbl = Hashtbl.Make (struct
-  type nonrec t = t
+module Tbl = struct
+  include Hashtbl.Make (struct
+    type nonrec t = t
 
-  let equal = equal
-  let hash = hash
-end)
+    let equal = equal
+    let hash = hash
+  end)
+
+  (* Deterministic iteration: hash order depends on the table's load
+     history, so every observable walk goes through these (mdcc_lint R1). *)
+  let sorted_bindings t =
+    fold (fun k v acc -> (k, v) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let sorted_iter f t = List.iter (fun (k, v) -> f k v) (sorted_bindings t)
+end

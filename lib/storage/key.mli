@@ -17,4 +17,13 @@ val to_string : t -> string
 
 module Map : Map.S with type key = t
 module Set : Set.S with type elt = t
-module Tbl : Hashtbl.S with type key = t
+
+module Tbl : sig
+  include Hashtbl.S with type key = t
+
+  val sorted_bindings : 'a t -> (key * 'a) list
+  (** All bindings in {!compare} order of the keys — the deterministic
+      replacement for [iter]/[fold] (see `mdcc_lint` rule R1). *)
+
+  val sorted_iter : (key -> 'a -> unit) -> 'a t -> unit
+end

@@ -17,7 +17,7 @@ let create tables =
 let table t name =
   match Hashtbl.find_opt t name with Some tbl -> tbl | None -> raise Not_found
 
-let tables t = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t []
+let tables t = List.map snd (Mdcc_util.Table.sorted_bindings ~compare:String.compare t)
 
 let bounds_of t key = (table t key.Key.table).bounds
 

@@ -62,6 +62,10 @@ let apply t key (up : Update.t) =
 
 let size t = Key.Tbl.length t.rows
 
-let iter t f = Key.Tbl.iter f t.rows
+(* Iteration is in key order, not hash order: anti-entropy sweeps and scans
+   walk the store, and their message order must be a pure function of the
+   store's contents for chaos seeds to replay (mdcc_lint R1). *)
+let iter t f = Key.Tbl.sorted_iter f t.rows
 
-let fold t ~init ~f = Key.Tbl.fold f t.rows init
+let fold t ~init ~f =
+  List.fold_left (fun acc (k, row) -> f k row acc) init (Key.Tbl.sorted_bindings t.rows)

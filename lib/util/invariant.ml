@@ -1,0 +1,33 @@
+type t = { node : int option; context : string; message : string }
+
+exception Violation of t
+
+let to_string v =
+  Printf.sprintf "invariant violation%s in %s: %s"
+    (match v.node with Some n -> Printf.sprintf " at node%d" n | None -> "")
+    v.context v.message
+
+let () =
+  Printexc.register_printer (function
+    | Violation v -> Some (to_string v)
+    | _ -> None)
+
+let default_sink (_ : t) = ()
+
+let sink = ref default_sink
+
+let set_sink f = sink := f
+
+let reset_sink () = sink := default_sink
+
+let fire v =
+  !sink v;
+  raise (Violation v)
+
+let violate ?node ~context fmt =
+  Printf.ksprintf (fun message -> fire { node; context; message }) fmt
+
+let require ?node ~context cond fmt =
+  Printf.ksprintf
+    (fun message -> if not cond then fire { node; context; message })
+    fmt

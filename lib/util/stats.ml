@@ -133,7 +133,6 @@ let time_series ~width samples =
         let n, sum = try Hashtbl.find tbl bucket with Not_found -> (0, 0.0) in
         Hashtbl.replace tbl bucket (n + 1, sum +. v))
       samples;
-    Hashtbl.fold (fun b (n, sum) acc -> (b, n, sum) :: acc) tbl []
-    |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
-    |> List.map (fun (b, n, sum) ->
+    Table.sorted_bindings ~compare:Int.compare tbl
+    |> List.map (fun (b, (n, sum)) ->
            { t_start = Float.of_int b *. width; n; mean_v = sum /. Float.of_int n })

@@ -1,3 +1,22 @@
+(* ------------------------------------------------------------------ *)
+(* Deterministic hashtable iteration                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* [Hashtbl.iter]/[fold] visit bindings in hash order, which depends on the
+   table's load history and the runtime's hash function — nothing a chaos
+   seed controls.  Every module that needs to walk a hashtable goes through
+   these sorted helpers instead (enforced by rule R1 of `mdcc_lint`); this
+   module is the designated allowlisted wrapper around [Hashtbl.fold]. *)
+
+let sorted_bindings ?(compare = Stdlib.compare) tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let sorted_iter ?compare f tbl =
+  List.iter (fun (k, v) -> f k v) (sorted_bindings ?compare tbl)
+
+let sorted_keys ?compare tbl = List.map fst (sorted_bindings ?compare tbl)
+
 let render ~headers rows =
   let all = headers :: rows in
   let cols = List.fold_left (fun m r -> Stdlib.max m (List.length r)) 0 all in

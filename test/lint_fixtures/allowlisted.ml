@@ -1,0 +1,3 @@
+(* One R1 violation, suppressed by the allowlist under test. *)
+
+let snapshot tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []

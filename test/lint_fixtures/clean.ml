@@ -1,0 +1,15 @@
+(* A well-behaved protocol module: sorted iteration, tagged invariants,
+   simulator timestamps.  The linter must report nothing here. *)
+
+module Table = Mdcc_util.Table
+module Invariant = Mdcc_util.Invariant
+
+type sample = { proposed_at : Mdcc_sim.Engine.sim_time; tag : string }
+
+let count tbl = List.length (Table.sorted_bindings tbl)
+
+let visit f tbl = Table.sorted_iter f tbl
+
+let guarded = function
+  | x :: _ -> x
+  | [] -> Invariant.violate ~context:"Clean.guarded" "empty list"

@@ -1,0 +1,15 @@
+(* Planted R1 violations: every marked line is nondeterministic. *)
+
+let shuffle_seed () = Random.int 100
+
+let wall_clock () = Sys.time ()
+
+let wall_clock_us () = Unix.gettimeofday ()
+
+let leak_order tbl = Hashtbl.iter (fun _ _ -> ()) tbl
+
+let leak_count tbl = Hashtbl.fold (fun _ _ n -> n + 1) tbl 0
+
+let leak_seq tbl = Key.Tbl.to_seq tbl
+
+type sample = { proposed_at : float; tag : string }

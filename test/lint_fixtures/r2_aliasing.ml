@@ -1,0 +1,15 @@
+(* Planted R2 violations: mutable state reachable from payloads. *)
+
+type payload = ..
+
+type cache = { mutable hits : int; name : string }
+
+type wrapper = { inner : cache; tag : string }
+
+type payload += Evil_array of int array
+
+type payload += Evil_nested of wrapper
+
+type payload += Clean_message of string * int
+
+let bad_send net dst = Net.send net dst [| 1; 2; 3 |]

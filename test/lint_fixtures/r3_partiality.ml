@@ -1,0 +1,11 @@
+(* Planted R3 violations: anonymous partiality in a protocol path. *)
+
+let boom () = failwith "anonymous death"
+
+let reject () = invalid_arg "bad argument"
+
+let unreachable () = assert false
+
+let yolo opt = Option.get opt
+
+let first xs = List.hd xs

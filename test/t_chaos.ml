@@ -131,6 +131,20 @@ let test_runner_determinism () =
   Alcotest.(check int) "same commits" r1.Runner.r_committed r2.Runner.r_committed;
   Alcotest.(check int) "same aborts" r1.Runner.r_aborted r2.Runner.r_aborted
 
+(* The determinism contract, end to end: two identical sweeps must render
+   byte-identical JSON reports.  This is strictly stronger than the
+   field-by-field check above — any surviving hash-order iteration in the
+   engine, checker, or report renderer shows up here as a diff. *)
+let test_sweep_json_determinism () =
+  let sweep () =
+    List.map
+      (fun seed ->
+        Runner.report_to_json (Runner.run (Runner.spec ~seed ~scenario:Nemesis.random_faults ())))
+      [ 3; 4; 5 ]
+    |> String.concat "\n"
+  in
+  Alcotest.(check string) "byte-identical sweep JSON" (sweep ()) (sweep ())
+
 (* Random-nemesis smoke sweep: 20 seeds, every history must check clean. *)
 let test_smoke_sweep () =
   for seed = 1 to 20 do
@@ -168,6 +182,7 @@ let suite =
     Alcotest.test_case "atomic visibility flagged" `Quick test_atomic_visibility_flagged;
     Alcotest.test_case "read committed flagged" `Quick test_read_committed_flagged;
     Alcotest.test_case "chaos runner determinism" `Quick test_runner_determinism;
+    Alcotest.test_case "sweep JSON determinism" `Quick test_sweep_json_determinism;
     Alcotest.test_case "random nemesis smoke sweep" `Slow test_smoke_sweep;
     Alcotest.test_case "planted bug caught" `Slow test_planted_bug_caught;
   ]

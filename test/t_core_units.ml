@@ -21,7 +21,8 @@ let test_config_quorums () =
     (try
        ignore (Config.make ~replication:2 ());
        false
-     with Invalid_argument _ -> true)
+     with Mdcc_util.Invariant.Violation v ->
+       String.equal v.Mdcc_util.Invariant.context "Config.make")
 
 let test_config_mode_names () =
   Alcotest.(check string) "full" "MDCC" (Config.mode_name Config.Full);
@@ -120,7 +121,8 @@ let test_cluster_coordinators () =
     (try
        ignore (Cluster.coordinator cluster ~dc:0 ~rank:2);
        false
-     with Invalid_argument _ -> true)
+     with Mdcc_util.Invariant.Violation v ->
+       String.equal v.Mdcc_util.Invariant.context "Cluster.coordinator")
 
 let test_cluster_load_and_peek () =
   let cluster = make_cluster ~partitions:2 in

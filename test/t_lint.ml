@@ -1,0 +1,144 @@
+(* Tests for the mdcc_lint static-analysis pass.  Fixtures live in
+   test/lint_fixtures/; each is scanned under a *pretend* repo-relative path
+   so the scope-sensitive rules (R3, R1-simtime) see the directory they key
+   on.  Assertions pin exact rule ids and line numbers: a rule that drifts
+   off its line is a rule that silently stopped firing. *)
+
+module Driver = Mdcc_lint.Driver
+module Finding = Mdcc_lint.Finding
+module Allowlist = Mdcc_lint.Allowlist
+
+(* `dune runtest` runs the binary in _build/default/test (where the
+   source_tree dep puts lint_fixtures/); `dune exec` runs it from the repo
+   root.  Accept either. *)
+let fixture_dir =
+  if Sys.file_exists "lint_fixtures" then "lint_fixtures"
+  else Filename.concat "test" "lint_fixtures"
+
+let source ~rel file = { Driver.src_rel = rel; src_path = Filename.concat fixture_dir file }
+
+let scan ?allow ~rel file = Driver.scan_sources ?allow [ source ~rel file ]
+
+let hits report =
+  List.map (fun f -> (f.Finding.rule, f.Finding.line)) report.Driver.rp_findings
+
+let hit = Alcotest.(pair string int)
+
+let test_r1_determinism () =
+  let r = scan ~rel:"lib/core/r1_determinism.ml" "r1_determinism.ml" in
+  Alcotest.(check (list hit))
+    "r1 rule ids and lines"
+    [
+      ("R1-random", 3);
+      ("R1-wallclock", 5);
+      ("R1-wallclock", 7);
+      ("R1-hash-iter", 9);
+      ("R1-hash-iter", 11);
+      ("R1-hash-iter", 13);
+      ("R1-simtime", 15);
+    ]
+    (hits r);
+  let idents = List.map (fun f -> f.Finding.ident) r.Driver.rp_findings in
+  Alcotest.(check (list string))
+    "r1 offending idents"
+    [
+      "Random.int";
+      "Sys.time";
+      "Unix.gettimeofday";
+      "Hashtbl.iter";
+      "Hashtbl.fold";
+      "Key.Tbl.to_seq";
+      "proposed_at";
+    ]
+    idents
+
+let test_r1_simtime_scope () =
+  (* Outside lib/core, lib/paxos, lib/chaos the bare-float timestamp rule is
+     silent; the location-independent R1 rules still fire. *)
+  let r = scan ~rel:"lib/workload/r1_determinism.ml" "r1_determinism.ml" in
+  Alcotest.(check bool)
+    "no simtime finding outside scope" false
+    (List.exists (fun f -> String.equal f.Finding.rule "R1-simtime") r.Driver.rp_findings);
+  Alcotest.(check int) "other R1 rules still fire" 6 (List.length r.Driver.rp_findings)
+
+let test_r2_aliasing () =
+  let r = scan ~rel:"lib/core/r2_aliasing.ml" "r2_aliasing.ml" in
+  Alcotest.(check (list hit))
+    "r2 rule ids and lines"
+    [ ("R2-payload", 9); ("R2-payload", 11); ("R2-send", 15) ]
+    (hits r);
+  (* The nested finding must name the full reachability trail through
+     wrapper -> cache -> mutable field. *)
+  let nested = List.nth r.Driver.rp_findings 1 in
+  Alcotest.(check string) "nested ctor" "Evil_nested" nested.Finding.ident;
+  Alcotest.(check bool) "trail mentions the mutable field" true
+    (let msg = nested.Finding.message in
+     let contains ~sub s =
+       let n = String.length sub in
+       let rec go i = i + n <= String.length s && (String.equal (String.sub s i n) sub || go (i + 1)) in
+       n = 0 || go 0
+     in
+     contains ~sub:"mutable field hits" msg)
+
+let test_r3_partiality () =
+  let r = scan ~rel:"lib/core/r3_partiality.ml" "r3_partiality.ml" in
+  Alcotest.(check (list hit))
+    "r3 rule ids and lines"
+    [
+      ("R3-failwith", 3);
+      ("R3-invalid-arg", 5);
+      ("R3-assert-false", 7);
+      ("R3-option-get", 9);
+      ("R3-list-hd", 11);
+    ]
+    (hits r)
+
+let test_r3_scope () =
+  (* The same file outside lib/core and lib/paxos is not R3's business. *)
+  let r = scan ~rel:"lib/sim/r3_partiality.ml" "r3_partiality.ml" in
+  Alcotest.(check (list hit)) "no findings outside scope" [] (hits r)
+
+let test_clean () =
+  let r = scan ~rel:"lib/core/clean.ml" "clean.ml" in
+  Alcotest.(check (list hit)) "clean file has no findings" [] (hits r);
+  Alcotest.(check int) "one file scanned" 1 r.Driver.rp_scanned
+
+let test_allowlist () =
+  let rel = "lib/util/allowlisted.ml" in
+  let bare = scan ~rel "allowlisted.ml" in
+  Alcotest.(check (list hit)) "finding without allowlist" [ ("R1-hash-iter", 3) ] (hits bare);
+  let allow = Allowlist.of_string "# test entry\nR1 lib/util/allowlisted.ml\n" in
+  let r = scan ~allow ~rel "allowlisted.ml" in
+  Alcotest.(check (list hit)) "suppressed by family entry" [] (hits r);
+  Alcotest.(check int) "recorded as allowlisted" 1 (List.length r.Driver.rp_suppressed);
+  (* A pinned line that does not match must not suppress. *)
+  let wrong_line = Allowlist.of_string "R1-hash-iter lib/util/allowlisted.ml:99\n" in
+  let r = scan ~allow:wrong_line ~rel "allowlisted.ml" in
+  Alcotest.(check (list hit)) "wrong line does not suppress" [ ("R1-hash-iter", 3) ] (hits r)
+
+let all_fixtures =
+  [
+    source ~rel:"lib/core/r1_determinism.ml" "r1_determinism.ml";
+    source ~rel:"lib/core/r2_aliasing.ml" "r2_aliasing.ml";
+    source ~rel:"lib/core/r3_partiality.ml" "r3_partiality.ml";
+    source ~rel:"lib/core/clean.ml" "clean.ml";
+    source ~rel:"lib/util/allowlisted.ml" "allowlisted.ml";
+  ]
+
+let test_json_determinism () =
+  let render () = Driver.report_to_json (Driver.scan_sources all_fixtures) in
+  let a = render () and b = render () in
+  Alcotest.(check string) "byte-identical reports" a b;
+  Alcotest.(check bool) "report is non-trivial" true (String.length a > 100)
+
+let suite =
+  [
+    Alcotest.test_case "R1 determinism fixture" `Quick test_r1_determinism;
+    Alcotest.test_case "R1-simtime scope" `Quick test_r1_simtime_scope;
+    Alcotest.test_case "R2 aliasing fixture" `Quick test_r2_aliasing;
+    Alcotest.test_case "R3 partiality fixture" `Quick test_r3_partiality;
+    Alcotest.test_case "R3 scope" `Quick test_r3_scope;
+    Alcotest.test_case "clean fixture" `Quick test_clean;
+    Alcotest.test_case "allowlist suppression" `Quick test_allowlist;
+    Alcotest.test_case "report JSON determinism" `Quick test_json_determinism;
+  ]

@@ -145,6 +145,38 @@ let test_table_render () =
   let lines = String.split_on_char '\n' s in
   Alcotest.(check int) "4 lines + trailing" 5 (List.length lines)
 
+let test_invariant_violate () =
+  let seen = ref [] in
+  Mdcc_util.Invariant.set_sink (fun v -> seen := v :: !seen);
+  let raised =
+    try
+      Mdcc_util.Invariant.violate ~node:3 ~context:"T_util.test" "bad value %d" 42
+    with Mdcc_util.Invariant.Violation v ->
+      Alcotest.(check string) "context" "T_util.test" v.Mdcc_util.Invariant.context;
+      Alcotest.(check (option int)) "node" (Some 3) v.Mdcc_util.Invariant.node;
+      Alcotest.(check string) "message" "bad value 42" v.Mdcc_util.Invariant.message;
+      true
+  in
+  Mdcc_util.Invariant.reset_sink ();
+  Alcotest.(check bool) "violation raised" true raised;
+  Alcotest.(check int) "sink observed it" 1 (List.length !seen);
+  Alcotest.(check bool) "to_string names the node and context" true
+    (match !seen with
+    | [ v ] ->
+      let s = Mdcc_util.Invariant.to_string v in
+      Alcotest.(check string) "printable" s s;
+      String.length s > 0
+    | _ -> false)
+
+let test_invariant_require () =
+  (* A true condition is free; a false one fires. *)
+  Mdcc_util.Invariant.require ~context:"T_util.require" true "unused %s" "arg";
+  Alcotest.(check bool) "false condition raises" true
+    (try
+       Mdcc_util.Invariant.require ~context:"T_util.require" false "boom";
+       false
+     with Mdcc_util.Invariant.Violation _ -> true)
+
 (* Property: percentile is monotone in p. *)
 let prop_percentile_monotone =
   QCheck.Test.make ~name:"percentile monotone in p" ~count:200
@@ -188,6 +220,8 @@ let suite =
     Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
     Alcotest.test_case "stats time series" `Quick test_stats_time_series;
     Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "invariant violate" `Quick test_invariant_violate;
+    Alcotest.test_case "invariant require" `Quick test_invariant_require;
     QCheck_alcotest.to_alcotest prop_percentile_monotone;
     QCheck_alcotest.to_alcotest prop_mean_bounded;
   ]

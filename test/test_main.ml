@@ -20,4 +20,5 @@ let () =
       ("baselines", T_baselines.suite);
       ("workload", T_workload.suite);
       ("chaos", T_chaos.suite);
+      ("lint", T_lint.suite);
     ]
