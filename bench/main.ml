@@ -141,4 +141,12 @@ let () =
   (match selected with
   | [] -> if not bechamel then Experiments.run_all ~quick ()
   | ids -> List.iter run_experiment ids);
-  print_endline "\nbench: done."
+  (* Aggregate protocol metrics of everything the run executed — every
+     cluster built above reported into the ambient registry. *)
+  let metrics_path = "bench_metrics.json" in
+  let oc = open_out metrics_path in
+  output_string oc
+    (Mdcc_obs.Json.to_string (Mdcc_obs.Obs.metrics_json (Mdcc_obs.Obs.ambient ())));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nbench: done (metrics in %s).\n" metrics_path

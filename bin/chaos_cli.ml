@@ -2,6 +2,7 @@
 
      dune exec bin/chaos_cli.exe -- sweep --seeds 50
      dune exec bin/chaos_cli.exe -- sweep --seeds 20 --scenario dc_outage --json
+     dune exec bin/chaos_cli.exe -- sweep --seeds 10 --obs-out obs.json
      dune exec bin/chaos_cli.exe -- sweep --seeds 50 --plant-bug 3
      dune exec bin/chaos_cli.exe -- replay --seed 17 --scenario random --trace
      dune exec bin/chaos_cli.exe -- list
@@ -13,6 +14,8 @@
 
 module Nemesis = Mdcc_chaos.Nemesis
 module Runner = Mdcc_chaos.Runner
+module Obs = Mdcc_obs.Obs
+module Json = Mdcc_obs.Json
 
 let workload_of_string = function
   | "deltas" -> Some Runner.Deltas
@@ -31,7 +34,32 @@ let run_verbose spec =
   if Runner.ok r || spec.Runner.capture_trace then r
   else Runner.run { spec with Runner.capture_trace = true }
 
-let sweep ~seeds ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace =
+(* One {seed, scenario, metrics, spans} object per run — the sweep's full
+   observability export, written as a single JSON document. *)
+let write_obs_out path runs =
+  let doc =
+    Json.Obj
+      [
+        ( "runs",
+          Json.List
+            (List.map
+               (fun (r : Runner.report) ->
+                 Json.Obj
+                   [
+                     ("seed", Json.Int r.Runner.r_seed);
+                     ("scenario", Json.Str r.Runner.r_scenario);
+                     ("metrics", Obs.metrics_json r.Runner.r_obs);
+                     ("spans", Obs.spans_json r.Runner.r_obs);
+                   ])
+               runs) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc
+
+let sweep ~seeds ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace ~obs_out =
   let scenarios =
     match scenario with
     | None -> Nemesis.matrix
@@ -50,6 +78,7 @@ let sweep ~seeds ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace =
       exit 2
   in
   let bad = ref [] in
+  let all = ref [] in
   let total = ref 0 in
   List.iter
     (fun scenario ->
@@ -57,11 +86,13 @@ let sweep ~seeds ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace =
         incr total;
         let spec = make_spec ~seed ~scenario ~workload ~txns ~items ~plant_bug ~trace in
         let r = run_verbose spec in
+        all := r :: !all;
         if not (Runner.ok r) then bad := r :: !bad;
         if json then print_endline (Runner.report_to_json r)
         else print_endline (Runner.report_to_string ~verbose:(not (Runner.ok r)) r)
       done)
     scenarios;
+  Option.iter (fun path -> write_obs_out path (List.rev !all)) obs_out;
   let bad = List.rev !bad in
   if not json then begin
     Printf.printf "\n%d runs (%d seeds x %d scenarios): %d with violations\n" !total seeds
@@ -142,16 +173,25 @@ let json_flag = Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object p
 let trace_flag =
   Arg.(value & flag & info [ "trace" ] ~doc:"Capture the protocol trace in every report.")
 
+let obs_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "obs-out" ] ~docv:"FILE"
+        ~doc:
+          "Write every run's metrics snapshot and span trees to $(docv) as one JSON document \
+           ({\"runs\":[{seed,scenario,metrics,spans},..]}).")
+
 let sweep_cmd =
   let doc = "Sweep seeds across the scenario matrix and check every history." in
-  let run seeds scenario workload txns items plant_bug json trace =
-    sweep ~seeds ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace
+  let run seeds scenario workload txns items plant_bug json trace obs_out =
+    sweep ~seeds ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace ~obs_out
   in
   Cmd.v
     (Cmd.info "sweep" ~doc)
     Term.(
       const run $ seeds_arg $ scenario_opt $ workload_arg $ txns_arg $ items_arg $ plant_bug_arg
-      $ json_flag $ trace_flag)
+      $ json_flag $ trace_flag $ obs_out_arg)
 
 let replay_cmd =
   let doc = "Re-run a single (seed, scenario) pair, verbosely." in

@@ -2,10 +2,13 @@
 
      dune exec bin/experiments_cli.exe -- run fig3 fig5
      dune exec bin/experiments_cli.exe -- run --all --quick
+     dune exec bin/experiments_cli.exe -- run fig5 --metrics-out fig5-metrics.json
      dune exec bin/experiments_cli.exe -- demo --trace
      dune exec bin/experiments_cli.exe -- list *)
 
 module Experiments = Mdcc_workload.Experiments
+module Obs = Mdcc_obs.Obs
+module Json = Mdcc_obs.Json
 
 let experiments =
   [
@@ -44,18 +47,37 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's aggregate protocol metrics (the ambient registry snapshot) to \
+           $(docv) as JSON.")
+
 let run_cmd =
   let doc = "Reproduce one or more of the paper's figures (default: all)." in
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"fig3..fig8, gamma")
   in
   let all = Arg.(value & flag & info [ "all" ] ~doc:"Run every experiment.") in
-  let run quick all ids =
-    match (all, ids) with
+  let run quick all ids metrics_out =
+    (* A fresh baseline, so the exported snapshot covers exactly this run. *)
+    if metrics_out <> None then Obs.reset_ambient ();
+    (match (all, ids) with
     | true, _ | false, [] -> Experiments.run_all ~quick ()
-    | false, ids -> List.iter (run_one ~quick) ids
+    | false, ids -> List.iter (run_one ~quick) ids);
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Json.to_string (Obs.metrics_json (Obs.ambient ())));
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "metrics written to %s\n" path)
+      metrics_out
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ quick_flag $ all $ ids)
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ quick_flag $ all $ ids $ metrics_out_arg)
 
 let demo_cmd =
   let doc = "Run one multi-record transaction with protocol tracing." in

@@ -1,0 +1,134 @@
+(* Round-trips the observability JSON schemas through the parser.
+
+   Runs a small deterministic chaos run (spans enabled), renders its metrics
+   snapshot and span trees, parses both back with Mdcc_obs.Json, and
+   validates the documented shapes plus the protocol-level invariants the
+   schemas promise: counters are non-negative integers, every span's events
+   are in nondecreasing sim-time order, and the fast-commutative workload
+   actually exercised both the fast path and collision resolution.  Attached
+   to the @obs alias (and through it @runtest) so schema drift fails the
+   build. *)
+
+module Runner = Mdcc_chaos.Runner
+module Nemesis = Mdcc_chaos.Nemesis
+module Obs = Mdcc_obs.Obs
+module Json = Mdcc_obs.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("obs_check: FAIL: " ^ s); exit 1) fmt
+
+let parse_or_die ~label s =
+  match Json.parse s with Ok t -> t | Error e -> fail "%s does not parse: %s" label e
+
+let obj_or_die ~label = function
+  | Json.Obj fields -> fields
+  | _ -> fail "%s is not a JSON object" label
+
+let get ~label name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> fail "%s is missing field %S" label name
+
+(* ---- metrics schema ---- *)
+
+let check_metrics j =
+  let top = obj_or_die ~label:"metrics" j in
+  if List.length top <> 3 then fail "metrics object must have exactly 3 sections";
+  (match get ~label:"metrics" "counters" j with
+  | Json.Obj cs ->
+    List.iter
+      (function
+        | _, Json.Int n when n >= 0 -> ()
+        | name, Json.Int n -> fail "counter %S is negative (%d)" name n
+        | name, _ -> fail "counter %S is not an integer" name)
+      cs;
+    let names = List.map fst cs in
+    if List.sort String.compare names <> names then fail "counter names are not sorted"
+  | _ -> fail "\"counters\" is not an object");
+  (match get ~label:"metrics" "gauges" j with
+  | Json.Obj gs ->
+    List.iter (function _, Json.Int _ -> () | name, _ -> fail "gauge %S not int" name) gs
+  | _ -> fail "\"gauges\" is not an object");
+  match get ~label:"metrics" "histograms" j with
+  | Json.Obj hs ->
+    List.iter
+      (fun (name, h) ->
+        List.iter
+          (fun field ->
+            match get ~label:(Printf.sprintf "histogram %S" name) field h with
+            | Json.Int _ | Json.Float _ -> ()
+            | _ -> fail "histogram %S field %S is not numeric" name field)
+          [ "count"; "mean"; "min"; "max"; "p50"; "p95"; "p99" ])
+      hs
+  | _ -> fail "\"histograms\" is not an object"
+
+(* ---- span schema ---- *)
+
+let check_event ~txid ~prev_at ev =
+  let label = Printf.sprintf "span %s event" txid in
+  let at =
+    match get ~label "at" ev with
+    | Json.Float f -> f
+    | Json.Int i -> Float.of_int i
+    | _ -> fail "%s \"at\" is not numeric" label
+  in
+  (match get ~label "node" ev with Json.Int _ -> () | _ -> fail "%s \"node\" not int" label);
+  (match get ~label "name" ev with
+  | Json.Str s when s <> "" -> ()
+  | _ -> fail "%s \"name\" not a non-empty string" label);
+  (match get ~label "detail" ev with Json.Str _ -> () | _ -> fail "%s \"detail\" not str" label);
+  if at < prev_at then
+    fail "span %s events out of sim-time order (%.2f after %.2f)" txid at prev_at;
+  at
+
+let check_span j =
+  let txid =
+    match get ~label:"span" "txid" j with
+    | Json.Str s -> s
+    | _ -> fail "span \"txid\" is not a string"
+  in
+  (* Root events and each key group are independently time-ordered. *)
+  let check_stream evs =
+    ignore (List.fold_left (fun prev ev -> check_event ~txid ~prev_at:prev ev) Float.neg_infinity evs)
+  in
+  check_stream (Json.to_list (get ~label:"span" "events" j));
+  List.iter
+    (fun kg ->
+      (match get ~label:"key group" "key" kg with
+      | Json.Str _ -> ()
+      | _ -> fail "span %s key group has no key" txid);
+      check_stream (Json.to_list (get ~label:"key group" "events" kg)))
+    (Json.to_list (get ~label:"span" "keys" j));
+  txid
+
+(* ---- the run ---- *)
+
+let () =
+  let seed = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 1 in
+  let spec = Runner.spec ~seed ~scenario:Nemesis.clean ~workload:Runner.Mixed ~txns:40 () in
+  let r = Runner.run spec in
+  if not (Runner.ok r) then fail "seed %d violated invariants" seed;
+  let metrics_str = Json.to_string (Obs.metrics_json r.Runner.r_obs) in
+  let spans_str = Json.to_string (Obs.spans_json r.Runner.r_obs) in
+  (* Round trip both documents. *)
+  let metrics = parse_or_die ~label:"metrics" metrics_str in
+  let spans = parse_or_die ~label:"spans" spans_str in
+  check_metrics metrics;
+  let txids = List.map check_span (Json.to_list spans) in
+  if txids = [] then fail "no span trees recorded";
+  (* The fast-commutative workload must exercise the protocol's two
+     signature paths: fast commits, and collision detection + resolution. *)
+  let counter name =
+    match Json.member "counters" metrics with
+    | Some cs -> ( match Json.member name cs with Some (Json.Int n) -> n | _ -> 0)
+    | None -> 0
+  in
+  if counter "fast_commit" = 0 then fail "seed %d: no fast commits" seed;
+  if counter "collision_resolved" = 0 then fail "seed %d: no resolved collisions" seed;
+  (* Re-render from the parsed tree: parse . render must be the identity on
+     rendered output (the schema has one canonical form). *)
+  if Json.to_string metrics <> metrics_str then fail "metrics render/parse not idempotent";
+  if Json.to_string spans <> spans_str then fail "spans render/parse not idempotent";
+  Printf.printf
+    "obs_check: ok (seed %d: %d committed, fast_commit=%d collision_resolved=%d, %d spans)\n"
+    seed r.Runner.r_committed (counter "fast_commit") (counter "collision_resolved")
+    (List.length txids)

@@ -5,6 +5,8 @@ module Trace = Mdcc_sim.Trace
 module Rng = Mdcc_util.Rng
 module Invariant = Mdcc_util.Invariant
 module Generator = Mdcc_workload.Generator
+module Obs = Mdcc_obs.Obs
+module Json = Mdcc_obs.Json
 
 type workload = Deltas | Rmw | Mixed
 
@@ -39,6 +41,7 @@ type report = {
   r_events : int;
   r_violations : Checker.violation list;
   r_trace : string list;
+  r_obs : Obs.t;
 }
 
 let ok r = r.r_violations = []
@@ -115,7 +118,10 @@ let run s =
       ?fast_quorum_override:s.fast_quorum_override ~replication:5 ()
   in
   let history = History.create () in
-  let cluster = Cluster.create ~engine ~history ~config ~schema:stock_schema () in
+  (* Fresh per-run handle (spans on): two same-seed runs must render
+     byte-identical metrics and span JSON, so no shared ambient state. *)
+  let obs = Obs.create ~spans:true () in
+  let cluster = Cluster.create ~engine ~history ~config ~schema:stock_schema ~obs () in
   Cluster.load cluster (List.init s.items (fun i -> (item i, item_row s.stock)));
   Cluster.start_maintenance cluster;
   (* The fault schedule derives from the seed alone: same seed, same runs. *)
@@ -257,6 +263,7 @@ let run s =
     r_events = History.length history;
     r_violations = !violations;
     r_trace = List.rev !trace_buf;
+    r_obs = obs;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -273,9 +280,15 @@ let report_to_string ?(verbose = false) r =
   if (not verbose) && r.r_violations = [] then head
   else
     String.concat "\n"
-      (head
-       :: (Printf.sprintf "  fault schedule:\n%s" (Nemesis.schedule_to_string r.r_schedule))
-       :: List.map (fun v -> "  " ^ Checker.violation_to_string v) r.r_violations)
+      ((head
+        :: (Printf.sprintf "  fault schedule:\n%s" (Nemesis.schedule_to_string r.r_schedule))
+        :: List.map (fun v -> "  " ^ Checker.violation_to_string v) r.r_violations)
+      @ (if verbose then
+           [
+             "  metrics: " ^ Json.to_string (Obs.metrics_json r.r_obs);
+             "  spans: " ^ Json.to_string (Obs.spans_json r.r_obs);
+           ]
+         else []))
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -295,7 +308,8 @@ let report_to_json r =
   let strings l = String.concat "," (List.map (fun s -> Printf.sprintf "\"%s\"" (json_escape s)) l) in
   Printf.sprintf
     "{\"seed\":%d,\"scenario\":\"%s\",\"submitted\":%d,\"committed\":%d,\"aborted\":%d,\
-     \"undecided\":%d,\"events\":%d,\"schedule\":[%s],\"violations\":[%s],\"trace\":[%s]}"
+     \"undecided\":%d,\"events\":%d,\"schedule\":[%s],\"violations\":[%s],\"trace\":[%s],\
+     \"metrics\":%s,\"spans\":%s}"
     r.r_seed (json_escape r.r_scenario) r.r_submitted r.r_committed r.r_aborted r.r_undecided
     r.r_events
     (String.concat ","
@@ -309,3 +323,5 @@ let report_to_json r =
               (json_escape v.Checker.detail))
           r.r_violations))
     (strings r.r_trace)
+    (Json.to_string (Obs.metrics_json r.r_obs))
+    (Json.to_string (Obs.spans_json r.r_obs))

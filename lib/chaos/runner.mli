@@ -60,6 +60,9 @@ type report = {
   r_events : int;  (** history length *)
   r_violations : Checker.violation list;
   r_trace : string list;  (** captured trace lines (empty unless requested) *)
+  r_obs : Mdcc_obs.Obs.t;
+      (** the run's private observability handle (spans enabled): protocol
+          counters plus per-transaction causal span trees *)
 }
 
 val run : spec -> report
@@ -68,8 +71,10 @@ val ok : report -> bool
 (** No violations. *)
 
 val report_to_string : ?verbose:bool -> report -> string
-(** One line per run; [verbose] adds the fault schedule and violations. *)
+(** One line per run; [verbose] adds the fault schedule, violations, and the
+    run's metrics snapshot and span trees (so a violating seed's report is a
+    complete diagnosis artifact). *)
 
 val report_to_json : report -> string
 (** Self-contained JSON object (seed, scenario, schedule, counters,
-    violations, trace). *)
+    violations, trace, metrics snapshot, span trees). *)

@@ -3,6 +3,7 @@ module Engine = Mdcc_sim.Engine
 module Net = Mdcc_sim.Network
 module Topology = Mdcc_sim.Topology
 module Invariant = Mdcc_util.Invariant
+module Obs = Mdcc_obs.Obs
 
 type t = {
   engine : Engine.t;
@@ -16,6 +17,7 @@ type t = {
   nodes : Storage_node.t array;  (* node id = dc * partitions + partition *)
   coords : Coordinator.t array;  (* app id = dcs*partitions + dc*app_per_dc + rank *)
   master_dc_of : Key.t -> int;
+  obs : Obs.t;
 }
 
 let partition_of t key = Key.hash key mod t.partitions
@@ -29,7 +31,8 @@ let default_master_dc ~dcs key =
   Hashtbl.hash (Key.to_string key ^ "#master") mod dcs
 
 let create ~engine ?topology ?(partitions = 1) ?(app_servers_per_dc = 1) ?(jitter_sigma = 0.05)
-    ?(drop_probability = 0.0) ?master_dc_of ?history ~config ~schema () =
+    ?(drop_probability = 0.0) ?master_dc_of ?history ?obs ~config ~schema () =
+  let obs = match obs with Some o -> o | None -> Obs.ambient () in
   let storage_topo =
     match topology with
     | Some topo -> topo
@@ -45,6 +48,20 @@ let create ~engine ?topology ?(partitions = 1) ?(app_servers_per_dc = 1) ?(jitte
       "topology must have exactly `partitions` (%d) nodes per DC" partitions;
   let topo = Topology.add_nodes storage_topo ~per_dc:app_servers_per_dc in
   let net = Net.create engine topo ~drop_probability ~jitter_sigma () in
+  (* Per-node traffic instruments, charged at the network edge so every
+     protocol message — including Batch folding — is counted once. *)
+  Net.set_meter net
+    {
+      Net.m_size = Messages.size_of;
+      m_on_send =
+        (fun ~src ~dst:_ ~bytes ->
+          Obs.incr obs (Printf.sprintf "net.sent.node%02d" src);
+          Obs.incr obs ~by:bytes (Printf.sprintf "net.sent_bytes.node%02d" src));
+      m_on_deliver =
+        (fun ~src:_ ~dst ~bytes ->
+          Obs.incr obs (Printf.sprintf "net.recv.node%02d" dst);
+          Obs.incr obs ~by:bytes (Printf.sprintf "net.recv_bytes.node%02d" dst));
+    };
   let master_dc_of =
     match master_dc_of with Some f -> f | None -> default_master_dc ~dcs
   in
@@ -55,7 +72,7 @@ let create ~engine ?topology ?(partitions = 1) ?(app_servers_per_dc = 1) ?(jitte
   in
   let nodes =
     Array.init (dcs * partitions) (fun node_id ->
-        Storage_node.create ~net ~config ~node_id ~schema ~replicas ~master_of ?history ())
+        Storage_node.create ~net ~config ~node_id ~schema ~replicas ~master_of ?history ~obs ())
   in
   let base = dcs * partitions in
   let coords =
@@ -63,10 +80,10 @@ let create ~engine ?topology ?(partitions = 1) ?(app_servers_per_dc = 1) ?(jitte
         let dc = i / app_servers_per_dc in
         let local_nodes = List.init partitions (fun p -> (dc * partitions) + p) in
         Coordinator.create ~net ~config ~node_id:(base + i) ~replicas ~master_of ~local_nodes
-          ?history ())
+          ?history ~obs ())
   in
   { engine; net; config; topo; schema; partitions; app_per_dc = app_servers_per_dc; dcs;
-    nodes; coords; master_dc_of }
+    nodes; coords; master_dc_of; obs }
 
 let engine t = t.engine
 
@@ -77,6 +94,8 @@ let topology t = t.topo
 let config t = t.config
 
 let num_dcs t = t.dcs
+
+let obs t = t.obs
 
 let coordinator t ~dc ~rank =
   if dc < 0 || dc >= t.dcs || rank < 0 || rank >= t.app_per_dc then

@@ -22,6 +22,7 @@ val create :
   ?drop_probability:float ->
   ?master_dc_of:(Key.t -> int) ->
   ?history:History.t ->
+  ?obs:Mdcc_obs.Obs.t ->
   config:Config.t ->
   schema:Schema.t ->
   unit ->
@@ -31,13 +32,18 @@ val create :
     topology: the paper's five EC2 regions.  [config.replication] must equal
     the number of data centers.  When [history] is given, every coordinator
     and storage node records into it (chaos testing; see
-    {!Mdcc_chaos.Runner}). *)
+    {!Mdcc_chaos.Runner}).  [obs] (default: the ambient handle) is threaded
+    into every coordinator and storage node and fed per-node message/byte
+    counters through a network meter installed at create time. *)
 
 val engine : t -> Mdcc_sim.Engine.t
 val network : t -> Mdcc_sim.Network.t
 val topology : t -> Mdcc_sim.Topology.t
 val config : t -> Config.t
 val num_dcs : t -> int
+
+val obs : t -> Mdcc_obs.Obs.t
+(** The observability handle every component of this cluster reports to. *)
 
 val coordinator : t -> dc:int -> rank:int -> Coordinator.t
 (** The [rank]-th app-server of a data center

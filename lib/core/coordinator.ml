@@ -7,12 +7,15 @@ module Trace = Mdcc_sim.Trace
 module Rng = Mdcc_util.Rng
 module Table = Mdcc_util.Table
 module Invariant = Mdcc_util.Invariant
+module Obs = Mdcc_obs.Obs
 
 type key_state = {
   woption : Woption.t;
   mutable votes : (int * Woption.decision) list;
   mutable learned : Woption.decision option;
   mutable collided : bool;  (** Start_recovery already sent for this window *)
+  mutable collided_at : Engine.sim_time option;
+      (** when the collision was detected, for resolution-latency metrics *)
   mutable redirected : bool;  (** already re-routed to the master *)
   mutable attempts : int;  (** timeout-driven recovery attempts *)
 }
@@ -67,6 +70,7 @@ type t = {
   stats : stats;
   rng : Rng.t;
   history : History.t option;  (* chaos-testing execution recorder *)
+  obs : Obs.t;
 }
 
 let record t ev = match t.history with Some h -> History.record h ev | None -> ()
@@ -82,6 +86,9 @@ let now t = Engine.now t.engine
 let send t dst payload = Net.send t.net ~src:t.id ~dst payload
 
 let trace t fmt = Trace.emit t.engine ~tag:(Printf.sprintf "app%d" t.id) fmt
+
+let span t ~txid ~name ?key ~detail () =
+  Obs.span_event t.obs ~txid ~at:(now t) ~node:t.id ~name ?key ~detail ()
 
 let n t = t.config.Config.replication
 
@@ -117,14 +124,18 @@ let send_all t pairs =
 
 let propose_payloads t (ks : key_state) =
   let w = ks.woption in
+  let key_str = Key.to_string w.Woption.key in
   if route_classic t w.Woption.key then begin
     ks.redirected <- true;
+    span t ~txid:w.Woption.txid ~name:"propose" ~key:key_str ~detail:"classic" ();
     [ (t.master_of w.Woption.key, Messages.Propose { woption = w; route = `Classic }) ]
   end
-  else
+  else begin
+    span t ~txid:w.Woption.txid ~name:"propose" ~key:key_str ~detail:"fast" ();
     List.map
       (fun replica -> (replica, Messages.Propose { woption = w; route = `Fast }))
       (t.replicas w.Woption.key)
+  end
 
 let decide t (ts : txn_state) =
   (match ts.timeout with Some h -> Engine.cancel h | None -> ());
@@ -149,10 +160,23 @@ let decide t (ts : txn_state) =
         (fun _ ks -> not (ks.collided || ks.redirected || ks.attempts > 0))
         ts.keys
     in
-    if pure_fast && t.config.Config.mode <> Config.Multi then
-      t.stats.fast_commits <- t.stats.fast_commits + 1
-    else t.stats.assisted_commits <- t.stats.assisted_commits + 1
-  | Txn.Aborted _ -> t.stats.aborts <- t.stats.aborts + 1);
+    if pure_fast && t.config.Config.mode <> Config.Multi then begin
+      t.stats.fast_commits <- t.stats.fast_commits + 1;
+      Obs.incr t.obs "fast_commit"
+    end
+    else begin
+      t.stats.assisted_commits <- t.stats.assisted_commits + 1;
+      Obs.incr t.obs "assisted_commit"
+    end
+  | Txn.Aborted Txn.Constraint_violation ->
+    t.stats.aborts <- t.stats.aborts + 1;
+    Obs.incr t.obs "abort_constraint"
+  | Txn.Aborted _ ->
+    t.stats.aborts <- t.stats.aborts + 1;
+    Obs.incr t.obs "abort_conflict");
+  span t ~txid:ts.txn.Txn.id ~name:"decide"
+    ~detail:(Format.asprintf "%a" Txn.pp_outcome outcome)
+    ();
   trace t "decide %s %s" ts.txn.Txn.id (Format.asprintf "%a" Txn.pp_outcome outcome);
   record t (History.Decided { time = now t; txid = ts.txn.Txn.id; outcome });
   (* Asynchronous Learned/Visibility notification: execute or void every
@@ -178,6 +202,18 @@ let learn t (ts : txn_state) (ks : key_state) decision =
   | None ->
     ks.learned <- Some decision;
     ts.undecided <- ts.undecided - 1;
+    let key_str = Key.to_string ks.woption.Woption.key in
+    span t ~txid:ts.txn.Txn.id ~name:"learn" ~key:key_str
+      ~detail:(match decision with Woption.Accepted -> "accepted" | Woption.Rejected -> "rejected")
+      ();
+    (match ks.collided_at with
+    | Some at ->
+      (* The collision on this key has now been resolved (either way). *)
+      ks.collided_at <- None;
+      Obs.incr t.obs "collision_resolved";
+      Obs.observe t.obs "collision_resolve_ms" (now t -. at);
+      span t ~txid:ts.txn.Txn.id ~name:"collision_resolved" ~key:key_str ~detail:"" ()
+    | None -> ());
     if ts.undecided = 0 then decide t ts
 
 let start_recovery_for t (ks : key_state) =
@@ -197,7 +233,13 @@ let start_recovery_for t (ks : key_state) =
   in
   ks.attempts <- ks.attempts + 1;
   trace t "start_recovery %s %s via node %d" w.Woption.txid (Key.to_string key) target;
-  send t target (Messages.Start_recovery { key; woption = Some w })
+  span t ~txid:w.Woption.txid ~name:"start_recovery" ~key:(Key.to_string key)
+    ~detail:(Printf.sprintf "via node %d" target)
+    ();
+  (* Timeout-driven recoveries run outside any delivery, so re-establish the
+     causal context explicitly for the recovery cascade. *)
+  Net.with_trace_context (Some w.Woption.txid) (fun () ->
+      send t target (Messages.Start_recovery { key; woption = Some w }))
 
 let on_vote t txid key acceptor decision =
   match Hashtbl.find_opt t.txns txid with
@@ -220,7 +262,12 @@ let on_vote t txid key acceptor decision =
         else if Quorum.fast_impossible ~n:(n t) ~acks ~rejects && not ks.collided then begin
           (* Fast Paxos collision: no outcome can reach a fast quorum. *)
           ks.collided <- true;
+          ks.collided_at <- Some (now t);
           t.stats.collisions <- t.stats.collisions + 1;
+          Obs.incr t.obs "collision";
+          span t ~txid ~name:"collision" ~key:(Key.to_string key)
+            ~detail:(Printf.sprintf "acks=%d rejects=%d" acks rejects)
+            ();
           start_recovery_for t ks
         end
       end)
@@ -244,6 +291,10 @@ let on_redirect t txid key master =
       if ks.learned = None && not ks.redirected then begin
         ks.redirected <- true;
         t.stats.redirects <- t.stats.redirects + 1;
+        Obs.incr t.obs "redirect";
+        span t ~txid ~name:"redirect" ~key:(Key.to_string key)
+          ~detail:(Printf.sprintf "to master %d" master)
+          ();
         send t master (Messages.Propose { woption = ks.woption; route = `Classic })
       end)
 
@@ -257,6 +308,7 @@ let rec arm_timeout t (ts : txn_state) =
                (fun _ ks ->
                  if ks.learned = None then begin
                    t.stats.timeout_recoveries <- t.stats.timeout_recoveries + 1;
+                   Obs.incr t.obs "timeout_recovery";
                    start_recovery_for t ks
                  end)
                ts.keys;
@@ -272,15 +324,23 @@ let submit t txn callback =
       List.fold_left
         (fun m (w : Woption.t) ->
           Key.Map.add w.Woption.key
-            { woption = w; votes = []; learned = None; collided = false; redirected = false;
-              attempts = 0 }
+            { woption = w; votes = []; learned = None; collided = false;
+              collided_at = None; redirected = false; attempts = 0 }
             m)
         Key.Map.empty options
     in
     let ts = { txn; callback; keys; undecided = Key.Map.cardinal keys; timeout = None } in
     Hashtbl.replace t.txns txn.Txn.id ts;
     record t (History.Submitted { time = now t; coordinator = t.id; txn });
-    send_all t (Key.Map.fold (fun _ ks acc -> propose_payloads t ks @ acc) keys []);
+    Obs.incr t.obs "txn_submitted";
+    Obs.begin_txn t.obs ~txid:txn.Txn.id ~at:(now t);
+    span t ~txid:txn.Txn.id ~name:"submit"
+      ~detail:(Printf.sprintf "%d keys" (Key.Map.cardinal keys))
+      ();
+    (* Establish the causal trace context: every Propose (and every message
+       it triggers in turn) is attributed to this transaction's span. *)
+    Net.with_trace_context (Some txn.Txn.id) (fun () ->
+        send_all t (Key.Map.fold (fun _ ks acc -> propose_payloads t ks @ acc) keys []));
     arm_timeout t ts
   end
 
@@ -306,10 +366,12 @@ let new_read t key ~need cb =
   rid
 
 let read_local t key cb =
+  Obs.incr t.obs "read_local";
   let rid = new_read t key ~need:1 cb in
   send t (local_replica t key) (Messages.Read_request { rid; key })
 
 let read_majority t key cb =
+  Obs.incr t.obs "read_majority";
   let rid = new_read t key ~need:(Config.classic_quorum t.config) cb in
   List.iter (fun r -> send t r (Messages.Read_request { rid; key })) (t.replicas key)
 
@@ -389,7 +451,8 @@ let rec handle t ~src payload =
   | Messages.Scan_reply { rid; rows } -> on_scan_reply t rid rows
   | _ -> ()
 
-let create ~net ~config ~node_id ~replicas ~master_of ?(local_nodes = []) ?history () =
+let create ~net ~config ~node_id ~replicas ~master_of ?(local_nodes = []) ?history
+    ?(obs = Obs.ambient ()) () =
   let engine = Net.engine net in
   let t =
     {
@@ -417,6 +480,7 @@ let create ~net ~config ~node_id ~replicas ~master_of ?(local_nodes = []) ?histo
         };
       rng = Rng.split (Engine.rng engine);
       history;
+      obs;
     }
   in
   Net.register net node_id (fun ~src payload -> handle t ~src payload);
@@ -425,3 +489,5 @@ let create ~net ~config ~node_id ~replicas ~master_of ?(local_nodes = []) ?histo
 let inflight t = Hashtbl.length t.txns
 
 let stats t = t.stats
+
+let obs t = t.obs

@@ -28,12 +28,15 @@ val create :
   master_of:(Key.t -> int) ->
   ?local_nodes:int list ->
   ?history:History.t ->
+  ?obs:Mdcc_obs.Obs.t ->
   unit ->
   t
 (** Registers the app-server's message handler on the network.
     [local_nodes] are the storage nodes of this app-server's data center
     (needed only for {!scan_local}).  When [history] is given, every
-    submission and decision is recorded into it (chaos testing). *)
+    submission and decision is recorded into it (chaos testing).  [obs]
+    (default: the ambient handle) receives protocol-path counters and, at
+    submit/propose/learn/decide, the transaction's span events. *)
 
 val node_id : t -> int
 
@@ -80,3 +83,6 @@ type stats = {
 
 val stats : t -> stats
 (** Protocol-path counters for this app-server (live; not reset). *)
+
+val obs : t -> Mdcc_obs.Obs.t
+(** The observability handle this coordinator reports into. *)

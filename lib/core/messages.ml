@@ -62,11 +62,104 @@ type Mdcc_sim.Network.payload +=
   | Read_request of { rid : int; key : Key.t }
   | Read_reply of { rid : int; key : Key.t; value : Value.t; version : int; exists : bool }
   | Batch of Mdcc_sim.Network.payload list
-  | Sync_request of { entries : (Key.t * int) list }
+  | Sync_request of { entries : (Key.t * int * int) list }
   | Scan_request of { rid : int; table : string; order_by : string option; limit : int }
   | Scan_reply of { rid : int; rows : (Key.t * Value.t * int) list }
 
 let decision_str = function Woption.Accepted -> "acc" | Woption.Rejected -> "rej"
+
+(* Order-independent digest of the transaction ids folded into a replica's
+   committed value.  Two replicas at the same version whose digests differ
+   have applied different delta sets — the equal-version divergence the
+   ROADMAP calls out.  A handwritten fold over the sorted list rather than
+   [Hashtbl.hash], which caps its traversal and would silently collide on
+   long txid lists. *)
+let applied_digest txids =
+  let sorted = List.sort String.compare txids in
+  List.fold_left
+    (fun acc txid ->
+      String.fold_left (fun a c -> (a * 131) + Char.code c) ((acc * 257) + 1) txid)
+    0x811c9dc5 sorted
+  land 0x3FFFFFFF
+
+(* Estimated wire size (bytes) of a payload for the per-node traffic
+   instruments.  Coarse by design: a fixed per-message header plus the
+   variable-length parts that dominate real encodings (keys, values, vote
+   and txid lists). *)
+let header_bytes = 16
+
+let key_bytes key = String.length (Key.to_string key)
+
+let value_bytes value =
+  List.fold_left
+    (fun acc (name, _scalar) -> acc + String.length name + 8)
+    0
+    (Value.to_list value)
+
+let update_bytes = function
+  | Update.Insert value -> 1 + value_bytes value
+  | Update.Physical { value; _ } -> 5 + value_bytes value
+  | Update.Delete _ -> 5
+  | Update.Delta deltas ->
+    1 + List.fold_left (fun acc (attr, _) -> acc + String.length attr + 8) 0 deltas
+  | Update.Read_guard _ -> 5
+
+let woption_bytes (w : Woption.t) =
+  String.length w.Woption.txid + key_bytes w.Woption.key
+  + update_bytes w.Woption.update
+  + List.fold_left (fun acc k -> acc + key_bytes k) 0 w.Woption.write_set
+  + 4
+
+let vote_bytes v = woption_bytes v.woption + 9
+
+let rebase_bytes (r : rebase) =
+  value_bytes r.value + 5
+  + List.fold_left (fun acc txid -> acc + String.length txid) 0 r.included
+
+let rec size_of payload =
+  header_bytes
+  +
+  match payload with
+  | Propose { woption; _ } -> woption_bytes woption + 1
+  | Phase1a { key; _ } -> key_bytes key + 8
+  | Phase1b { key; votes; value; included; decided; _ } ->
+    key_bytes key + 17 + value_bytes value
+    + List.fold_left (fun acc v -> acc + vote_bytes v) 0 votes
+    + List.fold_left (fun acc txid -> acc + String.length txid) 0 included
+    + List.fold_left (fun acc (txid, _) -> acc + String.length txid + 1) 0 decided
+  | Phase2a { key; woption; rebase; _ } ->
+    key_bytes key + 13 + woption_bytes woption
+    + (match rebase with Some r -> rebase_bytes r | None -> 0)
+  | Phase2b_master { key; txid; _ } -> key_bytes key + String.length txid + 10
+  | Phase2b_fast { key; txid; _ } -> key_bytes key + String.length txid + 5
+  | Learned { key; txid; _ } -> key_bytes key + String.length txid + 1
+  | Redirect { key; txid; _ } -> key_bytes key + String.length txid + 8
+  | Visibility { txid; key; update; _ } ->
+    String.length txid + key_bytes key + update_bytes update + 1
+  | Start_recovery { key; woption } ->
+    key_bytes key + (match woption with Some w -> woption_bytes w | None -> 0)
+  | Status_query { txid; key } -> String.length txid + key_bytes key
+  | Status_reply { txid; key; status; _ } ->
+    String.length txid + key_bytes key + 4
+    + (match status with Status_pending v -> vote_bytes v | _ -> 1)
+  | Catchup_request { key } -> key_bytes key
+  | Catchup { key; rebase } -> key_bytes key + rebase_bytes rebase
+  | Read_request { key; _ } -> key_bytes key + 4
+  | Read_reply { key; value; _ } -> key_bytes key + value_bytes value + 9
+  | Batch items ->
+    (* Batched messages share one header; count the parts in full. *)
+    List.fold_left (fun acc item -> acc + size_of item) 0 items
+  | Sync_request { entries } ->
+    List.fold_left (fun acc (key, _, _) -> acc + key_bytes key + 8) 0 entries
+  | Scan_request { table; order_by; _ } ->
+    String.length table + 8
+    + (match order_by with Some a -> String.length a | None -> 0)
+  | Scan_reply { rows; _ } ->
+    4
+    + List.fold_left
+        (fun acc (key, value, _) -> acc + key_bytes key + value_bytes value + 4)
+        0 rows
+  | _ -> 0
 
 let describe = function
   | Propose { woption; route } ->

@@ -101,11 +101,15 @@ type Mdcc_sim.Network.payload +=
       (** several protocol messages for the same destination folded into one
           network message — the batching optimization the paper's
           conclusion proposes to reduce message overhead *)
-  | Sync_request of { entries : (Key.t * int) list }
-      (** anti-entropy probe: "here are my versions for these keys; send me
-          a [Catchup] for any you know to be newer" — the background
-          bulk-repair process §3.2.3/§5.3.4 mention for replicas that
-          missed updates during an outage *)
+  | Sync_request of { entries : (Key.t * int * int) list }
+      (** anti-entropy probe: "here are my (version, applied-set digest)
+          pairs for these keys; send me a [Catchup] for any you know to be
+          newer" — the background bulk-repair process §3.2.3/§5.3.4 mention
+          for replicas that missed updates during an outage.  The digest
+          (see {!applied_digest}) lets the receiver {e detect} two replicas
+          at the same version with different applied delta sets — the
+          equal-version divergence commutative updates can produce — and
+          feed the [diverged_replicas] gauge (repair is future work) *)
   | Scan_request of { rid : int; table : string; order_by : string option; limit : int }
       (** read-committed scan of one replica's rows of a table, optionally
           sorted descending by an integer attribute — the local analytic
@@ -114,3 +118,13 @@ type Mdcc_sim.Network.payload +=
 
 val describe : Mdcc_sim.Network.payload -> string
 (** Short human-readable form for traces (["propose(fast, t1, item/4)"]). *)
+
+val applied_digest : Txn.id list -> int
+(** Order-independent digest of the transaction ids folded into a replica's
+    committed value, exchanged in [Sync_request] entries.  Equal versions
+    with different digests mean diverged replicas. *)
+
+val size_of : Mdcc_sim.Network.payload -> int
+(** Estimated wire size in bytes, used by the network meter to charge
+    per-node byte counters.  A coarse model — fixed header plus the
+    dominant variable-length parts — not a serialization. *)

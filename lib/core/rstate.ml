@@ -89,29 +89,55 @@ let value_in_bounds ~bounds value =
     (fun (b : Schema.bound) -> Schema.check_bound b (Value.get_int value b.Schema.attr))
     bounds
 
-let evaluate ~bounds ~demarcation valuation ~accepted (up : Update.t) =
+type reject_reason = Version_validation | Outstanding_option | Demarcation
+
+(* The same conjunctions as the original single-expression [evaluate], but
+   evaluated in a fixed order so a rejection names its {e first} failing
+   clause: committed-state/version validation, then the one-outstanding-
+   option rule, then value bounds / quorum demarcation.  The ordering
+   cannot change the decision — only which reason a multiply-invalid
+   option reports. *)
+let classify ~bounds ~demarcation valuation ~accepted (up : Update.t) =
   let no_outstanding = accepted = [] in
   let no_outstanding_physical =
     List.for_all (fun p -> Update.is_commutative p.woption.Woption.update) accepted
   in
-  let ok =
-    match up with
-    | Update.Insert v -> (not valuation.exists) && no_outstanding && value_in_bounds ~bounds v
-    | Update.Physical { vread; value } ->
-      valuation.exists && valuation.version = vread && no_outstanding
-      && value_in_bounds ~bounds value
-    | Update.Delete { vread } ->
-      valuation.exists && valuation.version = vread && no_outstanding
-    | Update.Delta deltas ->
-      valuation.exists && no_outstanding_physical
-      && delta_ok ~bounds ~demarcation valuation ~accepted deltas
-    | Update.Read_guard { vread } ->
-      (* Serializable reads (§4.4): valid while the read version is current
-         and no write is outstanding; outstanding guards are fine (shared
-         "locks" commute with each other). *)
-      valuation.version = vread
-      && List.for_all
-           (fun p -> Update.is_read_guard p.woption.Woption.update)
-           accepted
-  in
-  if ok then Woption.Accepted else Woption.Rejected
+  match up with
+  | Update.Insert v ->
+    if valuation.exists then Some Version_validation
+    else if not no_outstanding then Some Outstanding_option
+    else if not (value_in_bounds ~bounds v) then Some Demarcation
+    else None
+  | Update.Physical { vread; value } ->
+    if not (valuation.exists && valuation.version = vread) then Some Version_validation
+    else if not no_outstanding then Some Outstanding_option
+    else if not (value_in_bounds ~bounds value) then Some Demarcation
+    else None
+  | Update.Delete { vread } ->
+    if not (valuation.exists && valuation.version = vread) then Some Version_validation
+    else if not no_outstanding then Some Outstanding_option
+    else None
+  | Update.Delta deltas ->
+    if not valuation.exists then Some Version_validation
+    else if not no_outstanding_physical then Some Outstanding_option
+    else if not (delta_ok ~bounds ~demarcation valuation ~accepted deltas) then
+      Some Demarcation
+    else None
+  | Update.Read_guard { vread } ->
+    (* Serializable reads (§4.4): valid while the read version is current
+       and no write is outstanding; outstanding guards are fine (shared
+       "locks" commute with each other). *)
+    if valuation.version <> vread then Some Version_validation
+    else if
+      not
+        (List.for_all (fun p -> Update.is_read_guard p.woption.Woption.update) accepted)
+    then Some Outstanding_option
+    else None
+
+let evaluate_why ~bounds ~demarcation valuation ~accepted up =
+  match classify ~bounds ~demarcation valuation ~accepted up with
+  | None -> (Woption.Accepted, None)
+  | Some reason -> (Woption.Rejected, Some reason)
+
+let evaluate ~bounds ~demarcation valuation ~accepted up =
+  fst (evaluate_why ~bounds ~demarcation valuation ~accepted up)

@@ -62,6 +62,13 @@ type valuation = { value : Value.t; version : int; exists : bool }
 
 type demarcation = [ `Quorum of int * int  (** (n, fast-quorum size) *) | `Escrow ]
 
+type reject_reason =
+  | Version_validation
+      (** missing/stale record or [vread] mismatch — write-write conflict *)
+  | Outstanding_option
+      (** an accepted, unexecuted option blocks this one (§3.2.2) *)
+  | Demarcation  (** value bounds / quorum-demarcation limit exceeded *)
+
 val evaluate :
   bounds:Schema.bound list ->
   demarcation:demarcation ->
@@ -72,6 +79,18 @@ val evaluate :
 (** The accept/reject decision for a new option given committed state and
     the already-accepted outstanding options.  Deterministic; safe to run
     at any replica that has the same inputs. *)
+
+val evaluate_why :
+  bounds:Schema.bound list ->
+  demarcation:demarcation ->
+  valuation ->
+  accepted:pending list ->
+  Update.t ->
+  Woption.decision * reject_reason option
+(** [evaluate] plus the first failing clause on rejection (checked in the
+    fixed order version validation → outstanding option → demarcation, so
+    the reason is deterministic even for multiply-invalid options).  The
+    decision is identical to {!evaluate}'s. *)
 
 val demarcation_lower_ok :
   n:int -> qf:int -> base:int -> lower:int -> pending_neg:int -> delta_neg:int -> bool

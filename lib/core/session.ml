@@ -1,4 +1,5 @@
 open Mdcc_storage
+module Obs = Mdcc_obs.Obs
 
 type t = {
   coordinator : Coordinator.t;
@@ -17,12 +18,16 @@ let observe t key version =
   if version > watermark t key then Key.Tbl.replace t.watermarks key version
 
 let read t key callback =
+  let obs = Coordinator.obs t.coordinator in
   let deliver result =
     (match result with Some (_, version) -> observe t key version | None -> ());
     Key.Tbl.remove t.dirty key;
     callback result
   in
-  if Key.Tbl.mem t.dirty key then Coordinator.read_majority t.coordinator key deliver
+  if Key.Tbl.mem t.dirty key then begin
+    Obs.incr obs "session_read_dirty_upgrade";
+    Coordinator.read_majority t.coordinator key deliver
+  end
   else
     Coordinator.read_local t.coordinator key (fun result ->
         let fresh_enough =
@@ -30,8 +35,14 @@ let read t key callback =
           | Some (_, version) -> version >= watermark t key
           | None -> watermark t key = 0
         in
-        if fresh_enough then deliver result
-        else Coordinator.read_majority t.coordinator key deliver)
+        if fresh_enough then begin
+          Obs.incr obs "session_read_fresh";
+          deliver result
+        end
+        else begin
+          Obs.incr obs "session_read_stale_upgrade";
+          Coordinator.read_majority t.coordinator key deliver
+        end)
 
 let scan t ~table ?order_by ~limit cb =
   Coordinator.scan_local t.coordinator ~table ?order_by ~limit cb

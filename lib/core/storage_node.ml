@@ -5,6 +5,7 @@ module Engine = Mdcc_sim.Engine
 module Trace = Mdcc_sim.Trace
 module Rng = Mdcc_util.Rng
 module Table = Mdcc_util.Table
+module Obs = Mdcc_obs.Obs
 
 (* A classic Phase 2 round this master is running for one option. *)
 type round = {
@@ -66,6 +67,10 @@ type t = {
   recoveries : (Txn.id, txrec) Hashtbl.t;
   rng : Rng.t;
   history : History.t option;  (* chaos-testing execution recorder *)
+  obs : Obs.t;
+  diverged : (string, unit) Hashtbl.t;
+      (* "src#key" pairs currently known diverged at equal version (applied
+         anti-entropy digests differ); drives the diverged_replicas gauge *)
 }
 
 let record t ev = match t.history with Some h -> History.record h ev | None -> ()
@@ -141,6 +146,20 @@ let now t = Engine.now t.engine
 
 let trace t fmt = Trace.emit t.engine ~tag:(Printf.sprintf "node%d" t.id) fmt
 
+let span t ~txid ~name ?key ~detail () =
+  Obs.span_event t.obs ~txid ~at:(now t) ~node:t.id ~name ?key ~detail ()
+
+let reject_counter = function
+  | Rstate.Version_validation -> "option_reject_version"
+  | Rstate.Outstanding_option -> "option_reject_outstanding"
+  | Rstate.Demarcation -> "option_reject_demarcation"
+
+let count_verdict t decision reason =
+  match (decision, reason) with
+  | Woption.Accepted, _ -> Obs.incr t.obs "option_accept"
+  | Woption.Rejected, Some r -> Obs.incr t.obs (reject_counter r)
+  | Woption.Rejected, None -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Acceptor role                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -183,10 +202,11 @@ let fast_propose t (w : Woption.t) =
             send t (t.master_of key) (Messages.Catchup_request { key })
         | Update.Insert _ | Update.Delta _ -> ());
         let n, qf = n_qf t in
-        let decision =
-          Rstate.evaluate ~bounds:(bounds t key) ~demarcation:(`Quorum (n, qf)) row
+        let decision, reason =
+          Rstate.evaluate_why ~bounds:(bounds t key) ~demarcation:(`Quorum (n, qf)) row
             ~accepted:(Rstate.accepted rs) w.Woption.update
         in
+        count_verdict t decision reason;
         Rstate.add_pending rs
           {
             Rstate.woption = w;
@@ -194,8 +214,17 @@ let fast_propose t (w : Woption.t) =
             ballot = Ballot.initial_fast;
             proposed_at = now t;
           };
-        trace t "fast vote %s %s %s" w.Woption.txid (Key.to_string key)
-          (match decision with Woption.Accepted -> "acc" | Woption.Rejected -> "rej");
+        let verdict_str =
+          match (decision, reason) with
+          | Woption.Accepted, _ -> "acc"
+          | Woption.Rejected, Some Rstate.Version_validation -> "rej:version"
+          | Woption.Rejected, Some Rstate.Outstanding_option -> "rej:outstanding"
+          | Woption.Rejected, Some Rstate.Demarcation -> "rej:demarcation"
+          | Woption.Rejected, None -> "rej"
+        in
+        trace t "fast vote %s %s %s" w.Woption.txid (Key.to_string key) verdict_str;
+        span t ~txid:w.Woption.txid ~name:"vote" ~key:(Key.to_string key)
+          ~detail:("fast " ^ verdict_str) ();
         reply decision
       end)
 
@@ -216,6 +245,7 @@ let acceptor_phase1a t key ballot =
 let apply_rebase t key (rb : Messages.rebase) =
   let row = Store.ensure t.store key in
   if rb.Messages.version > row.Store.version then begin
+    Obs.incr t.obs "antientropy_repair";
     row.Store.value <- rb.Messages.value;
     row.Store.version <- rb.Messages.version;
     row.Store.exists <- rb.Messages.exists;
@@ -246,6 +276,11 @@ let acceptor_phase2a t key ballot (w : Woption.t) decision classic_until rebase 
       (true, ballot, if committed then Woption.Accepted else Woption.Rejected)
     | None ->
       Rstate.add_pending rs { Rstate.woption = w; decision; ballot; proposed_at = now t };
+      span t ~txid:w.Woption.txid ~name:"vote" ~key:(Key.to_string key)
+        ~detail:
+          ("classic "
+          ^ match decision with Woption.Accepted -> "acc" | Woption.Rejected -> "rej")
+        ();
       (true, ballot, decision)
   end
   else (false, rs.Rstate.promised, decision)
@@ -299,6 +334,10 @@ let visibility t txid key (update : Update.t) committed =
       end
     end
     else record t (History.Voided { time = now t; node = t.id; txid; key });
+    Obs.incr t.obs (if committed then "visibility_exec" else "visibility_void");
+    span t ~txid ~name:"visible" ~key:(Key.to_string key)
+      ~detail:(if committed then "exec" else "void")
+      ();
     trace t "visibility %s %s -> %s" txid (Key.to_string key)
       (if committed then "exec" else "void")
   end
@@ -342,6 +381,7 @@ let rec master_phase2b t ~src key txid ballot ok _decision =
             if dst = t.id then txn_recovery_learned t txid key r.r_dec
             else send t dst (Messages.Learned { key; txid; decision = r.r_dec }))
           targets;
+        Obs.incr t.obs "classic_learned";
         trace t "classic learned %s %s %s" txid (Key.to_string key)
           (match r.r_dec with Woption.Accepted -> "acc" | Woption.Rejected -> "rej");
         process_queue t key
@@ -378,10 +418,11 @@ and start_round t key (w : Woption.t) ~notify =
   | Some ballot ->
     let rs = rstate t key in
     let row = valuation t key in
-    let decision =
-      Rstate.evaluate ~bounds:(bounds t key) ~demarcation:`Escrow row
+    let decision, reason =
+      Rstate.evaluate_why ~bounds:(bounds t key) ~demarcation:`Escrow row
         ~accepted:(Rstate.accepted rs) w.Woption.update
     in
+    count_verdict t decision reason;
     let r = { r_opt = w; r_dec = decision; r_ballot = ballot; r_acks = []; r_notify = notify } in
     ms.m_rounds <- r :: ms.m_rounds;
     broadcast_phase2a t key ballot w decision ~classic_until:rs.Rstate.classic_until ~rebase:None
@@ -481,11 +522,13 @@ and start_recovery t key ~extras ~notify =
       }
     in
     ms.m_recovery <- Some rc;
+    Obs.incr t.obs "recovery_start";
     trace t "recovery start %s ballot=%d" (Key.to_string key) ms.m_highest;
     broadcast_phase1a t key rc;
     watch_recovery t key rc
 
 and broadcast_phase1a t key rc =
+  Obs.incr t.obs "phase1_round";
   let ballot = rc.rc_ballot in
   List.iter
     (fun replica ->
@@ -945,12 +988,33 @@ let rec handle t ~src payload =
   | Messages.Batch items -> List.iter (handle t ~src) items
   | Messages.Sync_request { entries } ->
     (* Anti-entropy: answer with the committed state of any key where we are
-       ahead of the prober. *)
+       ahead of the prober.  At equal versions, compare applied-set digests —
+       matching versions with different digests mean the replicas applied
+       different commutative delta sets (the equal-version divergence gap).
+       We can detect it here but not yet repair it: flag the pair on the
+       diverged_replicas gauge and clear it if a later probe agrees again. *)
     List.iter
-      (fun (key, version) ->
+      (fun (key, version, digest) ->
         let row = Store.ensure t.store key in
         if row.Store.version > version then
-          send t src (Messages.Catchup { key; rebase = rebase_of t key }))
+          send t src (Messages.Catchup { key; rebase = rebase_of t key })
+        else if row.Store.version = version && row.Store.version > 0 then begin
+          let dkey = Printf.sprintf "%d#%s" src (Key.to_string key) in
+          let ours = Messages.applied_digest (incorporated_txids t key) in
+          if ours <> digest then begin
+            if not (Hashtbl.mem t.diverged dkey) then begin
+              Hashtbl.replace t.diverged dkey ();
+              Obs.incr t.obs "antientropy_divergence";
+              Obs.add_gauge t.obs "diverged_replicas" 1;
+              trace t "anti-entropy divergence with node %d on %s at v%d" src
+                (Key.to_string key) version
+            end
+          end
+          else if Hashtbl.mem t.diverged dkey then begin
+            Hashtbl.remove t.diverged dkey;
+            Obs.add_gauge t.obs "diverged_replicas" (-1)
+          end
+        end)
       entries
   | Messages.Propose { woption; route = `Fast } -> fast_propose t woption
   | Messages.Propose { woption; route = `Classic } -> master_propose t woption ~notify:[]
@@ -1022,7 +1086,8 @@ let rec handle t ~src payload =
          { rid; key; value = row.Store.value; version = row.Store.version; exists = row.Store.exists })
   | _ -> ()
 
-let create ~net ~config ~node_id ~schema ~replicas ~master_of ?history () =
+let create ~net ~config ~node_id ~schema ~replicas ~master_of ?history
+    ?(obs = Obs.ambient ()) () =
   let engine = Net.engine net in
   let t =
     {
@@ -1041,6 +1106,8 @@ let create ~net ~config ~node_id ~schema ~replicas ~master_of ?history () =
       recoveries = Hashtbl.create 64;
       rng = Rng.split (Engine.rng engine);
       history;
+      obs;
+      diverged = Hashtbl.create 16;
     }
   in
   Net.register net node_id (fun ~src payload -> handle t ~src payload);
@@ -1070,7 +1137,8 @@ let sync_with_masters t =
       let master = t.master_of key in
       if master <> t.id then begin
         let existing = Option.value (Hashtbl.find_opt by_master master) ~default:[] in
-        Hashtbl.replace by_master master ((key, row.Store.version) :: existing)
+        let digest = Messages.applied_digest (incorporated_txids t key) in
+        Hashtbl.replace by_master master ((key, row.Store.version, digest) :: existing)
       end);
   (* Probe masters in node-id order; entry lists are already in key order
      because [Store.iter] is sorted. *)
@@ -1089,7 +1157,8 @@ let sync_with_peers t =
         (fun peer ->
           if peer <> t.id then begin
             let existing = Option.value (Hashtbl.find_opt by_peer peer) ~default:[] in
-            Hashtbl.replace by_peer peer ((key, row.Store.version) :: existing)
+            let digest = Messages.applied_digest (incorporated_txids t key) in
+            Hashtbl.replace by_peer peer ((key, row.Store.version, digest) :: existing)
           end)
         (t.replicas key));
   Table.sorted_iter ~compare:Int.compare

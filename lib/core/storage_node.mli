@@ -37,13 +37,17 @@ val create :
   replicas:(Key.t -> int list) ->
   master_of:(Key.t -> int) ->
   ?history:History.t ->
+  ?obs:Mdcc_obs.Obs.t ->
   unit ->
   t
 (** Build the node and register its message handler on the network.
     [replicas key] must list the full replica group of [key] (including this
     node when it replicates [key]); [master_of key] is the node currently
     responsible for classic ballots on [key].  When [history] is given,
-    every option execution/void is recorded into it (chaos testing). *)
+    every option execution/void is recorded into it (chaos testing).  [obs]
+    (default: the ambient handle) receives acceptor/master counters — option
+    verdicts with reject reasons, Phase 1 rounds, recoveries, anti-entropy
+    repairs and divergence — and vote/visibility span events. *)
 
 val node_id : t -> int
 

@@ -26,6 +26,11 @@ let norm_rel rel =
 let in_protocol_core rel =
   starts_with ~prefix:"lib/core/" rel || starts_with ~prefix:"lib/paxos/" rel
 
+(* R3 additionally covers the shared utility layer: a bare [invalid_arg] in
+   Stats or Rng surfaces as an anonymous crash in whatever protocol path
+   called it, so those must route through Invariant.violate too. *)
+let in_r3_scope rel = in_protocol_core rel || starts_with ~prefix:"lib/util/" rel
+
 (* R1-simtime applies wherever timestamps feed replay / checking. *)
 let in_simtime_scope rel = in_protocol_core rel || starts_with ~prefix:"lib/chaos/" rel
 
@@ -193,7 +198,7 @@ let check (env : env) ~rel (str : structure) : Finding.t list =
     | fn :: "Tbl" :: _ when List.mem fn hash_order_fns ->
       add ~loc "R1-hash-iter" dotted "hash-order iteration; use the sorted_* helpers"
     | _ -> ());
-    if in_protocol_core rel then
+    if in_r3_scope rel then
       match rcomps with
       | [ "failwith" ] | "failwith" :: "Stdlib" :: _ ->
         add ~loc "R3-failwith" dotted
@@ -279,7 +284,7 @@ let check (env : env) ~rel (str : structure) : Finding.t list =
     (match e.pexp_desc with
     | Pexp_ident { txt; loc } -> check_ident ~loc (Longident.flatten txt)
     | Pexp_assert { pexp_desc = Pexp_construct ({ txt = Longident.Lident "false"; _ }, None); _ }
-      when in_protocol_core rel ->
+      when in_r3_scope rel ->
       add ~loc:e.pexp_loc "R3-assert-false" "assert false"
         "anonymous failure in a protocol path; use Mdcc_util.Invariant.violate"
     | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)

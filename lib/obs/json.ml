@@ -1,0 +1,261 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Deterministic float rendering: integer-valued floats as "n.0" so they
+   survive a render/parse/render round trip unchanged; everything else via
+   %.6g which is stable across runs (the inputs are sim times and derived
+   statistics, never accumulated platform-dependent noise). *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if not (Float.is_finite f) then Buffer.add_string buf "null"
+      else Buffer.add_string buf (float_repr f)
+  | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  write buf t;
+  Buffer.contents buf
+
+(* --- Parser: recursive descent over a string with an offset cursor. --- *)
+
+exception Syntax of int * string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail msg = raise (Syntax (!pos, msg)) in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    let len = String.length word in
+    if !pos + len <= n && String.sub s !pos len = word then (
+      pos := !pos + len;
+      value)
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string"
+      else
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' -> (
+            if !pos >= n then fail "unterminated escape"
+            else
+              let e = s.[!pos] in
+              advance ();
+              match e with
+              | '"' | '\\' | '/' ->
+                  Buffer.add_char buf e;
+                  loop ()
+              | 'n' ->
+                  Buffer.add_char buf '\n';
+                  loop ()
+              | 'r' ->
+                  Buffer.add_char buf '\r';
+                  loop ()
+              | 't' ->
+                  Buffer.add_char buf '\t';
+                  loop ()
+              | 'b' ->
+                  Buffer.add_char buf '\b';
+                  loop ()
+              | 'f' ->
+                  Buffer.add_char buf '\012';
+                  loop ()
+              | 'u' ->
+                  if !pos + 4 > n then fail "truncated \\u escape"
+                  else
+                    let hex = String.sub s !pos 4 in
+                    let code =
+                      try int_of_string ("0x" ^ hex)
+                      with _ -> fail "bad \\u escape"
+                    in
+                    pos := !pos + 4;
+                    (* Decode to UTF-8 so escape/parse round-trips for the
+                       control characters we emit; BMP only, which covers
+                       everything this library produces. *)
+                    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                    else if code < 0x800 then (
+                      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))))
+                    else (
+                      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                      Buffer.add_char buf
+                        (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))));
+                    loop ()
+              | _ -> fail "unknown escape")
+        | c ->
+            Buffer.add_char buf c;
+            loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    let rec loop () =
+      match peek () with
+      | Some ('0' .. '9' | '-' | '+') ->
+          advance ();
+          loop ()
+      | Some ('.' | 'e' | 'E') ->
+          is_float := true;
+          advance ();
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    if !pos = start then fail "expected number"
+    else
+      let text = String.sub s start (!pos - start) in
+      if !is_float then
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail "malformed number"
+      else
+        match int_of_string_opt text with
+        | Some i -> Int i
+        | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (
+          advance ();
+          List [])
+        else
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elems (v :: acc)
+            | Some ']' ->
+                advance ();
+                List (List.rev (v :: acc))
+            | _ -> fail "expected , or ] in array"
+          in
+          elems []
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (
+          advance ();
+          Obj [])
+        else
+          let parse_member () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let rec members acc =
+            let kv = parse_member () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members (kv :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev (kv :: acc))
+            | _ -> fail "expected , or } in object"
+          in
+          members []
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %c" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage" else v
+  with
+  | v -> Ok v
+  | exception Syntax (at, msg) ->
+      Error (Printf.sprintf "JSON syntax error at offset %d: %s" at msg)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let to_list = function List xs -> xs | _ -> []

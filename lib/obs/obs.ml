@@ -1,0 +1,34 @@
+type t = { registry : Registry.t; spans : Span.t option }
+
+let create ?(spans = false) () =
+  {
+    registry = Registry.create ();
+    spans = (if spans then Some (Span.create ()) else None);
+  }
+
+let registry t = t.registry
+let spans t = t.spans
+let incr t ?by name = Registry.incr t.registry ?by name
+let set_gauge t name v = Registry.set_gauge t.registry name v
+let add_gauge t name d = Registry.add_gauge t.registry name d
+let observe t name sample = Registry.observe t.registry name sample
+
+let begin_txn t ~txid ~at =
+  match t.spans with Some sp -> Span.begin_txn sp ~txid ~at | None -> ()
+
+let span_event t ~txid ~at ~node ~name ?key ~detail () =
+  match t.spans with
+  | Some sp -> Span.event sp ~txid ~at ~node ~name ?key ~detail ()
+  | None -> ()
+
+let metrics_json t = Registry.to_json t.registry
+
+let spans_json t =
+  match t.spans with Some sp -> Span.to_json sp | None -> Json.List []
+
+let ambient_handle = create ()
+let ambient () = ambient_handle
+
+let reset_ambient () =
+  Registry.clear ambient_handle.registry;
+  match ambient_handle.spans with Some sp -> Span.clear sp | None -> ()

@@ -1,0 +1,45 @@
+(** The observability handle threaded through the protocol: a metrics
+    {!Registry.t} plus an optional per-transaction {!Span.t} store.  Every
+    protocol component takes [?obs] (defaulting to the process-wide
+    {!ambient} handle, whose span store is disabled so long-running drivers
+    don't accumulate unbounded state); the chaos runner creates a fresh
+    handle per run with spans enabled. *)
+
+type t
+
+val create : ?spans:bool -> unit -> t
+(** [create ()] has no span store; [create ~spans:true ()] records spans. *)
+
+val registry : t -> Registry.t
+val spans : t -> Span.t option
+
+val incr : t -> ?by:int -> string -> unit
+val set_gauge : t -> string -> int -> unit
+val add_gauge : t -> string -> int -> unit
+val observe : t -> string -> float -> unit
+(** Registry pass-throughs. *)
+
+val begin_txn : t -> txid:string -> at:float -> unit
+
+val span_event :
+  t ->
+  txid:string ->
+  at:float ->
+  node:int ->
+  name:string ->
+  ?key:string ->
+  detail:string ->
+  unit ->
+  unit
+(** No-ops when the span store is disabled. *)
+
+val metrics_json : t -> Json.t
+val spans_json : t -> Json.t
+(** [spans_json] is [List []] when spans are disabled. *)
+
+val ambient : unit -> t
+(** The process-wide default handle (spans disabled).  Drivers that export
+    metrics — [experiments_cli --metrics-out], [bench] — snapshot this. *)
+
+val reset_ambient : unit -> unit
+(** Clear the ambient registry (fresh baseline before a driver run). *)

@@ -1,0 +1,101 @@
+module Table = Mdcc_util.Table
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, int ref) Hashtbl.t;
+  hists : (string, float list ref) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 64;
+    gauges = Hashtbl.create 16;
+    hists = Hashtbl.create 16;
+  }
+
+let cell tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace tbl name r;
+      r
+
+let incr t ?(by = 1) name =
+  let r = cell t.counters name in
+  r := !r + by
+
+let set_gauge t name v = cell t.gauges name := v
+
+let add_gauge t name d =
+  let r = cell t.gauges name in
+  r := !r + d
+
+let observe t name sample =
+  let r =
+    match Hashtbl.find_opt t.hists name with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace t.hists name r;
+        r
+  in
+  r := sample :: !r
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with Some r -> !r | None -> 0
+
+let hist_count t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some r -> List.length !r
+  | None -> 0
+
+let clear t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.hists
+
+let hist_json samples =
+  let arr = Array.of_list samples in
+  Array.sort compare arr;
+  let n = Array.length arr in
+  if n = 0 then Json.Obj [ ("count", Json.Int 0) ]
+  else
+    let pct p =
+      let idx = int_of_float (Float.of_int (n - 1) *. p) in
+      arr.(idx)
+    in
+    let sum = Array.fold_left ( +. ) 0.0 arr in
+    Json.Obj
+      [
+        ("count", Json.Int n);
+        ("mean", Json.Float (sum /. Float.of_int n));
+        ("min", Json.Float arr.(0));
+        ("max", Json.Float arr.(n - 1));
+        ("p50", Json.Float (pct 0.50));
+        ("p95", Json.Float (pct 0.95));
+        ("p99", Json.Float (pct 0.99));
+      ]
+
+let to_json t =
+  let ints tbl =
+    Json.Obj
+      (List.map
+         (fun (name, r) -> (name, Json.Int !r))
+         (Table.sorted_bindings ~compare:String.compare tbl))
+  in
+  let hists =
+    Json.Obj
+      (List.map
+         (fun (name, r) -> (name, hist_json (List.rev !r)))
+         (Table.sorted_bindings ~compare:String.compare t.hists))
+  in
+  Json.Obj
+    [
+      ("counters", ints t.counters);
+      ("gauges", ints t.gauges);
+      ("histograms", hists);
+    ]

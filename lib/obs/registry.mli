@@ -1,0 +1,35 @@
+(** Deterministic metrics registry: counters, gauges, and histograms keyed
+    by name.  All values derive from sim time and protocol events, never the
+    wall clock, so a snapshot is a pure function of the run.  Snapshots
+    iterate in sorted name order ({!Mdcc_util.Table.sorted_bindings}) and
+    render byte-identically across identical runs. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> ?by:int -> string -> unit
+(** Add [by] (default 1) to a counter, creating it at zero first. *)
+
+val set_gauge : t -> string -> int -> unit
+
+val add_gauge : t -> string -> int -> unit
+(** Add a (possibly negative) delta to a gauge, creating it at zero. *)
+
+val observe : t -> string -> float -> unit
+(** Record one sample into a histogram, creating it empty first. *)
+
+val counter : t -> string -> int
+(** Current value of a counter ([0] if never incremented). *)
+
+val gauge : t -> string -> int
+
+val hist_count : t -> string -> int
+(** Number of samples observed into a histogram. *)
+
+val clear : t -> unit
+
+val to_json : t -> Json.t
+(** [{"counters":{..},"gauges":{..},"histograms":{name:{"count":..,"mean":..,
+    "min":..,"max":..,"p50":..,"p95":..,"p99":..}}}] with every object's
+    members in sorted name order. *)

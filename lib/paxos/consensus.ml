@@ -2,6 +2,7 @@ module Net = Mdcc_sim.Network
 module Engine = Mdcc_sim.Engine
 module Rng = Mdcc_util.Rng
 module Invariant = Mdcc_util.Invariant
+module Obs = Mdcc_obs.Obs
 
 type Net.payload +=
   | Cp_fast of { pid : int; value : string }
@@ -49,7 +50,12 @@ type t = {
   mutable highest_number : int;
   mutable chosen : string list;
   rng : Rng.t;
+  obs : Obs.t;
 }
+
+(* Standalone consensus instances have no transaction; spans are keyed by a
+   synthetic "cp-<pid>" id so vote/learn events still form a tree. *)
+let span_id pid = Printf.sprintf "cp-%d" pid
 
 let n t = List.length t.acceptors
 
@@ -69,20 +75,27 @@ let astate t node =
 (* Acceptor                                                             *)
 (* ------------------------------------------------------------------ *)
 
+let span t ~pid ~node ~name ~detail =
+  Obs.span_event t.obs ~txid:(span_id pid) ~at:(Engine.now t.engine) ~node ~name ~detail ()
+
 let acceptor_handle t node ~src payload =
   let s = astate t node in
   let reply p = Net.send t.net ~src:node ~dst:src p in
   match payload with
   | Cp_fast { pid; value } ->
     (* Accept the first fast value while still on the implicit fast ballot. *)
-    if Ballot.is_fast s.promised && s.vvalue = None then begin
+    let accepted = Ballot.is_fast s.promised && s.vvalue = None in
+    if accepted then begin
       s.vballot <- Some Ballot.initial_fast;
       s.vvalue <- Some value
     end;
+    Obs.incr t.obs (if accepted then "cp_fast_accept" else "cp_fast_reject");
+    span t ~pid ~node ~name:"vote" ~detail:(if accepted then "fast acc" else "fast rej");
     reply (Cp_fast_reply { pid; ballot = Option.value s.vballot ~default:s.promised; value = s.vvalue })
   | Cp_phase1a { pid; ballot } ->
     let ok = Ballot.compare ballot s.promised > 0 in
     if ok then s.promised <- ballot;
+    if ok then Obs.incr t.obs "cp_phase1_promise";
     let vote =
       match (s.vballot, s.vvalue) with Some b, Some v -> Some (b, v) | _ -> None
     in
@@ -94,6 +107,8 @@ let acceptor_handle t node ~src payload =
       s.vballot <- Some ballot;
       s.vvalue <- Some value
     end;
+    if ok then Obs.incr t.obs "cp_phase2_vote";
+    span t ~pid ~node ~name:"vote" ~detail:(if ok then "classic acc" else "classic rej");
     reply (Cp_phase2b { pid; ballot; ok })
   | _ -> ()
 
@@ -105,6 +120,8 @@ let finish t p value =
   if p.phase <> Done then begin
     p.phase <- Done;
     t.chosen <- value :: t.chosen;
+    Obs.incr t.obs "cp_decided";
+    span t ~pid:p.pid ~node:p.from ~name:"learn" ~detail:"decided";
     p.callback value
   end
 
@@ -118,6 +135,8 @@ let backoff_of t p =
 
 let rec start_classic t p =
   if p.phase <> Done then begin
+    Obs.incr t.obs "cp_classic_round";
+    span t ~pid:p.pid ~node:p.from ~name:"propose" ~detail:"classic";
     p.attempts <- p.attempts + 1;
     t.highest_number <- t.highest_number + 1;
     p.ballot <- Ballot.classic ~number:t.highest_number ~proposer:p.from;
@@ -161,7 +180,11 @@ let on_fast_reply t p ~src ballot value =
       let replies = List.length p.fast_replies in
       let best = List.fold_left (fun acc v -> Stdlib.max acc (support v)) 0 values in
       (* Collision: no value can reach a fast quorum any more. *)
-      if best + (n t - replies) < qf t then start_classic t p
+      if best + (n t - replies) < qf t then begin
+        Obs.incr t.obs "cp_collision";
+        span t ~pid:p.pid ~node:p.from ~name:"collision" ~detail:"fast quorum impossible";
+        start_classic t p
+      end
   end
 
 let on_phase1b t p ~src ballot ok promised vote =
@@ -237,7 +260,7 @@ let proposer_handle t ~src payload =
 (* API                                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let create ~net ~acceptors () =
+let create ~net ~acceptors ?(obs = Obs.ambient ()) () =
   if List.length acceptors < 3 then
     Invariant.violate ~context:"Consensus.create" "need >= 3 acceptors, got %d"
       (List.length acceptors);
@@ -253,6 +276,7 @@ let create ~net ~acceptors () =
       highest_number = 0;
       chosen = [];
       rng = Rng.split (Engine.rng engine);
+      obs;
     }
   in
   List.iter
@@ -284,6 +308,7 @@ let new_proposal t ~from value callback phase =
 
 let propose_fast t ~from value callback =
   let p = new_proposal t ~from value callback Fast_wait in
+  span t ~pid:p.pid ~node:from ~name:"propose" ~detail:"fast";
   List.iter
     (fun a -> Net.send t.net ~src:from ~dst:a (Cp_fast { pid = p.pid; value }))
     t.acceptors;

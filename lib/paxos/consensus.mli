@@ -30,9 +30,14 @@ type t
 val create :
   net:Mdcc_sim.Network.t ->
   acceptors:Mdcc_sim.Topology.node_id list ->
+  ?obs:Mdcc_obs.Obs.t ->
   unit ->
   t
-(** Register acceptor handlers on the given nodes.  At least 3 acceptors. *)
+(** Register acceptor handlers on the given nodes.  At least 3 acceptors.
+    [obs] (default: the ambient handle) receives [cp_*] counters (fast
+    accepts/rejects, Phase 1 promises, Phase 2 votes, collisions, classic
+    rounds, decisions) and span events keyed by a synthetic ["cp-<pid>"]
+    transaction id. *)
 
 val propose_fast :
   t -> from:Mdcc_sim.Topology.node_id -> string -> (string -> unit) -> unit

@@ -8,6 +8,26 @@ type stats = {
   mutable dropped : int;
 }
 
+type meter = {
+  m_size : payload -> int;
+  m_on_send : src:Topology.node_id -> dst:Topology.node_id -> bytes:int -> unit;
+  m_on_deliver : src:Topology.node_id -> dst:Topology.node_id -> bytes:int -> unit;
+}
+
+(* The trace context is the causal envelope: a transaction id set around a
+   send is captured into the delivery closure and restored around the
+   receiving handler, so any message the handler sends in turn inherits it.
+   The simulation is single-threaded, which makes this implicit propagation
+   exact — no payload constructor needs to change to carry the id. *)
+let current_ctx : string option ref = ref None
+
+let trace_context () = !current_ctx
+
+let with_trace_context ctx f =
+  let saved = !current_ctx in
+  current_ctx := ctx;
+  Fun.protect ~finally:(fun () -> current_ctx := saved) f
+
 type t = {
   engine : Engine.t;
   topo : Topology.t;
@@ -20,6 +40,7 @@ type t = {
   failed : bool array;
   cut : (Topology.node_id * Topology.node_id, unit) Hashtbl.t;
   stats : stats;
+  mutable meter : meter option;
 }
 
 let create engine topo ?(drop_probability = 0.0) ?(jitter_sigma = 0.05) () =
@@ -35,7 +56,12 @@ let create engine topo ?(drop_probability = 0.0) ?(jitter_sigma = 0.05) () =
     failed = Array.make (Topology.num_nodes topo) false;
     cut = Hashtbl.create 64;
     stats = { sent = 0; delivered = 0; dropped = 0 };
+    meter = None;
   }
+
+let set_meter t m = t.meter <- Some m
+
+let clear_meter t = t.meter <- None
 
 let engine t = t.engine
 
@@ -59,11 +85,15 @@ let blocked t ~src ~dst = t.failed.(src) || t.failed.(dst) || link_cut t ~src ~d
 
 let send t ~src ~dst payload =
   t.stats.sent <- t.stats.sent + 1;
+  (match t.meter with
+  | Some m -> m.m_on_send ~src ~dst ~bytes:(m.m_size payload)
+  | None -> ());
   if blocked t ~src ~dst then t.stats.dropped <- t.stats.dropped + 1
   else if t.drop_probability > 0.0 && Rng.bernoulli t.rng t.drop_probability then
     t.stats.dropped <- t.stats.dropped + 1
   else begin
     let delay = latency_sample t ~src ~dst in
+    let ctx = !current_ctx in
     ignore
       (Engine.schedule t.engine ~after:delay (fun () ->
            (* Failures and link cuts that happened while the message was in
@@ -74,7 +104,10 @@ let send t ~src ~dst payload =
              | None -> t.stats.dropped <- t.stats.dropped + 1
              | Some handler ->
                t.stats.delivered <- t.stats.delivered + 1;
-               handler ~src payload
+               (match t.meter with
+               | Some m -> m.m_on_deliver ~src ~dst ~bytes:(m.m_size payload)
+               | None -> ());
+               with_trace_context ctx (fun () -> handler ~src payload)
            end))
   end
 

@@ -20,6 +20,16 @@ type stats = {
   mutable dropped : int;  (** lost to failures or random drops *)
 }
 
+type meter = {
+  m_size : payload -> int;
+      (** estimated wire size of a payload, bytes *)
+  m_on_send : src:Topology.node_id -> dst:Topology.node_id -> bytes:int -> unit;
+  m_on_deliver : src:Topology.node_id -> dst:Topology.node_id -> bytes:int -> unit;
+}
+(** Observability hook: called on every send attempt (before drop checks)
+    and on every actual delivery.  The network knows nothing about payload
+    contents, so the size estimator is supplied by the protocol layer. *)
+
 type t
 
 val create :
@@ -91,3 +101,19 @@ val latency_sample : t -> src:Topology.node_id -> dst:Topology.node_id -> float
     tests and for modelling local reads). *)
 
 val stats : t -> stats
+
+val set_meter : t -> meter -> unit
+(** Install the (single) observability meter.  Replaces any previous one. *)
+
+val clear_meter : t -> unit
+
+val with_trace_context : string option -> (unit -> 'a) -> 'a
+(** [with_trace_context (Some txid) f] runs [f] with the causal trace
+    context set.  Every {!send} inside [f] captures the context into its
+    delivery, and the receiving handler runs with it restored — so replies
+    and cascading sends inherit the originating transaction id without any
+    payload change.  The previous context is restored when [f] returns or
+    raises.  Exact in the single-threaded simulator. *)
+
+val trace_context : unit -> string option
+(** The transaction id attributed to the current execution, if any. *)

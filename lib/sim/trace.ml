@@ -1,3 +1,5 @@
+type event = { at : float; source : string; body : string }
+
 let flag = ref false
 
 let enable () = flag := true
@@ -5,6 +7,8 @@ let enable () = flag := true
 let disable () = flag := false
 
 let enabled () = !flag
+
+let render ev = Printf.sprintf "[%10.2f] %-12s %s" ev.at ev.source ev.body
 
 let stdout_sink line = print_endline line
 
@@ -14,9 +18,19 @@ let set_sink f = sink := f
 
 let reset_sink () = sink := stdout_sink
 
+let event_sink : (event -> unit) option ref = ref None
+
+let set_event_sink f = event_sink := Some f
+
+let reset_event_sink () = event_sink := None
+
+let record ev =
+  (match !event_sink with Some f -> f ev | None -> ());
+  if !flag then !sink (render ev)
+
 let emit engine ~tag fmt =
   Printf.ksprintf
     (fun msg ->
-      if !flag then
-        !sink (Printf.sprintf "[%10.2f] %-12s %s" (Engine.now engine) tag msg))
+      if !flag || !event_sink <> None then
+        record { at = Engine.now engine; source = tag; body = msg })
     fmt

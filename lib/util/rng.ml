@@ -24,11 +24,11 @@ let split t =
 let nonneg t = Int64.to_int (Int64.shift_right_logical (int64 t) 2)
 
 let int t bound =
-  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound <= 0 then Invariant.violate ~context:"Rng.int" "bound must be positive (got %d)" bound;
   nonneg t mod bound
 
 let int_in t lo hi =
-  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  if hi < lo then Invariant.violate ~context:"Rng.int_in" "empty range [%d, %d]" lo hi;
   lo + int t (hi - lo + 1)
 
 let float t bound =
@@ -55,7 +55,7 @@ let gaussian t =
 let lognormal t ~mu ~sigma = Float.exp (mu +. (sigma *. gaussian t))
 
 let pick t arr =
-  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  if Array.length arr = 0 then Invariant.violate ~context:"Rng.pick" "empty array";
   arr.(int t (Array.length arr))
 
 let shuffle t arr =
@@ -67,7 +67,7 @@ let shuffle t arr =
   done
 
 let sample_distinct t k bound =
-  if k > bound then invalid_arg "Rng.sample_distinct: k > bound";
+  if k > bound then Invariant.violate ~context:"Rng.sample_distinct" "k (%d) > bound (%d)" k bound;
   (* For the small k used by workloads a rejection loop is cheapest. *)
   let rec draw acc n =
     if n = 0 then acc

@@ -26,7 +26,7 @@ let stddev samples =
 
 let percentile sorted p =
   let n = Array.length sorted in
-  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if n = 0 then Invariant.violate ~context:"Stats.percentile" "empty sample";
   if p <= 0.0 then sorted.(0)
   else if p >= 100.0 then sorted.(n - 1)
   else begin
@@ -45,20 +45,22 @@ let sorted_of_list samples =
 let summarize samples =
   let arr = sorted_of_list samples in
   let n = Array.length arr in
-  if n = 0 then invalid_arg "Stats.summarize: empty sample";
-  {
-    count = n;
-    mean = mean samples;
-    stddev = stddev samples;
-    min = arr.(0);
-    max = arr.(n - 1);
-    p25 = percentile arr 25.0;
-    p50 = percentile arr 50.0;
-    p75 = percentile arr 75.0;
-    p90 = percentile arr 90.0;
-    p95 = percentile arr 95.0;
-    p99 = percentile arr 99.0;
-  }
+  if n = 0 then None
+  else
+    Some
+      {
+        count = n;
+        mean = mean samples;
+        stddev = stddev samples;
+        min = arr.(0);
+        max = arr.(n - 1);
+        p25 = percentile arr 25.0;
+        p50 = percentile arr 50.0;
+        p75 = percentile arr 75.0;
+        p90 = percentile arr 90.0;
+        p95 = percentile arr 95.0;
+        p99 = percentile arr 99.0;
+      }
 
 let cdf ~points samples =
   let arr = sorted_of_list samples in
@@ -80,31 +82,48 @@ type boxplot = {
   outliers : int;
 }
 
+(* First sample inside a fence, scanning the sorted array in the given
+   direction; [None] when every sample lies beyond the fence. *)
+let first_in_fence arr ~indices ~inside =
+  let found = ref None in
+  (try
+     List.iter
+       (fun i -> if inside arr.(i) then (found := Some arr.(i); raise Exit))
+       indices
+   with Exit -> ());
+  !found
+
 let boxplot samples =
   let arr = sorted_of_list samples in
   let n = Array.length arr in
-  if n = 0 then invalid_arg "Stats.boxplot: empty sample";
-  let q1 = percentile arr 25.0
-  and median = percentile arr 50.0
-  and q3 = percentile arr 75.0 in
-  let iqr = q3 -. q1 in
-  let lo_fence = q1 -. (1.5 *. iqr) and hi_fence = q3 +. (1.5 *. iqr) in
-  let whisker_lo = ref arr.(0) and whisker_hi = ref arr.(n - 1) and outliers = ref 0 in
-  Array.iter
-    (fun x ->
-      if x < lo_fence || x > hi_fence then incr outliers)
-    arr;
-  (* Whiskers: extreme samples still inside the fences. *)
-  (try
-     Array.iter
-       (fun x -> if x >= lo_fence then (whisker_lo := x; raise Exit))
-       arr
-   with Exit -> ());
-  for i = n - 1 downto 0 do
-    if arr.(i) <= hi_fence && !whisker_hi > hi_fence then whisker_hi := arr.(i)
-  done;
-  if !whisker_hi > hi_fence then whisker_hi := arr.(n - 1);
-  { whisker_lo = !whisker_lo; q1; median; q3; whisker_hi = !whisker_hi; outliers = !outliers }
+  if n = 0 then None
+  else begin
+    let q1 = percentile arr 25.0
+    and median = percentile arr 50.0
+    and q3 = percentile arr 75.0 in
+    let iqr = q3 -. q1 in
+    let lo_fence = q1 -. (1.5 *. iqr) and hi_fence = q3 +. (1.5 *. iqr) in
+    let outliers = ref 0 in
+    Array.iter (fun x -> if x < lo_fence || x > hi_fence then incr outliers) arr;
+    (* Whiskers: the extreme samples still inside the fences — lowest
+       in-fence sample scanning up, highest scanning down.  If every sample
+       is outside a fence (possible only when the IQR collapses relative to
+       wild extremes), fall back to the box edge so the whisker stays
+       meaningful rather than pointing at an outlier. *)
+    let asc = List.init n (fun i -> i) in
+    let desc = List.init n (fun i -> n - 1 - i) in
+    let whisker_lo =
+      match first_in_fence arr ~indices:asc ~inside:(fun x -> x >= lo_fence) with
+      | Some x -> x
+      | None -> q1
+    in
+    let whisker_hi =
+      match first_in_fence arr ~indices:desc ~inside:(fun x -> x <= hi_fence) with
+      | Some x -> x
+      | None -> q3
+    in
+    Some { whisker_lo; q1; median; q3; whisker_hi; outliers = !outliers }
+  end
 
 let histogram ~buckets samples =
   let counts = Array.make (Array.length buckets + 1) 0 in

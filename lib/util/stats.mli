@@ -29,10 +29,12 @@ val stddev : float list -> float
 val percentile : float array -> float -> float
 (** [percentile sorted p] is the [p]-th percentile ([0 <= p <= 100]) of an
     array already sorted ascending, using linear interpolation between
-    ranks.  Raises [Invalid_argument] on an empty array. *)
+    ranks.  An empty array is a caller bug and routes through
+    {!Invariant.violate} (raises [Invariant.Violation]). *)
 
-val summarize : float list -> summary
-(** Full summary of a non-empty sample list (sorts a private copy). *)
+val summarize : float list -> summary option
+(** Full summary of a sample list (sorts a private copy); [None] on the
+    empty list. *)
 
 val cdf : points:int -> float list -> (float * float) list
 (** [cdf ~points samples] is the empirical CDF down-sampled to at most
@@ -49,8 +51,10 @@ type boxplot = {
 }
 (** Tukey box plot: whiskers at the last sample within 1.5 IQR of the box. *)
 
-val boxplot : float list -> boxplot
-(** Box-plot summary of a non-empty sample list. *)
+val boxplot : float list -> boxplot option
+(** Box-plot summary of a sample list; [None] on the empty list.  Whiskers
+    are the extreme samples still inside the Tukey fences, found by explicit
+    first-in-fence scans from each end of the sorted sample. *)
 
 val histogram : buckets:float array -> float list -> int array
 (** [histogram ~buckets samples] counts samples per bucket; [buckets] holds

@@ -300,9 +300,10 @@ let fig7 ?(quick = false) () =
               in
               let latencies = Metrics.commit_latencies metrics in
               let box =
-                if latencies = [] then
+                match Stats.boxplot latencies with
+                | Some b -> b
+                | None ->
                   { Stats.whisker_lo = 0.; q1 = 0.; median = 0.; q3 = 0.; whisker_hi = 0.; outliers = 0 }
-                else Stats.boxplot latencies
               in
               (Setup.name protocol, box))
             [ Setup.Multi; Setup.Mdcc ]

@@ -29,8 +29,7 @@ let commit_latencies t =
 let throughput t ~duration =
   if duration <= 0.0 then 0.0 else Float.of_int (commit_count t) /. (duration /. 1000.0)
 
-let summary t =
-  match commit_latencies t with [] -> None | ls -> Some (Mdcc_util.Stats.summarize ls)
+let summary t = Mdcc_util.Stats.summarize (commit_latencies t)
 
 let latency_series t =
   List.rev_map (fun s -> (s.submitted_at, s.latency)) (List.filter is_commit t.rev_all)

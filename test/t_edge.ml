@@ -42,7 +42,7 @@ let test_rng_pick_and_empty () =
     (try
        ignore (Rng.pick r [||]);
        false
-     with Invalid_argument _ -> true)
+     with Mdcc_util.Invariant.Violation _ -> true)
 
 let test_topology_invalid_args () =
   Alcotest.(check bool) "bad matrix rejected" true

@@ -1,0 +1,262 @@
+(* The observability subsystem: JSON tree render/parse, the metrics
+   registry, per-transaction spans, the structured trace sinks, and the
+   end-to-end acceptance contract — a chaos run over the fast-commutative
+   workload exercises the fast path and collision resolution, every
+   committed transaction has a sim-time-ordered span tree, and two
+   same-seed runs render byte-identical observability JSON. *)
+
+module Json = Mdcc_obs.Json
+module Registry = Mdcc_obs.Registry
+module Span = Mdcc_obs.Span
+module Obs = Mdcc_obs.Obs
+module Trace = Mdcc_sim.Trace
+module Engine = Mdcc_sim.Engine
+module Runner = Mdcc_chaos.Runner
+module Nemesis = Mdcc_chaos.Nemesis
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let index_of ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = if i + nl > hl then -1 else if String.sub hay i nl = needle then i else go (i + 1) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_render () =
+  let j =
+    Json.Obj
+      [
+        ("a", Json.Int 1);
+        ("b", Json.Str "x\"y\n");
+        ("c", Json.List [ Json.Bool true; Json.Null; Json.Float 1.5 ]);
+      ]
+  in
+  Alcotest.(check string)
+    "compact render" "{\"a\":1,\"b\":\"x\\\"y\\n\",\"c\":[true,null,1.5]}" (Json.to_string j)
+
+let test_json_float_forms () =
+  Alcotest.(check string) "integral float keeps .0" "[1.0]"
+    (Json.to_string (Json.List [ Json.Float 1.0 ]));
+  Alcotest.(check string) "nan renders as null" "[null]"
+    (Json.to_string (Json.List [ Json.Float Float.nan ]));
+  Alcotest.(check string) "infinity renders as null" "[null]"
+    (Json.to_string (Json.List [ Json.Float Float.infinity ]))
+
+let test_json_roundtrip () =
+  let src =
+    "{\"counters\":{\"x\":3},\"ls\":[1,2.5,\"s\",true,false,null],\"nested\":{\"k\":[{}]}}"
+  in
+  match Json.parse src with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok t -> Alcotest.(check string) "render(parse(s)) = s" src (Json.to_string t)
+
+let test_json_parse_errors () =
+  let bad s =
+    match Json.parse s with
+    | Ok _ -> Alcotest.failf "%S should not parse" s
+    | Error e -> Alcotest.(check bool) "error mentions offset" true (String.length e > 0)
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":1} trailing";
+  bad "\"unterminated";
+  bad "truth"
+
+let test_json_member () =
+  match Json.parse "{\"a\":{\"b\":7}}" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok t ->
+    (match Json.member "a" t with
+    | Some inner ->
+      Alcotest.(check bool) "nested member" true (Json.member "b" inner = Some (Json.Int 7))
+    | None -> Alcotest.fail "member a missing");
+    Alcotest.(check bool) "absent member" true (Json.member "zz" t = None)
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_counters_gauges () =
+  let r = Registry.create () in
+  Registry.incr r "c";
+  Registry.incr r ~by:4 "c";
+  Registry.incr r "a";
+  Registry.set_gauge r "g" 7;
+  Registry.add_gauge r "g" (-2);
+  Alcotest.(check int) "counter" 5 (Registry.counter r "c");
+  Alcotest.(check int) "untouched counter" 0 (Registry.counter r "zzz");
+  Alcotest.(check int) "gauge" 5 (Registry.gauge r "g");
+  Registry.observe r "h" 10.0;
+  Registry.observe r "h" 20.0;
+  Alcotest.(check int) "hist count" 2 (Registry.hist_count r "h");
+  (* Counters render in sorted name order regardless of insertion order. *)
+  let s = Json.to_string (Registry.to_json r) in
+  let ia = index_of ~needle:"\"a\":" s and ic = index_of ~needle:"\"c\":" s in
+  Alcotest.(check bool) "a before c in render" true (ia >= 0 && ic >= 0 && ia < ic)
+
+let test_registry_json_shape () =
+  let r = Registry.create () in
+  Registry.incr r "n";
+  Registry.observe r "lat" 5.0;
+  match Json.parse (Json.to_string (Registry.to_json r)) with
+  | Error e -> Alcotest.failf "registry json does not parse: %s" e
+  | Ok t ->
+    Alcotest.(check bool) "has counters" true (Json.member "counters" t <> None);
+    Alcotest.(check bool) "has gauges" true (Json.member "gauges" t <> None);
+    let h =
+      match Json.member "histograms" t with
+      | Some hs -> Json.member "lat" hs
+      | None -> None
+    in
+    (match h with
+    | Some hist ->
+      List.iter
+        (fun f ->
+          Alcotest.(check bool) ("histogram has " ^ f) true (Json.member f hist <> None))
+        [ "count"; "mean"; "min"; "max"; "p50"; "p95"; "p99" ]
+    | None -> Alcotest.fail "histogram \"lat\" missing")
+
+(* ------------------------------------------------------------------ *)
+(* Span                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_basics () =
+  let s = Span.create () in
+  Span.begin_txn s ~txid:"t1" ~at:1.0;
+  Span.event s ~txid:"t1" ~at:2.0 ~node:5 ~name:"propose" ~detail:"fast" ();
+  Span.event s ~txid:"t1" ~at:3.0 ~node:0 ~name:"vote" ~key:"item/1" ~detail:"fast acc" ();
+  Span.event s ~txid:"t2" ~at:9.0 ~node:1 ~name:"learn" ~detail:"accepted" ();
+  Alcotest.(check (list string)) "txids sorted" [ "t1"; "t2" ] (Span.txids s);
+  let evs = Span.events s ~txid:"t1" in
+  Alcotest.(check int) "two events" 2 (List.length evs);
+  Alcotest.(check string) "append order" "propose" (List.hd evs).Span.ev_name;
+  Alcotest.(check (list string)) "unknown txid empty" []
+    (List.map (fun e -> e.Span.ev_name) (Span.events s ~txid:"zzz"))
+
+let test_span_json_groups_keys () =
+  let s = Span.create () in
+  Span.begin_txn s ~txid:"t1" ~at:1.0;
+  Span.event s ~txid:"t1" ~at:2.0 ~node:5 ~name:"propose" ~detail:"fast" ();
+  Span.event s ~txid:"t1" ~at:3.0 ~node:0 ~name:"vote" ~key:"b" ~detail:"acc" ();
+  Span.event s ~txid:"t1" ~at:3.5 ~node:1 ~name:"vote" ~key:"a" ~detail:"acc" ();
+  let j = Span.txn_to_json s ~txid:"t1" in
+  Alcotest.(check bool) "txid field" true (Json.member "txid" j = Some (Json.Str "t1"));
+  Alcotest.(check bool) "begin field" true (Json.member "begin" j = Some (Json.Float 1.0));
+  let keys =
+    match Json.member "keys" j with
+    | Some ks ->
+      List.filter_map (fun k -> Json.member "key" k) (Json.to_list ks)
+    | None -> []
+  in
+  Alcotest.(check bool) "keys sorted" true (keys = [ Json.Str "a"; Json.Str "b" ])
+
+(* ------------------------------------------------------------------ *)
+(* Trace sinks                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_line_sink () =
+  let engine = Engine.create ~seed:1 in
+  let lines = ref [] in
+  let was = Trace.enabled () in
+  Trace.set_sink (fun l -> lines := l :: !lines);
+  Trace.enable ();
+  Trace.emit engine ~tag:"t_obs" "hello %d" 42;
+  Trace.reset_sink ();
+  if not was then Trace.disable ();
+  match !lines with
+  | [ line ] ->
+    Alcotest.(check bool) "rendered line carries the body" true
+      (contains ~needle:"hello 42" line)
+  | ls -> Alcotest.failf "expected 1 line, got %d" (List.length ls)
+
+let test_trace_event_sink_without_enable () =
+  (* The structured sink must receive events even while line tracing is
+     off — collectors must not force verbose logging on. *)
+  let engine = Engine.create ~seed:1 in
+  let events = ref [] in
+  Alcotest.(check bool) "tracing disabled" false (Trace.enabled ());
+  Trace.set_event_sink (fun ev -> events := ev :: !events);
+  Trace.emit engine ~tag:"t_obs" "structured %s" "path";
+  Trace.reset_event_sink ();
+  Trace.emit engine ~tag:"t_obs" "dropped after reset";
+  match !events with
+  | [ ev ] ->
+    Alcotest.(check string) "source tag" "t_obs" ev.Trace.source;
+    Alcotest.(check string) "body" "structured path" ev.Trace.body;
+    Alcotest.(check (float 1e-9)) "virtual timestamp" 0.0 ev.Trace.at
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance: the chaos run contract                                  *)
+(* ------------------------------------------------------------------ *)
+
+let acceptance_spec = Runner.spec ~seed:1 ~scenario:Nemesis.clean ~workload:Runner.Mixed ()
+
+let counter_of report name =
+  match Json.member "counters" (Obs.metrics_json report.Runner.r_obs) with
+  | Some cs -> ( match Json.member name cs with Some (Json.Int n) -> n | _ -> 0)
+  | None -> 0
+
+let test_chaos_counters () =
+  let r = Runner.run acceptance_spec in
+  Alcotest.(check bool) "run is clean" true (Runner.ok r);
+  Alcotest.(check bool) "fast commits happened" true (counter_of r "fast_commit" > 0);
+  Alcotest.(check bool) "collisions were resolved" true (counter_of r "collision_resolved" > 0)
+
+let test_chaos_span_ordering () =
+  let r = Runner.run acceptance_spec in
+  let spans =
+    match Obs.spans r.Runner.r_obs with
+    | Some s -> s
+    | None -> Alcotest.fail "chaos run has no span store"
+  in
+  let txids = Span.txids spans in
+  Alcotest.(check bool) "every submitted txn has a span" true
+    (List.length txids >= r.Runner.r_submitted);
+  List.iter
+    (fun txid ->
+      let evs = Span.events spans ~txid in
+      Alcotest.(check bool) (txid ^ " has events") true (evs <> []);
+      ignore
+        (List.fold_left
+           (fun prev ev ->
+             if ev.Span.ev_at < prev then
+               Alcotest.failf "span %s out of sim-time order (%.2f after %.2f)" txid
+                 ev.Span.ev_at prev;
+             ev.Span.ev_at)
+           Float.neg_infinity evs))
+    txids
+
+let test_chaos_obs_determinism () =
+  let render () =
+    let r = Runner.run acceptance_spec in
+    Json.to_string (Obs.metrics_json r.Runner.r_obs)
+    ^ "\n"
+    ^ Json.to_string (Obs.spans_json r.Runner.r_obs)
+  in
+  Alcotest.(check string) "byte-identical metrics+span JSON" (render ()) (render ())
+
+let suite =
+  [
+    Alcotest.test_case "json render" `Quick test_json_render;
+    Alcotest.test_case "json float forms" `Quick test_json_float_forms;
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "json member" `Quick test_json_member;
+    Alcotest.test_case "registry counters and gauges" `Quick test_registry_counters_gauges;
+    Alcotest.test_case "registry json shape" `Quick test_registry_json_shape;
+    Alcotest.test_case "span basics" `Quick test_span_basics;
+    Alcotest.test_case "span json key groups" `Quick test_span_json_groups_keys;
+    Alcotest.test_case "trace line sink" `Quick test_trace_line_sink;
+    Alcotest.test_case "trace event sink without enable" `Quick test_trace_event_sink_without_enable;
+    Alcotest.test_case "chaos run counters" `Quick test_chaos_counters;
+    Alcotest.test_case "chaos span ordering" `Quick test_chaos_span_ordering;
+    Alcotest.test_case "chaos obs determinism" `Quick test_chaos_obs_determinism;
+  ]

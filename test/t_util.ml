@@ -97,15 +97,24 @@ let test_stats_percentile () =
   feq "p50 interpolated" 25.0 (Stats.percentile sorted 50.0)
 
 let test_stats_summary () =
-  let s = Stats.summarize (List.init 100 (fun i -> Float.of_int (i + 1))) in
-  Alcotest.(check int) "count" 100 s.Stats.count;
-  feq "min" 1.0 s.Stats.min;
-  feq "max" 100.0 s.Stats.max;
-  feq "median" 50.5 s.Stats.p50
+  match Stats.summarize (List.init 100 (fun i -> Float.of_int (i + 1))) with
+  | None -> Alcotest.fail "summarize returned None on a non-empty sample"
+  | Some s ->
+    Alcotest.(check int) "count" 100 s.Stats.count;
+    feq "min" 1.0 s.Stats.min;
+    feq "max" 100.0 s.Stats.max;
+    feq "median" 50.5 s.Stats.p50
 
 let test_stats_summary_empty () =
-  Alcotest.check_raises "empty summarize" (Invalid_argument "Stats.summarize: empty sample")
-    (fun () -> ignore (Stats.summarize []))
+  Alcotest.(check bool) "empty summarize is None" true (Stats.summarize [] = None);
+  Alcotest.(check bool) "empty boxplot is None" true (Stats.boxplot [] = None);
+  (* percentile still demands a non-empty sorted array — but totally, via a
+     tagged invariant violation rather than a bare Invalid_argument. *)
+  Alcotest.(check bool) "empty percentile violates" true
+    (try
+       ignore (Stats.percentile [||] 50.0);
+       false
+     with Mdcc_util.Invariant.Violation _ -> true)
 
 let test_stats_cdf () =
   let cdf = Stats.cdf ~points:4 [ 4.0; 1.0; 3.0; 2.0 ] in
@@ -116,15 +125,35 @@ let test_stats_cdf () =
   feq "cdf ends at 1" 1.0 last_f;
   Alcotest.(check (list (float 1e-9))) "empty cdf" [] (List.map fst (Stats.cdf ~points:5 []))
 
+let force_boxplot samples =
+  match Stats.boxplot samples with
+  | Some b -> b
+  | None -> Alcotest.fail "boxplot returned None on a non-empty sample"
+
 let test_stats_boxplot () =
-  let b = Stats.boxplot (List.init 11 (fun i -> Float.of_int i)) in
+  let b = force_boxplot (List.init 11 (fun i -> Float.of_int i)) in
   feq "median" 5.0 b.Stats.median;
   feq "q1" 2.5 b.Stats.q1;
   feq "q3" 7.5 b.Stats.q3;
   Alcotest.(check int) "no outliers" 0 b.Stats.outliers;
-  let b2 = Stats.boxplot (1000.0 :: List.init 20 (fun i -> Float.of_int i)) in
+  feq "whiskers reach extremes" 0.0 b.Stats.whisker_lo;
+  feq "whiskers reach extremes (hi)" 10.0 b.Stats.whisker_hi;
+  let b2 = force_boxplot (1000.0 :: List.init 20 (fun i -> Float.of_int i)) in
   Alcotest.(check int) "one outlier" 1 b2.Stats.outliers;
-  Alcotest.(check bool) "whisker below outlier" true (b2.Stats.whisker_hi < 1000.0)
+  (* The upper whisker is the *largest in-fence sample*, not merely some
+     value below the outlier (the old scan stopped at the first sample
+     above the fence, leaving the whisker on the outlier side of it). *)
+  feq "upper whisker on largest in-fence sample" 19.0 b2.Stats.whisker_hi
+
+let test_stats_boxplot_all_outliers_high () =
+  (* A cluster (1..20) plus three far-flung points: the whisker must land on
+     the cluster's edge, skipping over *every* outlier — the old scan only
+     stepped below the single largest sample. *)
+  let samples = 500.0 :: 600.0 :: 700.0 :: List.init 20 (fun i -> Float.of_int (i + 1)) in
+  let b = force_boxplot samples in
+  Alcotest.(check int) "three outliers" 3 b.Stats.outliers;
+  feq "whisker_hi on in-fence edge" 20.0 b.Stats.whisker_hi;
+  feq "whisker_lo on minimum" 1.0 b.Stats.whisker_lo
 
 let test_stats_histogram () =
   let counts = Stats.histogram ~buckets:[| 10.0; 20.0 |] [ 5.0; 15.0; 25.0; 9.0; 20.0 ] in
@@ -214,9 +243,10 @@ let suite =
     Alcotest.test_case "stats mean/stddev" `Quick test_stats_mean_stddev;
     Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
     Alcotest.test_case "stats summary" `Quick test_stats_summary;
-    Alcotest.test_case "stats summary empty raises" `Quick test_stats_summary_empty;
+    Alcotest.test_case "stats empty samples are total" `Quick test_stats_summary_empty;
     Alcotest.test_case "stats cdf" `Quick test_stats_cdf;
     Alcotest.test_case "stats boxplot" `Quick test_stats_boxplot;
+    Alcotest.test_case "stats boxplot whisker vs outliers" `Quick test_stats_boxplot_all_outliers_high;
     Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
     Alcotest.test_case "stats time series" `Quick test_stats_time_series;
     Alcotest.test_case "table render" `Quick test_table_render;

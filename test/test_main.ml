@@ -20,5 +20,6 @@ let () =
       ("baselines", T_baselines.suite);
       ("workload", T_workload.suite);
       ("chaos", T_chaos.suite);
+      ("obs", T_obs.suite);
       ("lint", T_lint.suite);
     ]
