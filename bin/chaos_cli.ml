@@ -14,6 +14,7 @@
 
 module Nemesis = Mdcc_chaos.Nemesis
 module Runner = Mdcc_chaos.Runner
+module Baseline = Mdcc_chaos.Baseline
 module Obs = Mdcc_obs.Obs
 module Json = Mdcc_obs.Json
 
@@ -63,12 +64,15 @@ let sweep ~seeds ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace ~obs_o
   let scenarios =
     match scenario with
     | None -> Nemesis.matrix
-    | Some name -> (
-      match Nemesis.scenario_named name with
-      | Some s -> [ s ]
-      | None ->
-        Printf.eprintf "unknown scenario %S (see `chaos_cli list')\n" name;
-        exit 2)
+    | Some names ->
+      List.map
+        (fun name ->
+          match Nemesis.scenario_named name with
+          | Some s -> s
+          | None ->
+            Printf.eprintf "unknown scenario %S (see `chaos_cli list')\n" name;
+            exit 2)
+        (String.split_on_char ',' names)
   in
   let workload =
     match workload_of_string workload with
@@ -144,7 +148,8 @@ let scenario_opt =
   Arg.(
     value
     & opt (some string) None
-    & info [ "scenario" ] ~docv:"NAME" ~doc:"Restrict the sweep to one scenario.")
+    & info [ "scenario" ] ~docv:"NAMES"
+        ~doc:"Restrict the sweep to a comma-separated list of scenarios.")
 
 let scenario_req =
   Arg.(value & opt string "random" & info [ "scenario" ] ~docv:"NAME" ~doc:"Scenario to run.")
@@ -204,14 +209,59 @@ let replay_cmd =
       const run $ seed_arg $ scenario_req $ workload_arg $ txns_arg $ items_arg $ plant_bug_arg
       $ json_flag $ trace_flag)
 
+let baselines ~seeds ~protocol ~txns ~items =
+  let protos =
+    match protocol with
+    | None -> Baseline.protocols
+    | Some name -> (
+      match Baseline.protocol_named name with
+      | Some p -> [ p ]
+      | None ->
+        Printf.eprintf "unknown baseline %S (see `chaos_cli list')\n" name;
+        exit 2)
+  in
+  let bad = ref [] in
+  List.iter
+    (fun p ->
+      for seed = 1 to seeds do
+        let r = Baseline.run ~txns ~items ~seed p in
+        print_endline (Baseline.report_to_string r);
+        if not (Baseline.ok r) then bad := r :: !bad
+      done)
+    protos;
+  Printf.printf "\n%d baseline runs (%d seeds x %d protocols): %d unexpected\n"
+    (seeds * List.length protos)
+    seeds (List.length protos) (List.length !bad);
+  if !bad <> [] then exit 1
+
+let protocol_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "protocol" ] ~docv:"NAME" ~doc:"Restrict the baseline sweep to one protocol.")
+
+let baselines_cmd =
+  let doc =
+    "Sweep the comparison protocols (quorum writes, 2PC, Megastore*) through the history \
+     checker.  Quorum writes must trip the lost-update invariant (the checker's canary); 2PC \
+     and Megastore* must come back clean."
+  in
+  let run seeds protocol txns items = baselines ~seeds ~protocol ~txns ~items in
+  Cmd.v
+    (Cmd.info "baselines" ~doc)
+    Term.(const run $ seeds_arg $ protocol_opt $ txns_arg $ items_arg)
+
 let list_cmd =
-  let doc = "List the scenario matrix." in
+  let doc = "List the scenario matrix and the baseline protocols." in
   let run () =
-    List.iter (fun s -> Printf.printf "  %s\n" s.Nemesis.sc_name) Nemesis.matrix
+    Printf.printf "scenarios:\n";
+    List.iter (fun s -> Printf.printf "  %s\n" s.Nemesis.sc_name) Nemesis.matrix;
+    Printf.printf "baseline protocols:\n";
+    List.iter (fun p -> Printf.printf "  %s\n" (Baseline.proto_name p)) Baseline.protocols
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
 let () =
   let doc = "deterministic fault-injection sweeps with history checking" in
   let info = Cmd.info "mdcc-chaos" ~doc in
-  exit (Cmd.eval (Cmd.group info [ sweep_cmd; replay_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ sweep_cmd; replay_cmd; baselines_cmd; list_cmd ]))

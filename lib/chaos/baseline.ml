@@ -1,0 +1,255 @@
+(* The comparison protocols (§5.2) through the history checker.
+
+   Quorum writes, 2PC and Megastore* are driven by the same contended
+   stock workload the MDCC chaos runs use, with the history recorded at
+   the harness boundary: [Submitted] when the client hands the transaction
+   to the protocol, [Decided] when the outcome callback fires.  Write-sets
+   and outcomes alone are enough for the checker's lost-update and
+   serializability invariants; the replica-level invariants (atomic
+   visibility, demarcation) need [Applied] events and are vacuous here.
+
+   Quorum writes is the deliberate canary: it blindly applies
+   last-writer-wins updates and cannot abort, so under same-instant
+   read-modify-write pairs the checker MUST flag lost updates.  A baseline
+   run is ok when every violation found was expected for the protocol AND
+   every required violation actually fired — a sweep where QW comes back
+   clean means the checker lost its teeth, and fails just as loudly as an
+   unexpected violation in 2PC or Megastore*. *)
+
+open Mdcc_storage
+open Mdcc_core
+module Engine = Mdcc_sim.Engine
+module Rng = Mdcc_util.Rng
+module Fabric = Mdcc_protocols.Fabric
+module Harness = Mdcc_protocols.Harness
+
+type proto = {
+  p_name : string;
+  p_required : string list;
+  p_allowed : string list;
+  p_make : engine:Engine.t -> schema:Schema.t -> Harness.t;
+}
+
+let proto_name p = p.p_name
+
+(* QW's blind LWW commits both writers of a same-version pair, so the
+   lost-update flag is required.  Downstream symptoms of the same defect
+   are allowed but not required (they depend on the seed's interleaving):
+   the doomed writers form a write-write/anti-dependency cycle
+   (serializability); both writes bump the replica's version, so later
+   clients observe versions no single committed writer installed
+   (read-committed); and replicas that saw the two writes in different
+   delivery orders end divergent (convergence). *)
+let protocols =
+  [
+    {
+      p_name = "qw-3";
+      p_required = [ "lost-update" ];
+      p_allowed = [ "lost-update"; "serializability"; "read-committed"; "convergence" ];
+      p_make =
+        (fun ~engine ~schema ->
+          let fabric = Fabric.create ~engine ~schema () in
+          Mdcc_protocols.Quorum_writes.(harness (create ~fabric ~w:3)));
+    };
+    {
+      p_name = "2pc";
+      p_required = [];
+      p_allowed = [];
+      p_make =
+        (fun ~engine ~schema ->
+          let fabric = Fabric.create ~engine ~schema () in
+          Mdcc_protocols.Two_phase_commit.(harness (create ~fabric)));
+    };
+    {
+      p_name = "megastore";
+      p_required = [];
+      p_allowed = [];
+      p_make =
+        (fun ~engine ~schema ->
+          let fabric = Fabric.create ~engine ~schema () in
+          Mdcc_protocols.Megastore.(harness (create ~fabric ())));
+    };
+  ]
+
+let protocol_named name = List.find_opt (fun p -> String.equal p.p_name name) protocols
+
+type report = {
+  b_protocol : string;
+  b_seed : int;
+  b_submitted : int;
+  b_committed : int;
+  b_aborted : int;
+  b_undecided : int;
+  b_required : string list;
+  b_allowed : string list;
+  b_violations : Checker.violation list;
+}
+
+let invariants_of r =
+  List.sort_uniq String.compare (List.map (fun v -> v.Checker.invariant) r.b_violations)
+
+let ok r =
+  let got = invariants_of r in
+  List.for_all (fun i -> List.mem i got) r.b_required
+  && List.for_all (fun i -> List.mem i r.b_allowed) got
+
+(* Same fixture as Runner: a stock table with a non-negativity bound. *)
+let item i = Key.make ~table:"item" ~id:(string_of_int i)
+let item_row stock = Value.of_list [ ("stock", Value.Int stock) ]
+
+let stock_schema =
+  Schema.create
+    [
+      {
+        Schema.name = "item";
+        bounds = [ { Schema.attr = "stock"; lower = Some 0; upper = None } ];
+        master_dc = 0;
+      };
+    ]
+
+let run ?(txns = 40) ?(items = 4) ?(stock = 60) ?(horizon = 10_000.0) ?(drain = 60_000.0) ~seed
+    proto =
+  let engine = Engine.create ~seed in
+  let h = proto.p_make ~engine ~schema:stock_schema in
+  let history = History.create () in
+  let submitted = ref 0 and decided = ref [] in
+  let submit ~dc txn =
+    incr submitted;
+    History.record history
+      (History.Submitted { time = Engine.now engine; coordinator = dc; txn });
+    h.Harness.submit ~dc txn (fun outcome ->
+        History.record history
+          (History.Decided { time = Engine.now engine; txid = txn.Txn.id; outcome });
+        decided := (txn, outcome) :: !decided)
+  in
+  h.Harness.load (List.init items (fun i -> (item i, item_row stock)));
+  let rng = Rng.create ((seed * 31) + 11) in
+  let txid = ref 0 in
+  let fresh () =
+    incr txid;
+    Printf.sprintf "%s-%d" proto.p_name !txid
+  in
+  (* Even items take commutative decrements; odd items take contended
+     read-modify-writes submitted in same-instant pairs from two DCs — the
+     lost-update crucible: both writers peek the same version before
+     either write lands, so a protocol without validation commits both. *)
+  let deltas = List.filter (fun i -> i mod 2 = 0) (List.init items Fun.id) in
+  let rmws = List.filter (fun i -> i mod 2 = 1) (List.init items Fun.id) in
+  let n = ref 0 in
+  while !n < txns do
+    let at = Rng.float rng horizon in
+    if deltas <> [] && (rmws = [] || Rng.bool rng) then begin
+      let i = List.nth deltas (Rng.int rng (List.length deltas)) in
+      let dc = Rng.int rng h.Harness.num_dcs in
+      let amount = -Rng.int_in rng 1 2 in
+      let id = fresh () in
+      incr n;
+      ignore
+        (Engine.schedule_at engine ~at (fun () ->
+             submit ~dc (Txn.make ~id ~updates:[ (item i, Update.Delta [ ("stock", amount) ]) ])))
+    end
+    else begin
+      let i = List.nth rmws (Rng.int rng (List.length rmws)) in
+      let dc1 = Rng.int rng h.Harness.num_dcs in
+      let dc2 = (dc1 + 1 + Rng.int rng (h.Harness.num_dcs - 1)) mod h.Harness.num_dcs in
+      let submit_rmw dc id () =
+        let vread, value =
+          match h.Harness.peek ~dc (item i) with
+          | Some (v, ver) ->
+            (ver, Value.set v "stock" (Value.Int (max 0 (Value.get_int v "stock" - 1))))
+          | None -> (0, item_row 0)
+        in
+        submit ~dc (Txn.make ~id ~updates:[ (item i, Update.Physical { vread; value }) ])
+      in
+      let id1 = fresh () and id2 = fresh () in
+      n := !n + 2;
+      ignore (Engine.schedule_at engine ~at (submit_rmw dc1 id1));
+      ignore (Engine.schedule_at engine ~at (submit_rmw dc2 id2))
+    end
+  done;
+  Engine.run ~until:(horizon +. drain) engine;
+  (* ---- checks (mirrors Runner.run's post-conditions) ---- *)
+  let violations = ref (Checker.check ~bounds:(Schema.bounds_of stock_schema) history) in
+  let add invariant detail = violations := !violations @ [ { Checker.invariant; detail } ] in
+  let undecided = !submitted - List.length !decided in
+  if undecided > 0 then
+    add "liveness" (Printf.sprintf "%d of %d transactions never decided" undecided !submitted);
+  for i = 0 to items - 1 do
+    let reference = h.Harness.peek ~dc:0 (item i) in
+    for dc = 1 to h.Harness.num_dcs - 1 do
+      let got = h.Harness.peek ~dc (item i) in
+      let equal =
+        match (reference, got) with
+        | None, None -> true
+        | Some (v1, ver1), Some (v2, ver2) -> Value.equal v1 v2 && ver1 = ver2
+        | Some _, None | None, Some _ -> false
+      in
+      if not equal then
+        add "convergence"
+          (Printf.sprintf "item %d differs between dc0 and dc%d after drain" i dc)
+    done
+  done;
+  (* Delta accounting on keys only ever written commutatively. *)
+  List.iter
+    (fun i ->
+      let key = item i in
+      let committed_deltas =
+        List.fold_left
+          (fun acc (txn, outcome) ->
+            match outcome with
+            | Txn.Committed ->
+              List.fold_left
+                (fun acc (k, up) ->
+                  match up with
+                  | Update.Delta ds when Key.equal k key ->
+                    acc + List.fold_left (fun a (_, d) -> a + d) 0 ds
+                  | _ -> acc)
+                acc txn.Txn.updates
+            | Txn.Aborted _ -> acc)
+          0 !decided
+      in
+      let want = stock + committed_deltas in
+      match h.Harness.peek ~dc:0 key with
+      | Some (v, _) ->
+        let got = Value.get_int v "stock" in
+        if got <> want then
+          add "accounting"
+            (Printf.sprintf "item %d stock is %d, expected initial %d + committed deltas %d = %d"
+               i got stock committed_deltas want)
+      | None -> add "accounting" (Printf.sprintf "item %d disappeared" i))
+    deltas;
+  let committed =
+    List.length (List.filter (fun (_, o) -> o = Txn.Committed) !decided)
+  in
+  {
+    b_protocol = proto.p_name;
+    b_seed = seed;
+    b_submitted = !submitted;
+    b_committed = committed;
+    b_aborted = List.length !decided - committed;
+    b_undecided = undecided;
+    b_required = proto.p_required;
+    b_allowed = proto.p_allowed;
+    b_violations = !violations;
+  }
+
+let report_to_string r =
+  let verdict =
+    if ok r then
+      match invariants_of r with
+      | [] -> "ok (clean)"
+      | got -> Printf.sprintf "ok (expected: %s)" (String.concat "," got)
+    else
+      Printf.sprintf "UNEXPECTED: found [%s], required [%s], allowed [%s]"
+        (String.concat "," (invariants_of r))
+        (String.concat "," r.b_required)
+        (String.concat "," r.b_allowed)
+  in
+  let head =
+    Printf.sprintf "seed %4d  %-10s  %3d txns: %3d committed %3d aborted %d undecided  %s"
+      r.b_seed r.b_protocol r.b_submitted r.b_committed r.b_aborted r.b_undecided verdict
+  in
+  if ok r then head
+  else
+    String.concat "\n"
+      (head :: List.map (fun v -> "  " ^ Checker.violation_to_string v) r.b_violations)

@@ -182,8 +182,83 @@ let random_faults =
         |> List.sort (fun (a, _) (b, _) -> Float.compare a b));
   }
 
+(* --- divergence-provoking scenarios ---------------------------------- *)
+
+(* Tearing a coordinator's visibility broadcast needs node ids on both
+   sides: the rank-0 app server of a DC (chaos clients submit through
+   rank 0) and the storage nodes of a remote DC. *)
+let app_node cluster dc = Coordinator.node_id (Cluster.coordinator cluster ~dc ~rank:0)
+
+let storage_in_dc cluster dc =
+  let topo = Cluster.topology cluster in
+  List.filter (fun n -> Topology.dc_of topo n = dc) (storage_node_ids cluster)
+
+let two_distinct_dcs rng cluster =
+  let dcs = Cluster.num_dcs cluster in
+  let d1 = Rng.int rng dcs in
+  (d1, (d1 + 1 + Rng.int rng (dcs - 1)) mod dcs)
+
+(* Cut app(d1)->storage(d2) and app(d2)->storage(d1) for the window.
+   Commits still reach a fast quorum (4 of 5 with the torn replica cut
+   off), but that replica hears neither the proposal nor the visibility
+   broadcast.  On commutative delta keys this manufactures equal-version
+   divergence — same version, different applied sets — which version
+   catch-up cannot see and only the applied-set exchange repairs. *)
+let torn_broadcast_schedule ~start ~stop cluster (d1, d2) =
+  let cuts =
+    List.concat_map
+      (fun (app_dc, dst_dc) ->
+        let a = app_node cluster app_dc in
+        List.map (fun n -> (a, n)) (storage_in_dc cluster dst_dc))
+      [ (d1, d2); (d2, d1) ]
+  in
+  List.map (fun (src, dst) -> (start, Cut_link { src; dst })) cuts
+  @ List.map (fun (src, dst) -> (stop, Heal_link { src; dst })) cuts
+
+let torn_broadcast =
+  {
+    sc_name = "torn_broadcast";
+    sc_build =
+      (fun ~rng ~cluster ~horizon ->
+        let pair = two_distinct_dcs rng cluster in
+        let start, stop = window rng ~horizon in
+        torn_broadcast_schedule ~start ~stop cluster pair);
+  }
+
+let torn_broadcast_crash =
+  {
+    sc_name = "torn_broadcast_crash";
+    sc_build =
+      (fun ~rng ~cluster ~horizon ->
+        let (d1, _) as pair = two_distinct_dcs rng cluster in
+        let start, stop = window rng ~horizon in
+        let sched = torn_broadcast_schedule ~start ~stop cluster pair in
+        (* Mid-window app-server crash: d1's in-flight transactions lose
+           their coordinator and must finish via dangling recovery, on top
+           of the torn visibility. *)
+        let mid = start +. ((stop -. start) /. 2.0) in
+        let a = app_node cluster d1 in
+        sched @ [ (mid, Crash_node a); (stop, Restart_node a) ]);
+  }
+
+let partition_heal =
+  {
+    sc_name = "partition_heal";
+    sc_build =
+      (fun ~rng ~cluster ~horizon ->
+        let d1, d2 = two_distinct_dcs rng cluster in
+        let topo = Cluster.topology cluster in
+        let n1 = Topology.nodes_in_dc topo d1 and n2 = Topology.nodes_in_dc topo d2 in
+        let start, stop = window rng ~horizon in
+        let pairs =
+          List.concat_map (fun a -> List.concat_map (fun b -> [ (a, b); (b, a) ]) n2) n1
+        in
+        List.map (fun (src, dst) -> (start, Cut_link { src; dst })) pairs
+        @ List.map (fun (src, dst) -> (stop, Heal_link { src; dst })) pairs);
+  }
+
 let matrix =
   [ clean; dc_outage; asymmetric_partition; drop_spike; latency_surge; master_failover;
-    random_faults ]
+    random_faults; torn_broadcast; torn_broadcast_crash; partition_heal ]
 
 let scenario_named name = List.find_opt (fun s -> String.equal s.sc_name name) matrix

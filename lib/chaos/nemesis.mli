@@ -67,9 +67,26 @@ val master_failover : scenario
 val random_faults : scenario
 (** 2–4 random fault/heal pairs drawn from all of the above *)
 
+val torn_broadcast : scenario
+(** Cut the app->remote-storage links between two random DCs in both
+    pairings for a window.  Commits still reach a fast quorum, but the cut
+    replica misses both the proposal and the visibility broadcast — on
+    commutative delta keys this manufactures equal-version divergence
+    (same version, different applied sets), the failure mode only the
+    applied-set anti-entropy exchange repairs. *)
+
+val torn_broadcast_crash : scenario
+(** {!torn_broadcast} plus a mid-window crash/restart of one of the torn
+    app servers, forcing dangling-transaction recovery on top of the
+    divergence. *)
+
+val partition_heal : scenario
+(** Full bidirectional link cut between two random DCs for a window, then
+    heal — the classic split-brain-and-reconcile shape. *)
+
 val matrix : scenario list
 (** The scenario matrix the chaos CLI sweeps: [clean; dc_outage;
     asymmetric_partition; drop_spike; latency_surge; master_failover;
-    random_faults]. *)
+    random_faults; torn_broadcast; torn_broadcast_crash; partition_heal]. *)
 
 val scenario_named : string -> scenario option

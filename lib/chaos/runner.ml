@@ -121,7 +121,9 @@ let run s =
   (* Fresh per-run handle (spans on): two same-seed runs must render
      byte-identical metrics and span JSON, so no shared ambient state. *)
   let obs = Obs.create ~spans:true () in
-  let cluster = Cluster.create ~engine ~history ~config ~schema:stock_schema ~obs () in
+  let cluster =
+    Cluster.create ~engine ~ctx:(Ctx.make ~history ~obs ()) ~config ~schema:stock_schema ()
+  in
   Cluster.load cluster (List.init s.items (fun i -> (item i, item_row s.stock)));
   Cluster.start_maintenance cluster;
   (* The fault schedule derives from the seed alone: same seed, same runs. *)
@@ -249,6 +251,13 @@ let run s =
         | None -> add "accounting" (Printf.sprintf "item %d disappeared" i)
       end)
     (delta_keys s);
+  (* Repair: every divergence the anti-entropy probes detected must have
+     been driven to resolution before the run ends — a nonzero gauge means
+     some replica pair is still marked diverged after heal + sweeps. *)
+  let diverged = Mdcc_obs.Registry.gauge (Obs.registry obs) "diverged_replicas" in
+  if diverged <> 0 then
+    add "repair"
+      (Printf.sprintf "diverged_replicas gauge still %d after heal + anti-entropy" diverged);
   let committed =
     List.length (List.filter (fun d -> d.d_outcome = Txn.Committed) !decided)
   in

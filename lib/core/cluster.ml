@@ -31,8 +31,8 @@ let default_master_dc ~dcs key =
   Hashtbl.hash (Key.to_string key ^ "#master") mod dcs
 
 let create ~engine ?topology ?(partitions = 1) ?(app_servers_per_dc = 1) ?(jitter_sigma = 0.05)
-    ?(drop_probability = 0.0) ?master_dc_of ?history ?obs ~config ~schema () =
-  let obs = match obs with Some o -> o | None -> Obs.ambient () in
+    ?(drop_probability = 0.0) ?master_dc_of ?(ctx = Ctx.default ()) ~config ~schema () =
+  let obs = ctx.Ctx.obs in
   let storage_topo =
     match topology with
     | Some topo -> topo
@@ -72,15 +72,15 @@ let create ~engine ?topology ?(partitions = 1) ?(app_servers_per_dc = 1) ?(jitte
   in
   let nodes =
     Array.init (dcs * partitions) (fun node_id ->
-        Storage_node.create ~net ~config ~node_id ~schema ~replicas ~master_of ?history ~obs ())
+        Storage_node.create ~net ~config ~node_id ~schema ~replicas ~master_of ~ctx ())
   in
   let base = dcs * partitions in
   let coords =
     Array.init (dcs * app_servers_per_dc) (fun i ->
         let dc = i / app_servers_per_dc in
         let local_nodes = List.init partitions (fun p -> (dc * partitions) + p) in
-        Coordinator.create ~net ~config ~node_id:(base + i) ~replicas ~master_of ~local_nodes
-          ?history ~obs ())
+        Coordinator.create ~net ~config ~node_id:(base + i) ~replicas ~master_of
+          ~ctx:(Ctx.with_local_nodes ctx local_nodes) ())
   in
   { engine; net; config; topo; schema; partitions; app_per_dc = app_servers_per_dc; dcs;
     nodes; coords; master_dc_of; obs }

@@ -21,8 +21,7 @@ val create :
   ?jitter_sigma:float ->
   ?drop_probability:float ->
   ?master_dc_of:(Key.t -> int) ->
-  ?history:History.t ->
-  ?obs:Mdcc_obs.Obs.t ->
+  ?ctx:Ctx.t ->
   config:Config.t ->
   schema:Schema.t ->
   unit ->
@@ -30,11 +29,12 @@ val create :
 (** [topology] must contain exactly [partitions] nodes per data center (the
     storage nodes); app-server nodes are appended automatically.  Default
     topology: the paper's five EC2 regions.  [config.replication] must equal
-    the number of data centers.  When [history] is given, every coordinator
-    and storage node records into it (chaos testing; see
-    {!Mdcc_chaos.Runner}).  [obs] (default: the ambient handle) is threaded
-    into every coordinator and storage node and fed per-node message/byte
-    counters through a network meter installed at create time. *)
+    the number of data centers.  [ctx] (default {!Ctx.default}) is threaded
+    into every coordinator and storage node: when its [history] is set they
+    all record into it (chaos testing; see {!Mdcc_chaos.Runner}), and its
+    [obs] is fed per-node message/byte counters through a network meter
+    installed at create time.  [ctx.local_nodes] is overridden per
+    coordinator with the storage nodes of its data center. *)
 
 val engine : t -> Mdcc_sim.Engine.t
 val network : t -> Mdcc_sim.Network.t

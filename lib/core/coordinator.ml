@@ -375,6 +375,11 @@ let read_majority t key cb =
   let rid = new_read t key ~need:(Config.classic_quorum t.config) cb in
   List.iter (fun r -> send t r (Messages.Read_request { rid; key })) (t.replicas key)
 
+let read ?(level = `Local) t key cb =
+  match level with
+  | `Local -> read_local t key cb
+  | `Majority -> read_majority t key cb
+
 let on_read_reply t rid acceptor value version exists =
   match Hashtbl.find_opt t.reads rid with
   | None -> ()
@@ -398,6 +403,22 @@ let on_read_reply t rid acceptor value version exists =
       end
     end
 
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+let order_rows ?order_by ~limit rows =
+  let merged =
+    match order_by with
+    | None -> rows
+    | Some attr ->
+      List.sort
+        (fun (_, v1, _) (_, v2, _) -> Int.compare (Value.get_int v2 attr) (Value.get_int v1 attr))
+        rows
+  in
+  take limit merged
+
 let scan_local t ~table ?order_by ~limit cb =
   match t.local_nodes with
   | [] -> cb []
@@ -419,22 +440,41 @@ let on_scan_reply t rid rows =
     ss.s_missing <- ss.s_missing - 1;
     if ss.s_missing = 0 then begin
       Hashtbl.remove t.scans rid;
-      let merged =
-        match ss.s_order_by with
-        | None -> ss.s_rows
-        | Some attr ->
-          List.sort
-            (fun (_, v1, _) (_, v2, _) ->
-              Int.compare (Value.get_int v2 attr) (Value.get_int v1 attr))
-            ss.s_rows
-      in
-      let rec take n = function
-        | [] -> []
-        | _ when n <= 0 -> []
-        | x :: tl -> x :: take (n - 1) tl
-      in
-      ss.s_cb (take ss.s_limit merged)
+      ss.s_cb (order_rows ?order_by:ss.s_order_by ~limit:ss.s_limit ss.s_rows)
     end
+
+let scan ?(level = `Local) t ~table ?order_by ~limit cb =
+  match level with
+  | `Local -> scan_local t ~table ?order_by ~limit cb
+  | `Majority ->
+    (* Discover candidate rows with a local scan, then upgrade each one to a
+       majority read so the result reflects the freshest committed state a
+       quorum knows.  Rows that turn out deleted at the majority drop out
+       (the result can be shorter than [limit]). *)
+    scan_local t ~table ?order_by ~limit (fun rows ->
+        if rows = [] then cb []
+        else begin
+          let results = Key.Tbl.create (List.length rows) in
+          let remaining = ref (List.length rows) in
+          let finish () =
+            let upgraded =
+              List.filter_map
+                (fun (key, _, _) ->
+                  match Key.Tbl.find_opt results key with
+                  | Some (Some (v, ver)) -> Some (key, v, ver)
+                  | Some None | None -> None)
+                rows
+            in
+            cb (order_rows ?order_by ~limit upgraded)
+          in
+          List.iter
+            (fun (key, _, _) ->
+              read_majority t key (fun res ->
+                  Key.Tbl.replace results key res;
+                  decr remaining;
+                  if !remaining = 0 then finish ()))
+            rows
+        end)
 
 (* ------------------------------------------------------------------ *)
 (* Wiring                                                              *)
@@ -451,9 +491,11 @@ let rec handle t ~src payload =
   | Messages.Scan_reply { rid; rows } -> on_scan_reply t rid rows
   | _ -> ()
 
-let create ~net ~config ~node_id ~replicas ~master_of ?(local_nodes = []) ?history
-    ?(obs = Obs.ambient ()) () =
+let create ~net ~config ~node_id ~replicas ~master_of ?(ctx = Ctx.default ()) () =
   let engine = Net.engine net in
+  let history = ctx.Ctx.history
+  and obs = ctx.Ctx.obs
+  and local_nodes = ctx.Ctx.local_nodes in
   let t =
     {
       net;

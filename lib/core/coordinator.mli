@@ -26,17 +26,16 @@ val create :
   node_id:int ->
   replicas:(Key.t -> int list) ->
   master_of:(Key.t -> int) ->
-  ?local_nodes:int list ->
-  ?history:History.t ->
-  ?obs:Mdcc_obs.Obs.t ->
+  ?ctx:Ctx.t ->
   unit ->
   t
-(** Registers the app-server's message handler on the network.
-    [local_nodes] are the storage nodes of this app-server's data center
-    (needed only for {!scan_local}).  When [history] is given, every
-    submission and decision is recorded into it (chaos testing).  [obs]
-    (default: the ambient handle) receives protocol-path counters and, at
-    submit/propose/learn/decide, the transaction's span events. *)
+(** Registers the app-server's message handler on the network.  [ctx]
+    (default {!Ctx.default}) bundles the cross-cutting dependencies:
+    [ctx.local_nodes] are the storage nodes of this app-server's data center
+    (needed only for local {!scan}s); when [ctx.history] is set, every
+    submission and decision is recorded into it (chaos testing); [ctx.obs]
+    receives protocol-path counters and, at submit/propose/learn/decide, the
+    transaction's span events. *)
 
 val node_id : t -> int
 
@@ -44,25 +43,34 @@ val submit : t -> Txn.t -> (Txn.outcome -> unit) -> unit
 (** Run the commit protocol for a write-set; the callback fires exactly once
     at decision time (Visibility is sent asynchronously after it). *)
 
-val read_local : t -> Key.t -> ((Value.t * int) option -> unit) -> unit
-(** Read-committed read of the replica in the app-server's own data center
-    (possibly stale; §4.2). *)
+val read :
+  ?level:[ `Local | `Majority ] ->
+  t ->
+  Key.t ->
+  ((Value.t * int) option -> unit) ->
+  unit
+(** The one read entry point.  [`Local] (the default) is the paper's
+    read-committed read of the replica in the app-server's own data center —
+    one local round trip, possibly stale (§4.2).  [`Majority] queries all
+    replicas and returns the freshest committed version once a classic
+    quorum answered — up to date, at wide-area cost.  (Session-consistent
+    reads live one layer up: {!Session.read} with its [`Session] level.) *)
 
-val read_majority : t -> Key.t -> ((Value.t * int) option -> unit) -> unit
-(** Up-to-date read: query all replicas, return the freshest committed
-    version once a classic quorum answered. *)
-
-val scan_local :
+val scan :
+  ?level:[ `Local | `Majority ] ->
   t ->
   table:string ->
   ?order_by:string ->
   limit:int ->
   ((Key.t * Value.t * int) list -> unit) ->
   unit
-(** Read-committed scan of a whole table against the local data center's
-    replicas, optionally sorted descending by an integer attribute and
-    truncated to [limit] rows — what TPC-W's best-sellers / search
-    interactions run.  Like all local reads it may be stale. *)
+(** Scan of a whole table, optionally sorted descending by an integer
+    attribute and truncated to [limit] rows — what TPC-W's best-sellers /
+    search interactions run.  [`Local] (the default) is a read-committed
+    scan of the local data center's replicas, possibly stale.  [`Majority]
+    discovers candidate rows locally, then upgrades each to a majority read
+    (rows deleted at the majority drop out, so the result may be shorter
+    than [limit]). *)
 
 val inflight : t -> int
 (** Transactions submitted but not yet decided (diagnostics). *)

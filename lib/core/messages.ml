@@ -2,11 +2,18 @@ open Mdcc_storage
 open Mdcc_paxos
 
 (* A committed-state snapshot used by recovery and anti-entropy.  [included]
-   lists every transaction whose effect is folded into [value]: the receiver
-   marks them visible so a late Visibility delivery cannot re-apply them
-   (commutative deltas carry no version guard, so state transfer without the
-   txid watermark double-counts them). *)
-type rebase = { value : Value.t; version : int; exists : bool; included : Txn.id list }
+   lists every transaction whose effect is folded into [value], with the
+   update it contributed: the receiver marks them visible so a late
+   Visibility delivery cannot re-apply them (commutative deltas carry no
+   version guard, so state transfer without the txid watermark double-counts
+   them), and keeps the updates so it can later offer them to a diverged
+   peer in a [Sync_reply]. *)
+type rebase = {
+  value : Value.t;
+  version : int;
+  exists : bool;
+  included : (Txn.id * Update.t) list;
+}
 
 type vote = { woption : Woption.t; decision : Woption.decision; ballot : Ballot.t }
 
@@ -27,7 +34,7 @@ type Mdcc_sim.Network.payload +=
       version : int;
       value : Value.t;
       exists : bool;
-      included : Txn.id list;
+      included : (Txn.id * Update.t) list;
       decided : (Txn.id * bool) list;
     }
   | Phase2a of {
@@ -63,6 +70,7 @@ type Mdcc_sim.Network.payload +=
   | Read_reply of { rid : int; key : Key.t; value : Value.t; version : int; exists : bool }
   | Batch of Mdcc_sim.Network.payload list
   | Sync_request of { entries : (Key.t * int * int) list }
+  | Sync_reply of { key : Key.t; version : int; applied : (Txn.id * Update.t) list }
   | Scan_request of { rid : int; table : string; order_by : string option; limit : int }
   | Scan_reply of { rid : int; rows : (Key.t * Value.t * int) list }
 
@@ -112,9 +120,11 @@ let woption_bytes (w : Woption.t) =
 
 let vote_bytes v = woption_bytes v.woption + 9
 
+let applied_entry_bytes (txid, update) = String.length txid + update_bytes update
+
 let rebase_bytes (r : rebase) =
   value_bytes r.value + 5
-  + List.fold_left (fun acc txid -> acc + String.length txid) 0 r.included
+  + List.fold_left (fun acc e -> acc + applied_entry_bytes e) 0 r.included
 
 let rec size_of payload =
   header_bytes
@@ -125,7 +135,7 @@ let rec size_of payload =
   | Phase1b { key; votes; value; included; decided; _ } ->
     key_bytes key + 17 + value_bytes value
     + List.fold_left (fun acc v -> acc + vote_bytes v) 0 votes
-    + List.fold_left (fun acc txid -> acc + String.length txid) 0 included
+    + List.fold_left (fun acc e -> acc + applied_entry_bytes e) 0 included
     + List.fold_left (fun acc (txid, _) -> acc + String.length txid + 1) 0 decided
   | Phase2a { key; woption; rebase; _ } ->
     key_bytes key + 13 + woption_bytes woption
@@ -151,6 +161,9 @@ let rec size_of payload =
     List.fold_left (fun acc item -> acc + size_of item) 0 items
   | Sync_request { entries } ->
     List.fold_left (fun acc (key, _, _) -> acc + key_bytes key + 8) 0 entries
+  | Sync_reply { key; applied; _ } ->
+    key_bytes key + 4
+    + List.fold_left (fun acc e -> acc + applied_entry_bytes e) 0 applied
   | Scan_request { table; order_by; _ } ->
     String.length table + 8
     + (match order_by with Some a -> String.length a | None -> 0)
@@ -197,4 +210,7 @@ let describe = function
   | Catchup { key; _ } -> Printf.sprintf "catchup!(%s)" (Key.to_string key)
   | Batch items -> Printf.sprintf "batch(%d)" (List.length items)
   | Sync_request { entries } -> Printf.sprintf "sync?(%d keys)" (List.length entries)
+  | Sync_reply { key; version; applied } ->
+    Printf.sprintf "sync!(%s, v%d, %d applied)" (Key.to_string key) version
+      (List.length applied)
   | _ -> "<other>"

@@ -24,13 +24,20 @@
 open Mdcc_storage
 open Mdcc_paxos
 
-type rebase = { value : Value.t; version : int; exists : bool; included : Txn.id list }
+type rebase = {
+  value : Value.t;
+  version : int;
+  exists : bool;
+  included : (Txn.id * Update.t) list;
+}
 (** Committed state shipped by a master to re-base stragglers / reset the
     commutative base value after a demarcation collision (§3.4.2).
-    [included] is the watermark of transactions folded into [value]: the
-    receiver marks them visible so a late Visibility delivery cannot
-    re-apply them (commutative deltas carry no version guard, so state
-    transfer without the watermark would double-count them). *)
+    [included] is the watermark of transactions folded into [value], each
+    with the update it contributed: the receiver marks them visible so a
+    late Visibility delivery cannot re-apply them (commutative deltas carry
+    no version guard, so state transfer without the watermark would
+    double-count them), and keeps the updates so it can later offer them to
+    a diverged peer in a [Sync_reply]. *)
 
 type vote = { woption : Woption.t; decision : Woption.decision; ballot : Ballot.t }
 (** One pending acceptance reported in Phase1b or to recovery. *)
@@ -52,7 +59,7 @@ type Mdcc_sim.Network.payload +=
       version : int;
       value : Value.t;
       exists : bool;
-      included : Txn.id list;
+      included : (Txn.id * Update.t) list;
       decided : (Txn.id * bool) list;
           (** visibility outcomes this acceptor knows for the key: final
               decisions a recovery must confirm, never contradict (the
@@ -106,10 +113,18 @@ type Mdcc_sim.Network.payload +=
           pairs for these keys; send me a [Catchup] for any you know to be
           newer" — the background bulk-repair process §3.2.3/§5.3.4 mention
           for replicas that missed updates during an outage.  The digest
-          (see {!applied_digest}) lets the receiver {e detect} two replicas
-          at the same version with different applied delta sets — the
+          (see {!applied_digest}) lets the receiver detect two replicas at
+          the same version with different applied delta sets — the
           equal-version divergence commutative updates can produce — and
-          feed the [diverged_replicas] gauge (repair is future work) *)
+          answer with its own applied set in a [Sync_reply] so both sides
+          converge on the union *)
+  | Sync_reply of { key : Key.t; version : int; applied : (Txn.id * Update.t) list }
+      (** anti-entropy repair: the responder's full applied set for one
+          diverged key.  The receiver replays every committed commutative
+          option it has not itself applied (txid-membership guarded, so the
+          exchange is idempotent) and answers with its merged set if the
+          sender is still missing entries — after at most one reply each
+          way both replicas hold the union *)
   | Scan_request of { rid : int; table : string; order_by : string option; limit : int }
       (** read-committed scan of one replica's rows of a table, optionally
           sorted descending by an integer attribute — the local analytic

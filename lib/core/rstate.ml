@@ -14,10 +14,35 @@ type t = {
   mutable promised : Ballot.t;
   mutable classic_until : int;
   mutable pending : pending list;
+  mutable applied : (Txn.id * Update.t) list;
 }
 
 let create ?(classic_until = 0) key =
-  { key; promised = Ballot.initial_fast; classic_until; pending = [] }
+  { key; promised = Ballot.initial_fast; classic_until; pending = []; applied = [] }
+
+(* The applied set — every committed transaction folded into this replica's
+   copy of the record, with the update it contributed.  Kept sorted by txid
+   so iteration order, digests and merges are deterministic (lint R1), and
+   updated idempotently: membership by txid is the guard that makes replays
+   of commutative deltas safe. *)
+
+let entry_compare (a, _) (b, _) = String.compare a b
+
+let applied_mem applied txid = List.exists (fun (id, _) -> String.equal id txid) applied
+
+let applied_add applied txid update =
+  if applied_mem applied txid then applied
+  else List.merge entry_compare [ (txid, update) ] applied
+
+let applied_txids applied = List.map fst applied
+
+let applied_missing ~mine ~theirs =
+  List.filter (fun (txid, _) -> not (applied_mem mine txid)) theirs
+
+let applied_merge mine theirs =
+  List.fold_left (fun acc (txid, up) -> applied_add acc txid up) mine theirs
+
+let mark_applied t txid update = t.applied <- applied_add t.applied txid update
 
 let find_pending t txid =
   List.find_opt (fun p -> String.equal p.woption.Woption.txid txid) t.pending

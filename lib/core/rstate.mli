@@ -40,9 +40,47 @@ type t = {
       (** record versions below this must use classic ballots (γ window);
           [max_int] in Multi mode *)
   mutable pending : pending list;  (** outstanding options, arrival order *)
+  mutable applied : (Txn.id * Update.t) list;
+      (** every committed transaction folded into this replica's copy of the
+          record, with the update it contributed — sorted by txid.  This is
+          the authoritative input to the anti-entropy digest and the set
+          exchanged in [Sync_reply] repair; txid membership is what makes
+          replaying a commutative delta idempotent. *)
 }
 
 val create : ?classic_until:int -> Key.t -> t
+
+(** {2 Applied-set operations}
+
+    Pure functions over txid-sorted applied sets, plus the one mutator
+    ({!mark_applied}).  All are deterministic and idempotent:
+    [applied_add s txid up] is a no-op when [txid] is already a member, so
+    merging the same [Sync_reply] twice — or in either order — yields the
+    same set. *)
+
+val applied_mem : (Txn.id * Update.t) list -> Txn.id -> bool
+
+val applied_add :
+  (Txn.id * Update.t) list -> Txn.id -> Update.t -> (Txn.id * Update.t) list
+(** Insert preserving txid order; identity if [txid] is already present. *)
+
+val applied_txids : (Txn.id * Update.t) list -> Txn.id list
+
+val applied_missing :
+  mine:(Txn.id * Update.t) list ->
+  theirs:(Txn.id * Update.t) list ->
+  (Txn.id * Update.t) list
+(** The entries of [theirs] absent from [mine] (txid order preserved) —
+    exactly what a repair has to replay. *)
+
+val applied_merge :
+  (Txn.id * Update.t) list -> (Txn.id * Update.t) list -> (Txn.id * Update.t) list
+(** Set union keyed by txid ([mine] wins on duplicates); commutative up to
+    the update payloads and associative, so repair converges regardless of
+    exchange order. *)
+
+val mark_applied : t -> Txn.id -> Update.t -> unit
+(** Record that this replica folded [txid]'s update into its value. *)
 
 val find_pending : t -> Txn.id -> pending option
 

@@ -1,6 +1,8 @@
 open Mdcc_storage
 module Obs = Mdcc_obs.Obs
 
+type level = [ `Local | `Session | `Majority ]
+
 type t = {
   coordinator : Coordinator.t;
   watermarks : int Key.Tbl.t;
@@ -17,35 +19,111 @@ let watermark t key = Option.value (Key.Tbl.find_opt t.watermarks key) ~default:
 let observe t key version =
   if version > watermark t key then Key.Tbl.replace t.watermarks key version
 
-let read t key callback =
+let read ?(level = `Session) t key callback =
   let obs = Coordinator.obs t.coordinator in
   let deliver result =
     (match result with Some (_, version) -> observe t key version | None -> ());
     Key.Tbl.remove t.dirty key;
     callback result
   in
-  if Key.Tbl.mem t.dirty key then begin
-    Obs.incr obs "session_read_dirty_upgrade";
-    Coordinator.read_majority t.coordinator key deliver
-  end
-  else
-    Coordinator.read_local t.coordinator key (fun result ->
-        let fresh_enough =
-          match result with
-          | Some (_, version) -> version >= watermark t key
-          | None -> watermark t key = 0
+  match level with
+  | `Local ->
+    (* Raw read-committed local read: no watermark upgrade, and the key
+       stays dirty — a later [`Session] read still knows to catch up.  The
+       returned version is still observed (monotonic bookkeeping is free). *)
+    Coordinator.read ~level:`Local t.coordinator key (fun result ->
+        (match result with Some (_, version) -> observe t key version | None -> ());
+        callback result)
+  | `Majority -> Coordinator.read ~level:`Majority t.coordinator key deliver
+  | `Session ->
+    if Key.Tbl.mem t.dirty key then begin
+      Obs.incr obs "session_read_dirty_upgrade";
+      Coordinator.read ~level:`Majority t.coordinator key deliver
+    end
+    else
+      Coordinator.read ~level:`Local t.coordinator key (fun result ->
+          let fresh_enough =
+            match result with
+            | Some (_, version) -> version >= watermark t key
+            | None -> watermark t key = 0
+          in
+          if fresh_enough then begin
+            Obs.incr obs "session_read_fresh";
+            deliver result
+          end
+          else begin
+            Obs.incr obs "session_read_stale_upgrade";
+            Coordinator.read ~level:`Majority t.coordinator key deliver
+          end)
+
+(* Same descending-sort-then-truncate the coordinator applies to scans, so
+   session-level row upgrades do not change the result shape. *)
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+let order_rows ?order_by ~limit rows =
+  let merged =
+    match order_by with
+    | None -> rows
+    | Some attr ->
+      List.sort
+        (fun (_, v1, _) (_, v2, _) -> Int.compare (Value.get_int v2 attr) (Value.get_int v1 attr))
+        rows
+  in
+  take limit merged
+
+let scan ?(level = `Session) t ~table ?order_by ~limit cb =
+  let obs = Coordinator.obs t.coordinator in
+  let observe_rows rows = List.iter (fun (key, _, version) -> observe t key version) rows in
+  match level with
+  | `Local -> Coordinator.scan ~level:`Local t.coordinator ~table ?order_by ~limit cb
+  | `Majority ->
+    Coordinator.scan ~level:`Majority t.coordinator ~table ?order_by ~limit (fun rows ->
+        observe_rows rows;
+        cb rows)
+  | `Session ->
+    (* Scan locally, then upgrade only the rows the session knows to be
+       stale (version below the watermark, or dirtied by an own delta
+       write) to majority reads — read-your-writes for scans without paying
+       wide-area cost for rows the session never touched. *)
+    Coordinator.scan ~level:`Local t.coordinator ~table ?order_by ~limit (fun rows ->
+        let stale (key, _, version) =
+          Key.Tbl.mem t.dirty key || version < watermark t key
         in
-        if fresh_enough then begin
-          Obs.incr obs "session_read_fresh";
-          deliver result
+        let to_upgrade = List.filter stale rows in
+        if to_upgrade = [] then begin
+          observe_rows rows;
+          cb (order_rows ?order_by ~limit rows)
         end
         else begin
-          Obs.incr obs "session_read_stale_upgrade";
-          Coordinator.read_majority t.coordinator key deliver
+          Obs.incr obs "session_scan_stale_upgrade";
+          let results = Key.Tbl.create (List.length to_upgrade) in
+          let remaining = ref (List.length to_upgrade) in
+          let finish () =
+            let upgraded =
+              List.filter_map
+                (fun ((key, _, _) as row) ->
+                  if not (stale row) then Some row
+                  else
+                    match Key.Tbl.find_opt results key with
+                    | Some (Some (v, ver)) -> Some (key, v, ver)
+                    | Some None | None -> None)
+                rows
+            in
+            observe_rows upgraded;
+            cb (order_rows ?order_by ~limit upgraded)
+          in
+          List.iter
+            (fun (key, _, _) ->
+              Coordinator.read ~level:`Majority t.coordinator key (fun res ->
+                  Key.Tbl.replace results key res;
+                  Key.Tbl.remove t.dirty key;
+                  decr remaining;
+                  if !remaining = 0 then finish ()))
+            to_upgrade
         end)
-
-let scan t ~table ?order_by ~limit cb =
-  Coordinator.scan_local t.coordinator ~table ?order_by ~limit cb
 
 let submit t txn callback =
   Coordinator.submit t.coordinator txn (fun outcome ->

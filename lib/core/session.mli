@@ -8,31 +8,53 @@
     observed.
 
     A session tracks, per key, the highest version it has read or written
-    (its {e watermark}).  {!read} serves from the local replica when that is
-    at or above the watermark and silently upgrades to a majority read
-    otherwise; {!submit} advances watermarks when a transaction commits, so
-    subsequent reads see the session's own writes. *)
+    (its {e watermark}).  Both {!read} and {!scan} take the unified
+    [?level] parameter:
+
+    {ul
+    {- [`Local] — raw read-committed read of the local replica, bypassing
+       the watermark (what {!Coordinator.read} [`Local] does);}
+    {- [`Session] — serve locally when the replica is at or above the
+       watermark, silently upgrade to a majority read otherwise;}
+    {- [`Majority] — always read a classic quorum.}}
+
+    {b The default is [`Session]} — it is the level this module exists to
+    provide, it is never weaker than what the caller already observed, and
+    callers wanting the cheaper or stronger guarantee now say so explicitly
+    instead of reaching for a different entry point.  {!submit} advances
+    watermarks when a transaction commits, so subsequent [`Session] reads
+    see the session's own writes. *)
 
 open Mdcc_storage
+
+type level = [ `Local | `Session | `Majority ]
+(** See the module description for the three guarantees. *)
 
 type t
 
 val create : Coordinator.t -> t
 (** A fresh session bound to one app-server. *)
 
-val read : t -> Key.t -> ((Value.t * int) option -> unit) -> unit
-(** Monotonic, read-your-writes read: never returns a version below the
-    session's watermark for the key. *)
+val read :
+  ?level:level -> t -> Key.t -> ((Value.t * int) option -> unit) -> unit
+(** Read one key at the given [level] (default [`Session]: monotonic,
+    read-your-writes — never returns a version below the session's
+    watermark for the key). *)
 
 val scan :
+  ?level:level ->
   t ->
   table:string ->
   ?order_by:string ->
   limit:int ->
   ((Key.t * Value.t * int) list -> unit) ->
   unit
-(** Local table scan ({!Coordinator.scan_local}); read-committed but outside
-    the session's per-key watermark tracking (scans are analytic reads). *)
+(** Table scan at the given [level] (default [`Session]).  A [`Session]
+    scan runs locally and upgrades only the rows the session knows to be
+    stale (below-watermark version, or dirtied by the session's own delta
+    write) to majority reads; [`Local] is the raw analytic scan that may
+    miss the session's writes; [`Majority] upgrades every row.  Scanned
+    versions feed the watermarks at [`Session] and [`Majority]. *)
 
 val submit : t -> Txn.t -> (Txn.outcome -> unit) -> unit
 (** {!Coordinator.submit}, additionally advancing the watermarks of the

@@ -89,21 +89,6 @@ let record_decided t key txid committed =
   let cur = Option.value (Hashtbl.find_opt t.decided_log k) ~default:[] in
   if not (List.mem_assoc txid cur) then Hashtbl.replace t.decided_log k ((txid, committed) :: cur)
 
-let incorporated_txids t key =
-  List.filter_map (fun (txid, committed) -> if committed then Some txid else None)
-    (decided_for t key)
-
-(* A snapshot of our committed state, tagged with every transaction folded
-   into it. *)
-let rebase_of t key =
-  let row = Store.ensure t.store key in
-  {
-    Messages.value = row.Store.value;
-    version = row.Store.version;
-    exists = row.Store.exists;
-    included = incorporated_txids t key;
-  }
-
 let default_classic_until config =
   match config.Config.mode with Config.Multi -> max_int | Config.Full | Config.Fast_only -> 0
 
@@ -114,6 +99,27 @@ let rstate t key =
     let rs = Rstate.create ~classic_until:(default_classic_until t.config) key in
     Key.Tbl.add t.records key rs;
     rs
+
+(* The applied set lives on the record's Rstate — the authoritative list of
+   committed updates folded into our copy of [key], which is what the
+   anti-entropy digest must summarize.  (The decided log is the wrong
+   source: it also remembers committed read guards, which never change the
+   value, and keeps txids whose effect a later rebase clobbered.) *)
+let applied_of t key = (rstate t key).Rstate.applied
+
+let applied_digest_of t key =
+  Messages.applied_digest (Rstate.applied_txids (applied_of t key))
+
+(* A snapshot of our committed state, tagged with every transaction folded
+   into it. *)
+let rebase_of t key =
+  let row = Store.ensure t.store key in
+  {
+    Messages.value = row.Store.value;
+    version = row.Store.version;
+    exists = row.Store.exists;
+    included = applied_of t key;
+  }
 
 let mstate t key =
   match Key.Tbl.find_opt t.masters key with
@@ -252,12 +258,18 @@ let apply_rebase t key (rb : Messages.rebase) =
     (* The re-based state already reflects these transactions: mark them
        visible so a late Visibility cannot re-apply them (deltas carry no
        version guard, so a commutative update would otherwise be counted
-       twice), and drop any still-pending option they left behind. *)
+       twice), and drop any still-pending option they left behind.  The
+       applied set becomes exactly [included] — the value now reflects
+       those transactions and no others; anything we had applied that the
+       rebaser lacked was clobbered with the overwrite and will come back
+       through Sync_reply repair from a replica that still holds it. *)
+    let rs = rstate t key in
+    rs.Rstate.applied <- rb.Messages.included;
     List.iter
-      (fun txid ->
+      (fun (txid, _update) ->
         if not (Hashtbl.mem t.visible (vkey txid key)) then begin
           Hashtbl.replace t.visible (vkey txid key) true;
-          Rstate.remove_pending (rstate t key) txid
+          Rstate.remove_pending rs txid
         end;
         record_decided t key txid true)
       rb.Messages.included
@@ -319,6 +331,15 @@ let visibility t txid key (update : Update.t) committed =
         | Update.Delta _ -> true
         | Update.Read_guard _ -> false
       in
+      (* Track every committed value-affecting update in the record's
+         applied set (even when the physical apply is skipped — a skip
+         means a rebase already folded the effect in).  Read guards never
+         change the value, so they stay out: the anti-entropy digest must
+         not diverge over no-ops one replica happened to miss. *)
+      (match update with
+      | Update.Read_guard _ -> ()
+      | Update.Insert _ | Update.Physical _ | Update.Delete _ | Update.Delta _ ->
+        Rstate.mark_applied rs txid update);
       if apply_it then begin
         Store.apply t.store key update;
         record t
@@ -980,6 +1001,71 @@ let scan_dangling t =
   List.iter (start_txn_recovery t) !stale
 
 (* ------------------------------------------------------------------ *)
+(* Anti-entropy repair (Sync_reply reconciliation)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Merge a peer's applied set into ours by replaying every committed
+   commutative option we are missing.  Deterministic: the missing entries
+   arrive (and are replayed) in txid order, and txid membership in the
+   applied set makes each replay idempotent — merging the same Sync_reply
+   twice, or two replies in either order, produces the same state.  Only
+   deltas are replayed blindly: they commute, so folding a committed delta
+   into any state that lacks it is always correct.  A missing {e physical}
+   entry at equal version means our committed state is genuinely stale;
+   that is version-based catch-up's job, so we pull a full rebase instead.
+   Answer with our merged set when the peer is missing entries we hold —
+   gated on having learned something new ourselves, so the exchange
+   terminates after at most one reply each way. *)
+let sync_repair t ~src key (theirs : (Txn.id * Update.t) list) =
+  let rs = rstate t key in
+  let missing = Rstate.applied_missing ~mine:rs.Rstate.applied ~theirs in
+  let merged = ref 0 in
+  let stale = ref false in
+  List.iter
+    (fun (txid, (update : Update.t)) ->
+      match update with
+      | Update.Delta _ ->
+        let row = Store.ensure t.store key in
+        Hashtbl.replace t.visible (vkey txid key) true;
+        record_decided t key txid true;
+        Rstate.remove_pending rs txid;
+        Store.apply t.store key update;
+        Rstate.mark_applied rs txid update;
+        incr merged;
+        Obs.incr t.obs "antientropy_repair";
+        record t
+          (History.Applied
+             {
+               time = now t;
+               node = t.id;
+               txid;
+               key;
+               version = row.Store.version;
+               value = row.Store.value;
+             });
+        span t ~txid ~name:"repair" ~key:(Key.to_string key) ~detail:"replay delta" ();
+        trace t "repair %s %s: replayed delta from node %d" txid (Key.to_string key) src
+      | Update.Insert _ | Update.Physical _ | Update.Delete _ | Update.Read_guard _ ->
+        stale := true)
+    missing;
+  if !stale && t.id <> src then send t src (Messages.Catchup_request { key });
+  (* Repaired: this pair is no longer diverged from our point of view. *)
+  let dkey = Printf.sprintf "%d#%s" src (Key.to_string key) in
+  if Hashtbl.mem t.diverged dkey then begin
+    Hashtbl.remove t.diverged dkey;
+    Obs.add_gauge t.obs "diverged_replicas" (-1)
+  end;
+  if !merged > 0 && Rstate.applied_missing ~mine:theirs ~theirs:rs.Rstate.applied <> []
+  then
+    send t src
+      (Messages.Sync_reply
+         {
+           key;
+           version = (Store.ensure t.store key).Store.version;
+           applied = rs.Rstate.applied;
+         })
+
+(* ------------------------------------------------------------------ *)
 (* Wiring                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -988,19 +1074,25 @@ let rec handle t ~src payload =
   | Messages.Batch items -> List.iter (handle t ~src) items
   | Messages.Sync_request { entries } ->
     (* Anti-entropy: answer with the committed state of any key where we are
-       ahead of the prober.  At equal versions, compare applied-set digests —
-       matching versions with different digests mean the replicas applied
-       different commutative delta sets (the equal-version divergence gap).
-       We can detect it here but not yet repair it: flag the pair on the
-       diverged_replicas gauge and clear it if a later probe agrees again. *)
+       ahead of the prober, and ask for theirs where we are behind.  At
+       equal versions, compare applied-set digests — matching versions with
+       different digests mean the replicas applied different commutative
+       delta sets (equal-version divergence).  Flag the pair on the
+       diverged_replicas gauge and answer with our full applied set in a
+       Sync_reply so the prober can replay what it is missing; the mark
+       clears when a later probe agrees again or when the prober's
+       counter-reply repairs us. *)
     List.iter
       (fun (key, version, digest) ->
         let row = Store.ensure t.store key in
         if row.Store.version > version then
           send t src (Messages.Catchup { key; rebase = rebase_of t key })
-        else if row.Store.version = version && row.Store.version > 0 then begin
+        else if row.Store.version < version then
+          (* The prober is ahead of us: pull its committed state. *)
+          send t src (Messages.Catchup_request { key })
+        else if row.Store.version > 0 then begin
           let dkey = Printf.sprintf "%d#%s" src (Key.to_string key) in
-          let ours = Messages.applied_digest (incorporated_txids t key) in
+          let ours = applied_digest_of t key in
           if ours <> digest then begin
             if not (Hashtbl.mem t.diverged dkey) then begin
               Hashtbl.replace t.diverged dkey ();
@@ -1008,7 +1100,10 @@ let rec handle t ~src payload =
               Obs.add_gauge t.obs "diverged_replicas" 1;
               trace t "anti-entropy divergence with node %d on %s at v%d" src
                 (Key.to_string key) version
-            end
+            end;
+            send t src
+              (Messages.Sync_reply
+                 { key; version = row.Store.version; applied = applied_of t key })
           end
           else if Hashtbl.mem t.diverged dkey then begin
             Hashtbl.remove t.diverged dkey;
@@ -1016,6 +1111,7 @@ let rec handle t ~src payload =
           end
         end)
       entries
+  | Messages.Sync_reply { key; version = _; applied } -> sync_repair t ~src key applied
   | Messages.Propose { woption; route = `Fast } -> fast_propose t woption
   | Messages.Propose { woption; route = `Classic } -> master_propose t woption ~notify:[]
   | Messages.Phase1a { key; ballot } ->
@@ -1086,9 +1182,9 @@ let rec handle t ~src payload =
          { rid; key; value = row.Store.value; version = row.Store.version; exists = row.Store.exists })
   | _ -> ()
 
-let create ~net ~config ~node_id ~schema ~replicas ~master_of ?history
-    ?(obs = Obs.ambient ()) () =
+let create ~net ~config ~node_id ~schema ~replicas ~master_of ?(ctx = Ctx.default ()) () =
   let engine = Net.engine net in
+  let history = ctx.Ctx.history and obs = ctx.Ctx.obs in
   let t =
     {
       net;
@@ -1137,7 +1233,7 @@ let sync_with_masters t =
       let master = t.master_of key in
       if master <> t.id then begin
         let existing = Option.value (Hashtbl.find_opt by_master master) ~default:[] in
-        let digest = Messages.applied_digest (incorporated_txids t key) in
+        let digest = applied_digest_of t key in
         Hashtbl.replace by_master master ((key, row.Store.version, digest) :: existing)
       end);
   (* Probe masters in node-id order; entry lists are already in key order
@@ -1157,7 +1253,7 @@ let sync_with_peers t =
         (fun peer ->
           if peer <> t.id then begin
             let existing = Option.value (Hashtbl.find_opt by_peer peer) ~default:[] in
-            let digest = Messages.applied_digest (incorporated_txids t key) in
+            let digest = applied_digest_of t key in
             Hashtbl.replace by_peer peer ((key, row.Store.version, digest) :: existing)
           end)
         (t.replicas key));

@@ -36,18 +36,19 @@ val create :
   schema:Schema.t ->
   replicas:(Key.t -> int list) ->
   master_of:(Key.t -> int) ->
-  ?history:History.t ->
-  ?obs:Mdcc_obs.Obs.t ->
+  ?ctx:Ctx.t ->
   unit ->
   t
 (** Build the node and register its message handler on the network.
     [replicas key] must list the full replica group of [key] (including this
     node when it replicates [key]); [master_of key] is the node currently
-    responsible for classic ballots on [key].  When [history] is given,
-    every option execution/void is recorded into it (chaos testing).  [obs]
-    (default: the ambient handle) receives acceptor/master counters — option
-    verdicts with reject reasons, Phase 1 rounds, recoveries, anti-entropy
-    repairs and divergence — and vote/visibility span events. *)
+    responsible for classic ballots on [key].  [ctx] (default {!Ctx.default})
+    bundles the cross-cutting dependencies: when its [history] is set, every
+    option execution/void is recorded into it (chaos testing); its [obs]
+    receives acceptor/master counters — option verdicts with reject reasons,
+    Phase 1 rounds, recoveries, anti-entropy repairs and divergence — and
+    vote/visibility/repair span events.  [ctx.local_nodes] is ignored here
+    (it is a coordinator concern). *)
 
 val node_id : t -> int
 
@@ -62,9 +63,11 @@ val pending_options : t -> int
 
 val sync_with_masters : t -> unit
 (** Anti-entropy sweep: probe the master of every key this node holds with
-    the local version; newer committed state comes back via [Catchup].  The
-    "background process" that brings a recovered data center up to date
-    (§5.3.4). *)
+    the local (version, applied-set digest); newer committed state comes
+    back via [Catchup], and equal-version digest mismatches trigger the
+    [Sync_reply] applied-set exchange that replays missing committed deltas
+    on both sides until the replicas hold the union.  The "background
+    process" that brings a recovered data center up to date (§5.3.4). *)
 
 val sync_with_peers : t -> unit
 (** Like {!sync_with_masters}, but probe {e every} replica of every key this

@@ -29,7 +29,7 @@ let of_mdcc cluster ~name =
     engine = Cluster.engine cluster;
     num_dcs = Cluster.num_dcs cluster;
     submit = (fun ~dc txn cb -> Coordinator.submit (pick dc) txn cb);
-    read_local = (fun ~dc key cb -> Coordinator.read_local (pick dc) key cb);
+    read_local = (fun ~dc key cb -> Coordinator.read ~level:`Local (pick dc) key cb);
     peek = (fun ~dc key -> Cluster.peek cluster ~dc key);
     load = (fun rows -> Cluster.load cluster rows);
     fail_dc = (fun dc -> Cluster.fail_dc cluster dc);

@@ -7,6 +7,9 @@ module History = Mdcc_core.History
 module Checker = Mdcc_chaos.Checker
 module Nemesis = Mdcc_chaos.Nemesis
 module Runner = Mdcc_chaos.Runner
+module Baseline = Mdcc_chaos.Baseline
+module Obs = Mdcc_obs.Obs
+module Registry = Mdcc_obs.Registry
 
 let key id = Key.make ~table:"item" ~id
 let stock n = Value.of_list [ ("stock", Value.Int n) ]
@@ -173,6 +176,35 @@ let test_planted_bug_caught () =
   done;
   Alcotest.(check bool) "planted fast-quorum bug caught" true !caught
 
+(* Anti-entropy regression at a pinned seed: torn_broadcast cuts the
+   app->remote-storage links between two DCs in both pairings, so a
+   replica reaches the same version as its peers with a different applied
+   delta set.  Seed 6 is a known divergence-provoking run: the sweep must
+   detect the divergence, replay the missing deltas, and end with no
+   replica pair still marked diverged — alongside a clean checker
+   verdict. *)
+let test_torn_broadcast_repair () =
+  let r = Runner.run (Runner.spec ~seed:6 ~scenario:Nemesis.torn_broadcast ()) in
+  if not (Runner.ok r) then
+    Alcotest.failf "torn_broadcast seed 6: %s" (Runner.report_to_string ~verbose:true r);
+  let reg = Obs.registry r.Runner.r_obs in
+  Alcotest.(check bool) "divergence provoked" true
+    (Registry.counter reg "antientropy_divergence" > 0);
+  Alcotest.(check bool) "repair fired" true (Registry.counter reg "antientropy_repair" > 0);
+  Alcotest.(check int) "no replica left diverged" 0 (Registry.gauge reg "diverged_replicas")
+
+(* The baselines keep the checker honest: quorum writes (blind LWW, cannot
+   abort) must trip lost-update on its contended run, while 2PC must come
+   back with no violations at all. *)
+let test_baseline_canary () =
+  let qw = Option.get (Baseline.protocol_named "qw-3") in
+  let r = Baseline.run ~txns:30 ~seed:1 qw in
+  Alcotest.(check bool) "qw-3 trips lost-update and nothing unexpected" true (Baseline.ok r);
+  let tpc = Option.get (Baseline.protocol_named "2pc") in
+  let r2 = Baseline.run ~txns:30 ~seed:1 tpc in
+  Alcotest.(check bool) "2pc is violation-free" true
+    (Baseline.ok r2 && r2.Baseline.b_violations = [])
+
 let suite =
   [
     Alcotest.test_case "clean history passes" `Quick test_clean_history;
@@ -185,4 +217,6 @@ let suite =
     Alcotest.test_case "sweep JSON determinism" `Quick test_sweep_json_determinism;
     Alcotest.test_case "random nemesis smoke sweep" `Slow test_smoke_sweep;
     Alcotest.test_case "planted bug caught" `Slow test_planted_bug_caught;
+    Alcotest.test_case "torn broadcast repaired (pinned seed)" `Quick test_torn_broadcast_repair;
+    Alcotest.test_case "baseline canary" `Quick test_baseline_canary;
   ]

@@ -7,23 +7,18 @@ module Engine = Mdcc_sim.Engine
 module Cluster = Mdcc_core.Cluster
 module Coordinator = Mdcc_core.Coordinator
 
-let read_local_sync engine c key =
+let read_sync ~level engine c key =
   let result = ref None and got = ref false in
-  Coordinator.read_local c key (fun r ->
+  Coordinator.read ~level c key (fun r ->
       result := r;
       got := true);
   Engine.run ~until:(Engine.now engine +. 10_000.0) engine;
   Alcotest.(check bool) "read answered" true !got;
   !result
 
-let read_majority_sync engine c key =
-  let result = ref None and got = ref false in
-  Coordinator.read_majority c key (fun r ->
-      result := r;
-      got := true);
-  Engine.run ~until:(Engine.now engine +. 10_000.0) engine;
-  Alcotest.(check bool) "read answered" true !got;
-  !result
+let read_local_sync engine c key = read_sync ~level:`Local engine c key
+
+let read_majority_sync engine c key = read_sync ~level:`Majority engine c key
 
 let test_local_read_returns_committed () =
   let engine, cluster = make_cluster ~items:3 () in
@@ -100,7 +95,7 @@ let test_scan_local () =
   Alcotest.(check bool) "setup committed" true (is_committed o);
   let c = Cluster.coordinator cluster ~dc:2 ~rank:0 in
   let got = ref None in
-  Coordinator.scan_local c ~table:"item" ~order_by:"stock" ~limit:3 (fun rows -> got := Some rows);
+  Coordinator.scan c ~table:"item" ~order_by:"stock" ~limit:3 (fun rows -> got := Some rows);
   Engine.run ~until:(Engine.now engine +. 10_000.0) engine;
   match !got with
   | Some ((top_key, top_value, _) :: _ as rows) ->
@@ -114,7 +109,7 @@ let test_scan_empty_table () =
   let engine, cluster = make_cluster ~items:2 () in
   let c = Cluster.coordinator cluster ~dc:0 ~rank:0 in
   let got = ref None in
-  Coordinator.scan_local c ~table:"order" ~limit:10 (fun rows -> got := Some rows);
+  Coordinator.scan c ~table:"order" ~limit:10 (fun rows -> got := Some rows);
   Engine.run ~until:10_000.0 engine;
   Alcotest.(check bool) "empty table scans empty" true (!got = Some [])
 

@@ -170,7 +170,8 @@ let test_session_monotonic_reads () =
   (* After the session observes the fresh version via majority read, local
      stale reads are upgraded transparently. *)
   let r3 = ref None in
-  Coordinator.read_majority (Cluster.coordinator cluster ~dc:4 ~rank:0) (item 0) (fun _ -> ());
+  Coordinator.read ~level:`Majority (Cluster.coordinator cluster ~dc:4 ~rank:0) (item 0)
+    (fun _ -> ());
   Session.submit session
     (Txn.make ~id:"touch" ~updates:[ (item 0, Update.Read_guard { vread = 2 }) ])
     (fun _ -> ());

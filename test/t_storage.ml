@@ -187,6 +187,55 @@ let prop_delta_versions =
       && Value.get_int (fst (Option.get (Store.read s key_a))) "stock"
          = List.fold_left ( + ) 0 deltas)
 
+(* --- applied-set merging (anti-entropy repair substrate) --------------- *)
+
+module Rstate = Mdcc_core.Rstate
+module Messages = Mdcc_core.Messages
+
+let up i = Update.Delta [ ("stock", -i) ]
+
+let test_applied_set_idempotent () =
+  let a = Rstate.applied_add (Rstate.applied_add [] "t1" (up 1)) "t2" (up 2) in
+  Alcotest.(check int) "re-add is a no-op" 2 (List.length (Rstate.applied_add a "t1" (up 1)));
+  Alcotest.(check bool) "merge with itself is identity" true (Rstate.applied_merge a a = a);
+  Alcotest.(check bool) "membership" true
+    (Rstate.applied_mem a "t1" && Rstate.applied_mem a "t2" && not (Rstate.applied_mem a "t3"))
+
+let test_applied_set_commutative () =
+  let a = Rstate.applied_add (Rstate.applied_add [] "t1" (up 1)) "t2" (up 2) in
+  let b = Rstate.applied_add (Rstate.applied_add [] "t2" (up 2)) "t1" (up 1) in
+  Alcotest.(check bool) "insertion order never matters" true (a = b);
+  let x = Rstate.applied_add [] "t3" (up 3) in
+  Alcotest.(check bool) "merge commutes" true
+    (Rstate.applied_merge a x = Rstate.applied_merge x a)
+
+let test_applied_set_merge_union () =
+  let mine = Rstate.applied_add (Rstate.applied_add [] "t1" (up 1)) "t2" (up 2) in
+  let theirs = Rstate.applied_add (Rstate.applied_add [] "t3" (up 3)) "t1" (up 1) in
+  Alcotest.(check (list string)) "missing = theirs minus mine" [ "t3" ]
+    (List.map fst (Rstate.applied_missing ~mine ~theirs));
+  let merged = Rstate.applied_merge mine theirs in
+  Alcotest.(check (list string)) "union, sorted" [ "t1"; "t2"; "t3" ]
+    (Rstate.applied_txids merged);
+  Alcotest.(check bool) "nothing missing after merge" true
+    (Rstate.applied_missing ~mine:merged ~theirs = [])
+
+let test_applied_digest_consistent () =
+  let d = Messages.applied_digest in
+  Alcotest.(check int) "permutation invariant"
+    (d [ "a"; "b"; "c" ])
+    (d [ "c"; "a"; "b" ]);
+  Alcotest.(check bool) "membership sensitive" true (d [ "a"; "b" ] <> d [ "a"; "b"; "c" ]);
+  (* Two replicas that merged the same entries in different orders render
+     the same digest — the probe's equal-version divergence test. *)
+  let mine = Rstate.applied_add (Rstate.applied_add [] "t1" (up 1)) "t2" (up 2) in
+  let theirs = Rstate.applied_add (Rstate.applied_add [] "t3" (up 3)) "t1" (up 1) in
+  Alcotest.(check int) "merged digests agree"
+    (d (Rstate.applied_txids (Rstate.applied_merge mine theirs)))
+    (d (Rstate.applied_txids (Rstate.applied_merge theirs mine)));
+  Alcotest.(check bool) "diverged digests differ" true
+    (d (Rstate.applied_txids mine) <> d (Rstate.applied_txids theirs))
+
 let suite =
   [
     Alcotest.test_case "value basics" `Quick test_value_basics;
@@ -204,5 +253,9 @@ let suite =
     Alcotest.test_case "store delete & reinsert" `Quick test_store_delete_and_reinsert;
     Alcotest.test_case "store delta apply" `Quick test_store_delta_apply;
     Alcotest.test_case "store fold/iter" `Quick test_store_fold_iter;
+    Alcotest.test_case "applied set is idempotent" `Quick test_applied_set_idempotent;
+    Alcotest.test_case "applied set is commutative" `Quick test_applied_set_commutative;
+    Alcotest.test_case "applied set merge is union" `Quick test_applied_set_merge_union;
+    Alcotest.test_case "applied digest is set-consistent" `Quick test_applied_digest_consistent;
     QCheck_alcotest.to_alcotest prop_delta_versions;
   ]
