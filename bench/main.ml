@@ -5,6 +5,8 @@
      dune exec bench/main.exe -- fig3 fig8    -- selected experiments only
      dune exec bench/main.exe -- --bechamel   -- Bechamel micro-benchmarks of
                                                  the protocol-critical paths
+     dune exec bench/main.exe -- --jobs 4     -- fan independent simulations
+                                                 out over 4 worker domains
 
    Experiment ids: fig3 fig4 fig5 fig6 fig7 fig8 gamma (see DESIGN.md §4 and
    EXPERIMENTS.md for the paper-vs-measured record). *)
@@ -121,26 +123,37 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
   let bechamel = List.mem "--bechamel" args in
+  (* Pull `--jobs N` out before treating the remaining bare words as ids. *)
+  let jobs, args =
+    let rec strip acc = function
+      | "--jobs" :: n :: rest -> (int_of_string_opt n, List.rev_append acc rest)
+      | a :: rest -> strip (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    let jobs, rest = strip [] args in
+    (Option.value jobs ~default:(Mdcc_util.Pool.default_jobs ()), rest)
+  in
   let selected = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
-  let run_experiment = function
-    | "fig3" -> ignore (Experiments.fig3 ~quick ())
-    | "fig4" -> ignore (Experiments.fig4 ~quick ())
-    | "fig5" -> ignore (Experiments.fig5 ~quick ())
-    | "fig6" -> ignore (Experiments.fig6 ~quick ())
-    | "fig7" -> ignore (Experiments.fig7 ~quick ())
-    | "fig8" -> ignore (Experiments.fig8 ~quick ())
-    | "gamma" -> ignore (Experiments.ablation_gamma ~quick ())
-    | "batching" -> ignore (Experiments.ablation_batching ~quick ())
-    | "replication" -> ignore (Experiments.ablation_replication ~quick ())
+  let run_experiment ~pool = function
+    | "fig3" -> ignore (Experiments.fig3 ~quick ~pool ())
+    | "fig4" -> ignore (Experiments.fig4 ~quick ~pool ())
+    | "fig5" -> ignore (Experiments.fig5 ~quick ~pool ())
+    | "fig6" -> ignore (Experiments.fig6 ~quick ~pool ())
+    | "fig7" -> ignore (Experiments.fig7 ~quick ~pool ())
+    | "fig8" -> ignore (Experiments.fig8 ~quick ~pool ())
+    | "gamma" -> ignore (Experiments.ablation_gamma ~quick ~pool ())
+    | "batching" -> ignore (Experiments.ablation_batching ~quick ~pool ())
+    | "replication" -> ignore (Experiments.ablation_replication ~quick ~pool ())
     | other -> Printf.eprintf "unknown experiment %S (try fig3..fig8, gamma, batching)\n" other
   in
   if bechamel then begin
     print_endline "== Bechamel micro-benchmarks of protocol-critical paths ==";
     Bench_micro.run ()
   end;
-  (match selected with
-  | [] -> if not bechamel then Experiments.run_all ~quick ()
-  | ids -> List.iter run_experiment ids);
+  Mdcc_util.Pool.with_pool ~jobs (fun pool ->
+      match selected with
+      | [] -> if not bechamel then Experiments.run_all ~quick ~pool ()
+      | ids -> List.iter (run_experiment ~pool) ids);
   (* Aggregate protocol metrics of everything the run executed — every
      cluster built above reported into the ambient registry. *)
   let metrics_path = "bench_metrics.json" in

@@ -14,8 +14,9 @@
 
 module Nemesis = Mdcc_chaos.Nemesis
 module Runner = Mdcc_chaos.Runner
+module Sweep = Mdcc_chaos.Sweep
 module Baseline = Mdcc_chaos.Baseline
-module Obs = Mdcc_obs.Obs
+module Pool = Mdcc_util.Pool
 module Json = Mdcc_obs.Json
 
 let workload_of_string = function
@@ -28,39 +29,14 @@ let make_spec ~seed ~scenario ~workload ~txns ~items ~plant_bug ~trace =
   Runner.spec ~seed ~scenario ~workload ~txns ~items ?fast_quorum_override:plant_bug
     ~capture_trace:trace ()
 
-(* One run; on a violation, re-run the same spec with trace capture so the
-   report carries the full protocol interleaving. *)
-let run_verbose spec =
-  let r = Runner.run spec in
-  if Runner.ok r || spec.Runner.capture_trace then r
-  else Runner.run { spec with Runner.capture_trace = true }
-
-(* One {seed, scenario, metrics, spans} object per run — the sweep's full
-   observability export, written as a single JSON document. *)
+(* The sweep's full observability export, one JSON document. *)
 let write_obs_out path runs =
-  let doc =
-    Json.Obj
-      [
-        ( "runs",
-          Json.List
-            (List.map
-               (fun (r : Runner.report) ->
-                 Json.Obj
-                   [
-                     ("seed", Json.Int r.Runner.r_seed);
-                     ("scenario", Json.Str r.Runner.r_scenario);
-                     ("metrics", Obs.metrics_json r.Runner.r_obs);
-                     ("spans", Obs.spans_json r.Runner.r_obs);
-                   ])
-               runs) );
-      ]
-  in
   let oc = open_out path in
-  output_string oc (Json.to_string doc);
+  output_string oc (Json.to_string (Sweep.obs_doc runs));
   output_char oc '\n';
   close_out oc
 
-let sweep ~seeds ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace ~obs_out =
+let sweep ~seeds ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace ~obs_out ~jobs =
   let scenarios =
     match scenario with
     | None -> Nemesis.matrix
@@ -81,25 +57,26 @@ let sweep ~seeds ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace ~obs_o
       Printf.eprintf "unknown workload %S (deltas|rmw|mixed)\n" workload;
       exit 2
   in
-  let bad = ref [] in
-  let all = ref [] in
-  let total = ref 0 in
+  (* Scenario-major, seed-minor spec order; the pool merges reports back
+     in that order, so output is byte-identical to a --jobs 1 sweep. *)
+  let specs =
+    List.concat_map
+      (fun scenario ->
+        List.init seeds (fun i ->
+            make_spec ~seed:(i + 1) ~scenario ~workload ~txns ~items ~plant_bug ~trace))
+      scenarios
+  in
+  let all = Sweep.run ~jobs specs in
+  let total = List.length all in
   List.iter
-    (fun scenario ->
-      for seed = 1 to seeds do
-        incr total;
-        let spec = make_spec ~seed ~scenario ~workload ~txns ~items ~plant_bug ~trace in
-        let r = run_verbose spec in
-        all := r :: !all;
-        if not (Runner.ok r) then bad := r :: !bad;
-        if json then print_endline (Runner.report_to_json r)
-        else print_endline (Runner.report_to_string ~verbose:(not (Runner.ok r)) r)
-      done)
-    scenarios;
-  Option.iter (fun path -> write_obs_out path (List.rev !all)) obs_out;
-  let bad = List.rev !bad in
+    (fun r ->
+      if json then print_endline (Runner.report_to_json r)
+      else print_endline (Runner.report_to_string ~verbose:(not (Runner.ok r)) r))
+    all;
+  Option.iter (fun path -> write_obs_out path all) obs_out;
+  let bad = List.filter (fun r -> not (Runner.ok r)) all in
   if not json then begin
-    Printf.printf "\n%d runs (%d seeds x %d scenarios): %d with violations\n" !total seeds
+    Printf.printf "\n%d runs (%d seeds x %d scenarios): %d with violations\n" total seeds
       (List.length scenarios) (List.length bad);
     List.iter
       (fun r ->
@@ -178,6 +155,15 @@ let json_flag = Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object p
 let trace_flag =
   Arg.(value & flag & info [ "trace" ] ~doc:"Capture the protocol trace in every report.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Pool.default_jobs ())
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the sweep (default: cores - 1, at least 1).  Reports are \
+           merged in seed order, so output is byte-identical to $(b,--jobs 1).")
+
 let obs_out_arg =
   Arg.(
     value
@@ -189,14 +175,14 @@ let obs_out_arg =
 
 let sweep_cmd =
   let doc = "Sweep seeds across the scenario matrix and check every history." in
-  let run seeds scenario workload txns items plant_bug json trace obs_out =
-    sweep ~seeds ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace ~obs_out
+  let run seeds scenario workload txns items plant_bug json trace obs_out jobs =
+    sweep ~seeds ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace ~obs_out ~jobs
   in
   Cmd.v
     (Cmd.info "sweep" ~doc)
     Term.(
       const run $ seeds_arg $ scenario_opt $ workload_arg $ txns_arg $ items_arg $ plant_bug_arg
-      $ json_flag $ trace_flag $ obs_out_arg)
+      $ json_flag $ trace_flag $ obs_out_arg $ jobs_arg)
 
 let replay_cmd =
   let doc = "Re-run a single (seed, scenario) pair, verbosely." in
@@ -209,7 +195,7 @@ let replay_cmd =
       const run $ seed_arg $ scenario_req $ workload_arg $ txns_arg $ items_arg $ plant_bug_arg
       $ json_flag $ trace_flag)
 
-let baselines ~seeds ~protocol ~txns ~items =
+let baselines ~seeds ~protocol ~txns ~items ~jobs =
   let protos =
     match protocol with
     | None -> Baseline.protocols
@@ -220,19 +206,19 @@ let baselines ~seeds ~protocol ~txns ~items =
         Printf.eprintf "unknown baseline %S (see `chaos_cli list')\n" name;
         exit 2)
   in
-  let bad = ref [] in
-  List.iter
-    (fun p ->
-      for seed = 1 to seeds do
-        let r = Baseline.run ~txns ~items ~seed p in
-        print_endline (Baseline.report_to_string r);
-        if not (Baseline.ok r) then bad := r :: !bad
-      done)
-    protos;
+  let tasks =
+    List.concat_map (fun p -> List.init seeds (fun i -> (p, i + 1))) protos
+  in
+  let reports =
+    Pool.with_pool ~jobs (fun pool ->
+        Pool.map_list pool tasks ~f:(fun (p, seed) -> Baseline.run ~txns ~items ~seed p))
+  in
+  List.iter (fun r -> print_endline (Baseline.report_to_string r)) reports;
+  let bad = List.filter (fun r -> not (Baseline.ok r)) reports in
   Printf.printf "\n%d baseline runs (%d seeds x %d protocols): %d unexpected\n"
     (seeds * List.length protos)
-    seeds (List.length protos) (List.length !bad);
-  if !bad <> [] then exit 1
+    seeds (List.length protos) (List.length bad);
+  if bad <> [] then exit 1
 
 let protocol_opt =
   Arg.(
@@ -246,10 +232,10 @@ let baselines_cmd =
      checker.  Quorum writes must trip the lost-update invariant (the checker's canary); 2PC \
      and Megastore* must come back clean."
   in
-  let run seeds protocol txns items = baselines ~seeds ~protocol ~txns ~items in
+  let run seeds protocol txns items jobs = baselines ~seeds ~protocol ~txns ~items ~jobs in
   Cmd.v
     (Cmd.info "baselines" ~doc)
-    Term.(const run $ seeds_arg $ protocol_opt $ txns_arg $ items_arg)
+    Term.(const run $ seeds_arg $ protocol_opt $ txns_arg $ items_arg $ jobs_arg)
 
 let list_cmd =
   let doc = "List the scenario matrix and the baseline protocols." in

@@ -9,6 +9,7 @@
 module Experiments = Mdcc_workload.Experiments
 module Obs = Mdcc_obs.Obs
 module Json = Mdcc_obs.Json
+module Pool = Mdcc_util.Pool
 
 let experiments =
   [
@@ -23,16 +24,16 @@ let experiments =
     ("replication", "ablation: replication factor / quorum sizes");
   ]
 
-let run_one ~quick = function
-  | "fig3" -> ignore (Experiments.fig3 ~quick ())
-  | "fig4" -> ignore (Experiments.fig4 ~quick ())
-  | "fig5" -> ignore (Experiments.fig5 ~quick ())
-  | "fig6" -> ignore (Experiments.fig6 ~quick ())
-  | "fig7" -> ignore (Experiments.fig7 ~quick ())
-  | "fig8" -> ignore (Experiments.fig8 ~quick ())
-  | "gamma" -> ignore (Experiments.ablation_gamma ~quick ())
-  | "batching" -> ignore (Experiments.ablation_batching ~quick ())
-  | "replication" -> ignore (Experiments.ablation_replication ~quick ())
+let run_one ~quick ~pool = function
+  | "fig3" -> ignore (Experiments.fig3 ~quick ~pool ())
+  | "fig4" -> ignore (Experiments.fig4 ~quick ~pool ())
+  | "fig5" -> ignore (Experiments.fig5 ~quick ~pool ())
+  | "fig6" -> ignore (Experiments.fig6 ~quick ~pool ())
+  | "fig7" -> ignore (Experiments.fig7 ~quick ~pool ())
+  | "fig8" -> ignore (Experiments.fig8 ~quick ~pool ())
+  | "gamma" -> ignore (Experiments.ablation_gamma ~quick ~pool ())
+  | "batching" -> ignore (Experiments.ablation_batching ~quick ~pool ())
+  | "replication" -> ignore (Experiments.ablation_replication ~quick ~pool ())
   | other -> Printf.eprintf "unknown experiment %S\n" other
 
 open Cmdliner
@@ -56,18 +57,29 @@ let metrics_out_arg =
           "Write the run's aggregate protocol metrics (the ambient registry snapshot) to \
            $(docv) as JSON.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Pool.default_jobs ())
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the figure fan-outs (default: cores - 1, at least 1).  Results \
+           and metric exports are merged in task order, so output is byte-identical to \
+           $(b,--jobs 1).")
+
 let run_cmd =
   let doc = "Reproduce one or more of the paper's figures (default: all)." in
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"fig3..fig8, gamma")
   in
   let all = Arg.(value & flag & info [ "all" ] ~doc:"Run every experiment.") in
-  let run quick all ids metrics_out =
+  let run quick all ids metrics_out jobs =
     (* A fresh baseline, so the exported snapshot covers exactly this run. *)
     if metrics_out <> None then Obs.reset_ambient ();
-    (match (all, ids) with
-    | true, _ | false, [] -> Experiments.run_all ~quick ()
-    | false, ids -> List.iter (run_one ~quick) ids);
+    Pool.with_pool ~jobs (fun pool ->
+        match (all, ids) with
+        | true, _ | false, [] -> Experiments.run_all ~quick ~pool ()
+        | false, ids -> List.iter (run_one ~quick ~pool) ids);
     Option.iter
       (fun path ->
         let oc = open_out path in
@@ -77,7 +89,9 @@ let run_cmd =
         Printf.printf "metrics written to %s\n" path)
       metrics_out
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ quick_flag $ all $ ids $ metrics_out_arg)
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(const run $ quick_flag $ all $ ids $ metrics_out_arg $ jobs_arg)
 
 let demo_cmd =
   let doc = "Run one multi-record transaction with protocol tracing." in

@@ -1,0 +1,40 @@
+(** Parallel seed sweeps over a {!Pool.t} of domains.
+
+    A sweep is an embarrassingly parallel list of independent seeded runs.
+    {!run} farms the specs across worker domains and returns reports {e in
+    spec order} ([Pool.map] merges by task index), so every downstream
+    rendering — per-run report lines, the [--obs-out] document — is
+    byte-identical to a sequential [--jobs 1] sweep.  Each run is
+    single-threaded on its domain; all per-run ambient state (trace
+    context, trace/invariant sinks, ambient obs) is domain-local, so runs
+    cannot cross-contaminate. *)
+
+val specs :
+  ?workload:Runner.workload ->
+  ?txns:int ->
+  ?items:int ->
+  ?fast_quorum_override:int ->
+  ?capture_trace:bool ->
+  seeds:int ->
+  scenarios:Nemesis.scenario list ->
+  unit ->
+  Runner.spec list
+(** The standard sweep grid, scenario-major: for each scenario in order,
+    seeds [1..seeds]. *)
+
+val run_one : Runner.spec -> Runner.report
+(** One run; on a violation the same spec is re-run with trace capture so
+    the report carries the full protocol interleaving.  Deterministic — the
+    re-run reproduces the violation exactly. *)
+
+val run : ?jobs:int -> Runner.spec list -> Runner.report list
+(** [run ~jobs specs] maps {!run_one} over [specs] on a fresh pool of
+    [jobs] domains (default {!Mdcc_util.Pool.default_jobs}); reports come
+    back in spec order. *)
+
+val run_on : Mdcc_util.Pool.t -> Runner.spec list -> Runner.report list
+(** {!run} on an existing pool. *)
+
+val obs_doc : Runner.report list -> Mdcc_obs.Json.t
+(** The sweep's observability export:
+    [{"runs":[{seed,scenario,metrics,spans},..]}] in report order. *)

@@ -104,22 +104,31 @@ let set_hint t key = Hashtbl.replace t.hints key (now t +. hint_ttl)
 
 let route_classic t key = t.config.Config.mode = Config.Multi || hint_active t key
 
-(* Send per-destination, folding into Batch messages when configured. *)
+(* Send per-destination, folding into Batch messages when configured.
+   [send_all] sits on the propose/learn hot path, so the common shapes —
+   batching off, an empty or singleton list, or every payload bound for
+   one destination — skip the per-call Hashtbl and sorted iteration. *)
 let send_all t pairs =
   if not t.config.Config.batching then List.iter (fun (dst, p) -> send t dst p) pairs
   else begin
-    let by_dst = Hashtbl.create 8 in
-    List.iter
-      (fun (dst, p) ->
-        let existing = Option.value (Hashtbl.find_opt by_dst dst) ~default:[] in
-        Hashtbl.replace by_dst dst (p :: existing))
-      pairs;
-    Table.sorted_iter ~compare:Int.compare
-      (fun dst ps ->
-        match ps with
-        | [ p ] -> send t dst p
-        | ps -> send t dst (Messages.Batch (List.rev ps)))
-      by_dst
+    match pairs with
+    | [] -> ()
+    | [ (dst, p) ] -> send t dst p
+    | (dst0, p0) :: rest when List.for_all (fun (dst, _) -> dst = dst0) rest ->
+      send t dst0 (Messages.Batch (p0 :: List.map snd rest))
+    | pairs ->
+      let by_dst = Hashtbl.create 8 in
+      List.iter
+        (fun (dst, p) ->
+          let existing = Option.value (Hashtbl.find_opt by_dst dst) ~default:[] in
+          Hashtbl.replace by_dst dst (p :: existing))
+        pairs;
+      Table.sorted_iter ~compare:Int.compare
+        (fun dst ps ->
+          match ps with
+          | [ p ] -> send t dst p
+          | ps -> send t dst (Messages.Batch (List.rev ps)))
+        by_dst
   end
 
 let propose_payloads t (ks : key_state) =
@@ -138,7 +147,7 @@ let propose_payloads t (ks : key_state) =
   end
 
 let decide t (ts : txn_state) =
-  (match ts.timeout with Some h -> Engine.cancel h | None -> ());
+  (match ts.timeout with Some h -> Engine.cancel t.engine h | None -> ());
   Hashtbl.remove t.txns ts.txn.Txn.id;
   let rejected =
     Key.Map.fold

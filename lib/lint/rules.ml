@@ -34,6 +34,10 @@ let in_r3_scope rel = in_protocol_core rel || starts_with ~prefix:"lib/util/" re
 (* R1-simtime applies wherever timestamps feed replay / checking. *)
 let in_simtime_scope rel = in_protocol_core rel || starts_with ~prefix:"lib/chaos/" rel
 
+(* R4 covers the whole library tree: worker domains assume every module is
+   either pure or routes its ambient state through Domain.DLS. *)
+let in_r4_scope rel = starts_with ~prefix:"lib/" rel
+
 let module_name_of_rel rel =
   String.capitalize_ascii (Filename.remove_extension (Filename.basename rel))
 
@@ -278,6 +282,82 @@ let check (env : env) ~rel (str : structure) : Finding.t list =
           | Pext_rebind _ -> ())
         te.ptyext_constructors
   in
+
+  (* R4-ambient: mutable values bound at module top level.  A top-level ref
+     or table is process-global: worker domains spawned by Mdcc_util.Pool
+     share it, racing and breaking same-seed determinism.  The walk stops at
+     function and lazy boundaries — [let f () = ref 0] allocates per call,
+     and a [Domain.DLS.new_key (fun () -> ...)] default allocates per
+     domain, so both are fine. *)
+  let rec r4_mutable e =
+    match e.pexp_desc with
+    | Pexp_fun _ | Pexp_function _ | Pexp_lazy _ -> None
+    | Pexp_newtype (_, body) -> r4_mutable body
+    | Pexp_array _ -> Some (e.pexp_loc, "array literal")
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+      let comps = Longident.flatten txt in
+      match List.rev comps with
+      | "ref" :: _ -> Some (e.pexp_loc, "ref")
+      | "create" :: ("Hashtbl" | "Buffer" | "Queue" | "Stack" | "Tbl") :: _
+      | ("make" | "init") :: "Array" :: _
+      | ("create" | "make" | "of_string") :: "Bytes" :: _
+      | "make" :: "Atomic" :: _ ->
+        Some (e.pexp_loc, String.concat "." comps)
+      | _ -> List.find_map (fun (_, a) -> r4_mutable a) args)
+    | Pexp_let (_, vbs, body) -> (
+      match List.find_map (fun vb -> r4_mutable vb.pvb_expr) vbs with
+      | Some hit -> Some hit
+      | None -> r4_mutable body)
+    | Pexp_sequence (a, b) -> (
+      match r4_mutable a with Some hit -> Some hit | None -> r4_mutable b)
+    | Pexp_ifthenelse (c, t, e_opt) -> (
+      match r4_mutable c with
+      | Some hit -> Some hit
+      | None -> (
+        match r4_mutable t with
+        | Some hit -> Some hit
+        | None -> Option.bind e_opt r4_mutable))
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) -> (
+      match r4_mutable scrut with
+      | Some hit -> Some hit
+      | None -> List.find_map (fun c -> r4_mutable c.pc_rhs) cases)
+    | Pexp_constraint (body, _) | Pexp_coerce (body, _, _) | Pexp_open (_, body) ->
+      r4_mutable body
+    | Pexp_tuple es -> List.find_map r4_mutable es
+    | Pexp_construct (_, Some body) | Pexp_variant (_, Some body) -> r4_mutable body
+    | Pexp_record (fields, base) -> (
+      match List.find_map (fun (_, fe) -> r4_mutable fe) fields with
+      | Some hit -> Some hit
+      | None -> Option.bind base r4_mutable)
+    | _ -> None
+  in
+  let r4_check_bindings vbs =
+    List.iter
+      (fun vb ->
+        match r4_mutable vb.pvb_expr with
+        | Some (loc, what) ->
+          add ~loc "R4-ambient" what
+            "top-level mutable state is shared across worker domains; allocate per call or \
+             route it through Domain.DLS"
+        | None -> ())
+      vbs
+  in
+  let rec r4_structure items =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) -> r4_check_bindings vbs
+        | Pstr_module mb -> r4_module_expr mb.pmb_expr
+        | Pstr_recmodule mbs -> List.iter (fun mb -> r4_module_expr mb.pmb_expr) mbs
+        | _ -> ())
+      items
+  and r4_module_expr me =
+    match me.pmod_desc with
+    | Pmod_structure items -> r4_structure items
+    | Pmod_constraint (inner, _) -> r4_module_expr inner
+    | _ -> () (* functor bodies allocate per application *)
+  in
+  if in_r4_scope rel then r4_structure str;
 
   let super = Ast_iterator.default_iterator in
   let expr it e =

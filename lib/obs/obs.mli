@@ -1,6 +1,6 @@
 (** The observability handle threaded through the protocol: a metrics
     {!Registry.t} plus an optional per-transaction {!Span.t} store.  Every
-    protocol component takes [?obs] (defaulting to the process-wide
+    protocol component takes [?obs] (defaulting to the domain-local
     {!ambient} handle, whose span store is disabled so long-running drivers
     don't accumulate unbounded state); the chaos runner creates a fresh
     handle per run with spans enabled. *)
@@ -37,9 +37,17 @@ val metrics_json : t -> Json.t
 val spans_json : t -> Json.t
 (** [spans_json] is [List []] when spans are disabled. *)
 
+val merge : into:t -> t -> unit
+(** Fold [src]'s registry into [into]'s ({!Registry.merge}).  Span stores
+    are not merged — aggregate runs keep spans per-handle. *)
+
 val ambient : unit -> t
-(** The process-wide default handle (spans disabled).  Drivers that export
-    metrics — [experiments_cli --metrics-out], [bench] — snapshot this. *)
+(** The {e domain-local} default handle (spans disabled).  Drivers that
+    export metrics — [experiments_cli --metrics-out], [bench] — snapshot
+    this.  Each domain sees its own handle: parallel tasks that should feed
+    one export run against explicit fresh handles and {!merge} them in task
+    order on the calling domain. *)
 
 val reset_ambient : unit -> unit
-(** Clear the ambient registry (fresh baseline before a driver run). *)
+(** Clear the calling domain's ambient registry (fresh baseline before a
+    driver run). *)

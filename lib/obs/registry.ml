@@ -53,6 +53,18 @@ let hist_count t name =
   | Some r -> List.length !r
   | None -> 0
 
+let merge ~into src =
+  let sorted tbl = Table.sorted_bindings ~compare:String.compare tbl in
+  List.iter (fun (name, r) -> incr into ~by:!r name) (sorted src.counters);
+  List.iter (fun (name, r) -> set_gauge into name !r) (sorted src.gauges);
+  List.iter
+    (fun (name, r) ->
+      (* Samples were prepended, so [List.rev] restores observation order;
+         appending them keeps the merged histogram's sample list equal to
+         what a single sequential run would have accumulated. *)
+      List.iter (fun sample -> observe into name sample) (List.rev !r))
+    (sorted src.hists)
+
 let clear t =
   Hashtbl.reset t.counters;
   Hashtbl.reset t.gauges;

@@ -27,6 +27,13 @@ val gauge : t -> string -> int
 val hist_count : t -> string -> int
 (** Number of samples observed into a histogram. *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds [src] into [into]: counters add, gauges take
+    [src]'s value (last write wins, as in a sequential run), histogram
+    samples append in observation order.  Iteration is in sorted name
+    order, so merging the same sources in the same order is
+    deterministic.  [src] is unchanged. *)
+
 val clear : t -> unit
 
 val to_json : t -> Json.t

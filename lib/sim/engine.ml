@@ -24,7 +24,7 @@ let schedule_at t ~at f =
 
 let schedule t ~after f = schedule_at t ~at:(t.now +. Float.max 0.0 after) f
 
-let cancel = Event_queue.cancel
+let cancel t h = Event_queue.cancel t.queue h
 
 let pending t = Event_queue.size t.queue
 

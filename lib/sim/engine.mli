@@ -34,8 +34,10 @@ val schedule : t -> after:float -> (unit -> unit) -> handle
 val schedule_at : t -> at:float -> (unit -> unit) -> handle
 (** Absolute-time variant of {!schedule}. *)
 
-val cancel : handle -> unit
-(** Cancel a pending event; a no-op if it already fired. *)
+val cancel : t -> handle -> unit
+(** Cancel a pending event; a no-op if it already fired or was already
+    cancelled.  Cancel-heavy runs stay compact: the queue drops dead
+    entries once they outnumber live ones. *)
 
 val pending : t -> int
 (** Number of events still queued (upper bound; includes cancelled ones). *)

@@ -5,11 +5,18 @@ type event = {
   run : unit -> unit;
 }
 
-type t = { mutable heap : event array; mutable len : int }
+type t = {
+  mutable heap : event array;
+  mutable len : int;
+  mutable dead : int;  (* cancelled entries still sitting in the heap *)
+}
 
 let dummy = { at = 0.0; seq = 0; cancelled = true; run = ignore }
 
-let create () = { heap = Array.make 64 dummy; len = 0 }
+(* Below this size, cancelled entries are cheap enough to leave in place. *)
+let compact_floor = 64
+
+let create () = { heap = Array.make compact_floor dummy; len = 0; dead = 0 }
 
 let size t = t.len
 
@@ -45,15 +52,47 @@ let rec sift_down t i =
     sift_down t !smallest
   end
 
+(* Drop every cancelled entry and re-heapify the survivors.  Heap order is
+   a function only of the [(at, seq)] total order over live entries, so pop
+   order — and therefore the simulation — is unaffected. *)
+let compact t =
+  let live = ref 0 in
+  for i = 0 to t.len - 1 do
+    let ev = t.heap.(i) in
+    if not ev.cancelled then begin
+      t.heap.(!live) <- ev;
+      incr live
+    end
+  done;
+  Array.fill t.heap !live (t.len - !live) dummy;
+  t.len <- !live;
+  t.dead <- 0;
+  for i = (t.len / 2) - 1 downto 0 do
+    sift_down t i
+  done
+
 let push t ~at ~seq run =
-  if t.len = Array.length t.heap then grow t;
+  if t.len = Array.length t.heap then begin
+    (* Reclaim dead entries before paying for a bigger array. *)
+    if t.dead * 2 > t.len then compact t;
+    if t.len = Array.length t.heap then grow t
+  end;
   let ev = { at; seq; cancelled = false; run } in
   t.heap.(t.len) <- ev;
   t.len <- t.len + 1;
   sift_up t (t.len - 1);
   ev
 
-let cancel ev = ev.cancelled <- true
+(* Cancellation is lazy (the entry stays until popped), but a cancel-heavy
+   run — every committed transaction cancels its timeout — would otherwise
+   bloat the heap with dead entries.  Compact once they outnumber the live
+   ones, so heap size stays within a constant factor of the live count. *)
+let cancel t ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    t.dead <- t.dead + 1;
+    if t.len >= compact_floor && t.dead * 2 > t.len then compact t
+  end
 
 let pop_any t =
   if t.len = 0 then None
@@ -63,6 +102,7 @@ let pop_any t =
     t.heap.(0) <- t.heap.(t.len);
     t.heap.(t.len) <- dummy;
     if t.len > 0 then sift_down t 0;
+    if ev.cancelled && t.dead > 0 then t.dead <- t.dead - 1;
     Some ev
   end
 

@@ -17,15 +17,20 @@ type t
 val create : unit -> t
 
 val size : t -> int
-(** Live entries, including not-yet-popped cancelled events. *)
+(** Entries in the heap, including not-yet-discarded cancelled events.
+    Cancelled entries never exceed half the heap (plus a small constant
+    floor): {!cancel} compacts once they outnumber live entries. *)
 
 val is_empty : t -> bool
 
 val push : t -> at:float -> seq:int -> (unit -> unit) -> event
 (** Insert an event; the returned handle can be cancelled. *)
 
-val cancel : event -> unit
-(** Mark the event dead; it is skipped (and dropped) when popped. *)
+val cancel : t -> event -> unit
+(** Mark the event dead; it is skipped (and dropped) when popped.  When
+    cancelled entries exceed half of {!size} the heap is compacted in
+    place, so cancel-heavy runs stay bounded by the live event count.
+    Idempotent. *)
 
 val pop : t -> event option
 (** Remove and return the earliest non-cancelled event, if any. *)

@@ -17,16 +17,19 @@ type meter = {
 (* The trace context is the causal envelope: a transaction id set around a
    send is captured into the delivery closure and restored around the
    receiving handler, so any message the handler sends in turn inherits it.
-   The simulation is single-threaded, which makes this implicit propagation
-   exact — no payload constructor needs to change to carry the id. *)
-let current_ctx : string option ref = ref None
+   Each simulation is single-threaded, which makes this implicit propagation
+   exact — no payload constructor needs to change to carry the id.  The
+   context is domain-local: parallel sweeps each see their own cell, so a
+   worker domain cannot leak a transaction id into a sibling's run. *)
+let current_ctx : string option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
-let trace_context () = !current_ctx
+let trace_context () = Domain.DLS.get current_ctx
 
 let with_trace_context ctx f =
-  let saved = !current_ctx in
-  current_ctx := ctx;
-  Fun.protect ~finally:(fun () -> current_ctx := saved) f
+  let saved = Domain.DLS.get current_ctx in
+  Domain.DLS.set current_ctx ctx;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current_ctx saved) f
 
 type t = {
   engine : Engine.t;
@@ -85,15 +88,23 @@ let blocked t ~src ~dst = t.failed.(src) || t.failed.(dst) || link_cut t ~src ~d
 
 let send t ~src ~dst payload =
   t.stats.sent <- t.stats.sent + 1;
-  (match t.meter with
-  | Some m -> m.m_on_send ~src ~dst ~bytes:(m.m_size payload)
-  | None -> ());
+  (* Size the payload once at send time and carry the byte count into the
+     delivery closure: [m_size] walks the whole message, and computing it
+     again at delivery doubled the metering cost of every message. *)
+  let sized_bytes =
+    match t.meter with
+    | Some m ->
+      let bytes = m.m_size payload in
+      m.m_on_send ~src ~dst ~bytes;
+      bytes
+    | None -> 0
+  in
   if blocked t ~src ~dst then t.stats.dropped <- t.stats.dropped + 1
   else if t.drop_probability > 0.0 && Rng.bernoulli t.rng t.drop_probability then
     t.stats.dropped <- t.stats.dropped + 1
   else begin
     let delay = latency_sample t ~src ~dst in
-    let ctx = !current_ctx in
+    let ctx = Domain.DLS.get current_ctx in
     ignore
       (Engine.schedule t.engine ~after:delay (fun () ->
            (* Failures and link cuts that happened while the message was in
@@ -105,7 +116,13 @@ let send t ~src ~dst payload =
              | Some handler ->
                t.stats.delivered <- t.stats.delivered + 1;
                (match t.meter with
-               | Some m -> m.m_on_deliver ~src ~dst ~bytes:(m.m_size payload)
+               | Some m ->
+                 (* A meter installed after the send was not sized; fall
+                    back to sizing at delivery so its counters still move. *)
+                 let bytes =
+                   if sized_bytes > 0 then sized_bytes else m.m_size payload
+                 in
+                 m.m_on_deliver ~src ~dst ~bytes
                | None -> ());
                with_trace_context ctx (fun () -> handler ~src payload)
            end))

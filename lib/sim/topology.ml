@@ -16,8 +16,10 @@ let make ~dc_names ~rtt ?(intra_rtt = 1.0) ~nodes_per_dc () =
   { dc_names; node_dc; rtt; intra_rtt }
 
 (* Approximate 2012 inter-region round-trip times in milliseconds between the
-   five EC2 regions the paper deployed on. *)
-let ec2_rtt =
+   five EC2 regions the paper deployed on.  Allocated per call rather than
+   bound at top level (R4): topologies built on different worker domains
+   must never share array storage. *)
+let ec2_rtt () =
   [|
     (*                CA     VA     IE     SG     TK *)
     (* us-west *) [| 0.0; 80.0; 170.0; 230.0; 120.0 |];
@@ -27,10 +29,10 @@ let ec2_rtt =
     (* ap-tk   *) [| 120.0; 170.0; 270.0; 95.0; 0.0 |];
   |]
 
-let ec2_names = [| "us-west"; "us-east"; "eu-ireland"; "ap-singapore"; "ap-tokyo" |]
+let ec2_names () = [| "us-west"; "us-east"; "eu-ireland"; "ap-singapore"; "ap-tokyo" |]
 
 let ec2_five ?(nodes_per_dc = 1) () =
-  make ~dc_names:ec2_names ~rtt:ec2_rtt ~nodes_per_dc ()
+  make ~dc_names:(ec2_names ()) ~rtt:(ec2_rtt ()) ~nodes_per_dc ()
 
 let us_west = 0
 let us_east = 1

@@ -1,36 +1,48 @@
 type event = { at : float; source : string; body : string }
 
-let flag = ref false
-
-let enable () = flag := true
-
-let disable () = flag := false
-
-let enabled () = !flag
-
 let render ev = Printf.sprintf "[%10.2f] %-12s %s" ev.at ev.source ev.body
 
 let stdout_sink line = print_endline line
 
-let sink = ref stdout_sink
+(* Trace state is domain-local: a chaos worker re-running a violating seed
+   with tracing enabled must not turn tracing on (or redirect the sink) for
+   runs executing concurrently on sibling domains.  Fresh domains start
+   from the same defaults a fresh process would. *)
+type state = {
+  mutable flag : bool;
+  mutable sink : string -> unit;
+  mutable event_sink : (event -> unit) option;
+}
 
-let set_sink f = sink := f
+let key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { flag = false; sink = stdout_sink; event_sink = None })
 
-let reset_sink () = sink := stdout_sink
+let state () = Domain.DLS.get key
 
-let event_sink : (event -> unit) option ref = ref None
+let enable () = (state ()).flag <- true
 
-let set_event_sink f = event_sink := Some f
+let disable () = (state ()).flag <- false
 
-let reset_event_sink () = event_sink := None
+let enabled () = (state ()).flag
+
+let set_sink f = (state ()).sink <- f
+
+let reset_sink () = (state ()).sink <- stdout_sink
+
+let set_event_sink f = (state ()).event_sink <- Some f
+
+let reset_event_sink () = (state ()).event_sink <- None
 
 let record ev =
-  (match !event_sink with Some f -> f ev | None -> ());
-  if !flag then !sink (render ev)
+  let s = state () in
+  (match s.event_sink with Some f -> f ev | None -> ());
+  if s.flag then s.sink (render ev)
 
 let emit engine ~tag fmt =
   Printf.ksprintf
     (fun msg ->
-      if !flag || !event_sink <> None then
+      let s = state () in
+      if s.flag || s.event_sink <> None then
         record { at = Engine.now engine; source = tag; body = msg })
     fmt

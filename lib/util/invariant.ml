@@ -14,14 +14,16 @@ let () =
 
 let default_sink (_ : t) = ()
 
-let sink = ref default_sink
+(* The sink is domain-local so parallel chaos runs can each record
+   violations into their own history without cross-talk. *)
+let sink : (t -> unit) Domain.DLS.key = Domain.DLS.new_key (fun () -> default_sink)
 
-let set_sink f = sink := f
+let set_sink f = Domain.DLS.set sink f
 
-let reset_sink () = sink := default_sink
+let reset_sink () = Domain.DLS.set sink default_sink
 
 let fire v =
-  !sink v;
+  (Domain.DLS.get sink) v;
   raise (Violation v)
 
 let violate ?node ~context fmt =

@@ -1,0 +1,43 @@
+(** Work-stealing worker pool on OCaml 5 domains.
+
+    A pool of [jobs] domains (the caller participates, so [jobs - 1] are
+    spawned) drains indexed task batches by atomic work stealing: every
+    participant claims the next unclaimed task index until none remain.
+    Results are merged {e in task-index order}, so a parallel {!map} returns
+    byte-for-byte what the sequential loop would — the repository's
+    determinism contract holds under [--jobs N].
+
+    Each seeded simulation is an independent single-threaded run; domain
+    safety only requires that runs not share ambient state.  All per-run
+    ambient state in this repo ([Network] trace context, [Trace] sinks,
+    [Invariant] sink, the [Obs] ambient handle) lives in [Domain.DLS], so a
+    fresh worker domain starts from the same defaults a fresh process
+    would.  Lint rule R4 keeps it that way. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)]: leave one core for
+    the rest of the process; never less than 1. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn a persistent pool.  [jobs] defaults to {!default_jobs}; [jobs = 1]
+    spawns no domains and runs every batch inline.  Violates on [jobs < 1]. *)
+
+val jobs : t -> int
+
+val map : t -> int -> (int -> 'a) -> 'a array
+(** [map t n f] computes [|f 0; ...; f (n-1)|], stealing indices across the
+    pool.  If any task raises, the exception of the {e lowest} failing index
+    is re-raised (with its backtrace) after the batch drains — the same
+    exception a sequential loop would have raised first.  Tasks must not
+    share mutable state; each [f i] runs on an arbitrary domain. *)
+
+val map_list : t -> 'a list -> f:('a -> 'b) -> 'b list
+(** {!map} over a list, preserving order. *)
+
+val shutdown : t -> unit
+(** Park and join the worker domains.  The pool is unusable afterwards. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, and always [shutdown] (even on exceptions). *)

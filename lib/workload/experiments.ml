@@ -1,6 +1,8 @@
 module Stats = Mdcc_util.Stats
 module Table = Mdcc_util.Table
 module Rng = Mdcc_util.Rng
+module Pool = Mdcc_util.Pool
+module Obs = Mdcc_obs.Obs
 module Topology = Mdcc_sim.Topology
 
 type latency_row = {
@@ -60,6 +62,39 @@ let even_spread ~num_dcs clients =
 
 let progress fmt = Printf.eprintf (fmt ^^ "\n%!")
 
+(* Run [f ~obs] once per list element, each against a fresh obs handle,
+   across the pool (sequential when [pool] is absent).  Afterwards every
+   handle is folded into the calling domain's ambient obs {e in task
+   order}, so the ambient metrics export ([--metrics-out],
+   [bench_metrics.json]) is identical whether the tasks ran on one domain
+   or eight.  Tasks must not print; drivers print from the merged results
+   after the batch. *)
+let par_map ?pool xs ~f =
+  let tasks = List.map (fun x -> (x, Obs.create ())) xs in
+  let run (x, obs) = f ~obs x in
+  let results =
+    match pool with
+    | Some pool -> Pool.map_list pool tasks ~f:run
+    | None -> List.map run tasks
+  in
+  let ambient = Obs.ambient () in
+  List.iter (fun (_, obs) -> Obs.merge ~into:ambient obs) tasks;
+  results
+
+(* Split [xs] into consecutive groups of [n] (the last may be shorter) —
+   used to regroup a flattened (outer x inner) task list by outer key. *)
+let rec chunks n = function
+  | [] -> []
+  | xs ->
+    let rec take k acc rest =
+      match rest with
+      | _ when k = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: tl -> take (k - 1) (x :: acc) tl
+    in
+    let group, rest = take n [] xs in
+    group :: chunks n rest
+
 let row_of_metrics proto metrics =
   {
     proto;
@@ -110,14 +145,15 @@ let print_latency_table ~title ~paper_medians rows =
 (* Figure 3: TPC-W response-time CDF                                    *)
 (* ------------------------------------------------------------------ *)
 
-let run_tpcw protocol scale ~all_in_dc =
+let run_tpcw protocol scale ~all_in_dc ~obs =
   let rng = Rng.create ((scale.seed * 17) + 3) in
   let p =
     { Tpcw.default with items = scale.items; commutative = Setup.commutative protocol }
   in
   let rows = Tpcw.rows p ~rng in
   let harness =
-    Setup.make protocol ~seed:scale.seed ~schema:Tpcw.schema ~partitions:scale.partitions ~rows ()
+    Setup.make protocol ~seed:scale.seed ~schema:Tpcw.schema ~partitions:scale.partitions ~obs
+      ~rows ()
   in
   let clients_per_dc =
     match all_in_dc with
@@ -131,20 +167,19 @@ let fig3_protocols = [ Setup.Qw 3; Setup.Qw 4; Setup.Mdcc; Setup.Two_pc; Setup.M
 let fig3_paper_medians =
   [ ("QW-3", 188.0); ("QW-4", 260.0); ("MDCC", 278.0); ("2PC", 668.0); ("Megastore*", 17_810.0) ]
 
-let fig3 ?(quick = false) () =
+(* The paper plays in Megastore*'s favour: its clients (and master) all
+   sit in US-West; everyone else gets geo-distributed clients. *)
+let tpcw_all_in_dc = function
+  | Setup.Megastore -> Some Topology.us_west
+  | Setup.Mdcc | Setup.Fast | Setup.Multi | Setup.Qw _ | Setup.Two_pc -> None
+
+let fig3 ?(quick = false) ?pool () =
   let scale = scale_of quick in
+  progress "[fig3] running %d protocols..." (List.length fig3_protocols);
   let rows =
-    List.map
-      (fun protocol ->
-        (* The paper plays in Megastore*'s favour: its clients (and master)
-           all sit in US-West; everyone else gets geo-distributed clients. *)
-        let all_in_dc =
-          match protocol with Setup.Megastore -> Some Topology.us_west | _ -> None
-        in
-        progress "[fig3] running %s..." (Setup.name protocol);
-        let metrics = run_tpcw protocol scale ~all_in_dc in
+    par_map ?pool fig3_protocols ~f:(fun ~obs protocol ->
+        let metrics = run_tpcw protocol scale ~all_in_dc:(tpcw_all_in_dc protocol) ~obs in
         row_of_metrics (Setup.name protocol) metrics)
-      fig3_protocols
   in
   print_latency_table ~title:"Figure 3: TPC-W write transaction response times (CDF)"
     ~paper_medians:fig3_paper_medians rows;
@@ -154,28 +189,31 @@ let fig3 ?(quick = false) () =
 (* Figure 4: TPC-W throughput scale-out                                 *)
 (* ------------------------------------------------------------------ *)
 
-let fig4 ?(quick = false) () =
+let fig4 ?(quick = false) ?pool () =
   let base = scale_of quick in
   let points =
     if quick then [ (10, 400, 1); (20, 800, 2) ]
     else [ (50, 5_000, 2); (100, 10_000, 4); (200, 20_000, 8) ]
   in
-  let results =
-    List.map
-      (fun protocol ->
-        let series =
-          List.map
-            (fun (clients, items, partitions) ->
-              let scale = { base with clients; items; partitions } in
-              let all_in_dc =
-                match protocol with Setup.Megastore -> Some Topology.us_west | _ -> None
-              in
-              let metrics = run_tpcw protocol scale ~all_in_dc in
-              (clients, Metrics.throughput metrics ~duration:scale.duration))
-            points
-        in
-        (Setup.name protocol, series))
+  (* Flatten protocol x scale-point into one task list so the pool can
+     schedule every simulation independently, then regroup per protocol. *)
+  let tasks =
+    List.concat_map
+      (fun protocol -> List.map (fun pt -> (protocol, pt)) points)
       fig3_protocols
+  in
+  progress "[fig4] running %d protocol/scale points..." (List.length tasks);
+  let flat =
+    par_map ?pool tasks ~f:(fun ~obs (protocol, (clients, items, partitions)) ->
+        let scale = { base with clients; items; partitions } in
+        let metrics = run_tpcw protocol scale ~all_in_dc:(tpcw_all_in_dc protocol) ~obs in
+        (clients, Metrics.throughput metrics ~duration:scale.duration))
+  in
+  let results =
+    List.map2
+      (fun protocol series -> (Setup.name protocol, series))
+      fig3_protocols
+      (chunks (List.length points) flat)
   in
   Printf.printf "\n== Figure 4: TPC-W committed transactions per second (scale-out) ==\n";
   let headers =
@@ -193,12 +231,12 @@ let fig4 ?(quick = false) () =
 (* Figure 5: micro-benchmark response-time CDF                          *)
 (* ------------------------------------------------------------------ *)
 
-let run_micro protocol scale ~params ~master_dc_of ~gamma ~clients_per_dc ?events () =
+let run_micro protocol scale ~params ~master_dc_of ~gamma ~clients_per_dc ~obs ?events () =
   let rng = Rng.create ((scale.seed * 23) + 5) in
   let rows = Micro.rows params ~rng in
   let harness =
     Setup.make protocol ~seed:scale.seed ~schema:Micro.schema ~partitions:scale.partitions
-      ~gamma ?master_dc_of ~rows ()
+      ~gamma ?master_dc_of ~obs ~rows ()
   in
   Runner.run ?events harness (Micro.generator params) (spec_of scale ~clients_per_dc)
 
@@ -214,18 +252,17 @@ let micro_params protocol scale =
     commutative = Setup.commutative protocol;
   }
 
-let fig5 ?(quick = false) () =
+let fig5 ?(quick = false) ?pool () =
   let scale = scale_of quick in
+  progress "[fig5] running %d protocols..." (List.length fig5_protocols);
   let rows =
-    List.map
-      (fun protocol ->
+    par_map ?pool fig5_protocols ~f:(fun ~obs protocol ->
         let params = micro_params protocol scale in
         let metrics =
           run_micro protocol scale ~params ~master_dc_of:None ~gamma:100
-            ~clients_per_dc:(even_spread ~num_dcs:5 scale.clients) ()
+            ~clients_per_dc:(even_spread ~num_dcs:5 scale.clients) ~obs ()
         in
         row_of_metrics (Setup.name protocol) metrics)
-      fig5_protocols
   in
   print_latency_table ~title:"Figure 5: micro-benchmark response times (CDF)"
     ~paper_medians:fig5_paper_medians rows;
@@ -237,31 +274,32 @@ let fig5 ?(quick = false) () =
 
 let fig6_protocols = [ Setup.Two_pc; Setup.Multi; Setup.Fast; Setup.Mdcc ]
 
-let fig6 ?(quick = false) () =
+let fig6 ?(quick = false) ?pool () =
   let scale = scale_of quick in
   let hotspots = if quick then [ 0.02; 0.90 ] else [ 0.02; 0.05; 0.10; 0.20; 0.50; 0.90 ] in
-  let results =
-    List.map
-      (fun hotspot ->
-        let per_proto =
-          List.map
-            (fun protocol ->
-              (* Finite stock matters here: with a small hot spot the hot
-                 items approach the demarcation limit, which is what makes
-                 the commutative path collide and degrade at 2% in the
-                 paper. *)
-              let params =
-                { (micro_params protocol scale) with Micro.hotspot = Some (hotspot, 0.9) }
-              in
-              let metrics =
-                run_micro protocol scale ~params ~master_dc_of:None ~gamma:100
-                  ~clients_per_dc:(even_spread ~num_dcs:5 scale.clients) ()
-              in
-              (Setup.name protocol, Metrics.commit_count metrics, Metrics.abort_count metrics))
-            fig6_protocols
+  let tasks =
+    List.concat_map (fun h -> List.map (fun p -> (h, p)) fig6_protocols) hotspots
+  in
+  progress "[fig6] running %d hotspot/protocol points..." (List.length tasks);
+  let flat =
+    par_map ?pool tasks ~f:(fun ~obs (hotspot, protocol) ->
+        (* Finite stock matters here: with a small hot spot the hot items
+           approach the demarcation limit, which is what makes the
+           commutative path collide and degrade at 2% in the paper. *)
+        let params =
+          { (micro_params protocol scale) with Micro.hotspot = Some (hotspot, 0.9) }
         in
-        (hotspot, per_proto))
+        let metrics =
+          run_micro protocol scale ~params ~master_dc_of:None ~gamma:100
+            ~clients_per_dc:(even_spread ~num_dcs:5 scale.clients) ~obs ()
+        in
+        (Setup.name protocol, Metrics.commit_count metrics, Metrics.abort_count metrics))
+  in
+  let results =
+    List.map2
+      (fun h per_proto -> (h, per_proto))
       hotspots
+      (chunks (List.length fig6_protocols) flat)
   in
   Printf.printf "\n== Figure 6: commits/aborts for varying hot-spot sizes ==\n";
   Table.print
@@ -281,35 +319,39 @@ let fig6 ?(quick = false) () =
 (* Figure 7: response times vs. master locality                         *)
 (* ------------------------------------------------------------------ *)
 
-let fig7 ?(quick = false) () =
+let fig7_protocols = [ Setup.Multi; Setup.Mdcc ]
+
+let fig7 ?(quick = false) ?pool () =
   let scale = scale_of quick in
   let localities = if quick then [ 1.0; 0.2 ] else [ 1.0; 0.8; 0.6; 0.4; 0.2 ] in
   let master_dc_of = Some (Micro.master_dc_of ~num_dcs:5) in
-  let results =
-    List.map
-      (fun locality ->
-        let per_proto =
-          List.map
-            (fun protocol ->
-              let params =
-                { (micro_params protocol scale) with Micro.locality = Some locality }
-              in
-              let metrics =
-                run_micro protocol scale ~params ~master_dc_of ~gamma:100
-                  ~clients_per_dc:(even_spread ~num_dcs:5 scale.clients) ()
-              in
-              let latencies = Metrics.commit_latencies metrics in
-              let box =
-                match Stats.boxplot latencies with
-                | Some b -> b
-                | None ->
-                  { Stats.whisker_lo = 0.; q1 = 0.; median = 0.; q3 = 0.; whisker_hi = 0.; outliers = 0 }
-              in
-              (Setup.name protocol, box))
-            [ Setup.Multi; Setup.Mdcc ]
+  let tasks =
+    List.concat_map (fun l -> List.map (fun p -> (l, p)) fig7_protocols) localities
+  in
+  progress "[fig7] running %d locality/protocol points..." (List.length tasks);
+  let flat =
+    par_map ?pool tasks ~f:(fun ~obs (locality, protocol) ->
+        let params =
+          { (micro_params protocol scale) with Micro.locality = Some locality }
         in
-        (locality, per_proto))
+        let metrics =
+          run_micro protocol scale ~params ~master_dc_of ~gamma:100
+            ~clients_per_dc:(even_spread ~num_dcs:5 scale.clients) ~obs ()
+        in
+        let latencies = Metrics.commit_latencies metrics in
+        let box =
+          match Stats.boxplot latencies with
+          | Some b -> b
+          | None ->
+            { Stats.whisker_lo = 0.; q1 = 0.; median = 0.; q3 = 0.; whisker_hi = 0.; outliers = 0 }
+        in
+        (Setup.name protocol, box))
+  in
+  let results =
+    List.map2
+      (fun l per_proto -> (l, per_proto))
       localities
+      (chunks (List.length fig7_protocols) flat)
   in
   Printf.printf "\n== Figure 7: response times for varying master locality (boxplots) ==\n";
   Table.print
@@ -336,22 +378,36 @@ let fig7 ?(quick = false) () =
 (* Figure 8: data-center failure                                        *)
 (* ------------------------------------------------------------------ *)
 
-let fig8 ?(quick = false) () =
+let fig8 ?(quick = false) ?pool () =
   let scale = scale_of quick in
   (* All clients in US-West; kill US-East (the closest DC) mid-run. *)
   let total = if quick then 30_000.0 else 240_000.0 in
   let fail_at = total /. 2.0 in
   let scale = { scale with warmup = 0.0; duration = total } in
-  let params = micro_params Setup.Mdcc scale in
-  let rng = Rng.create ((scale.seed * 23) + 5) in
-  let rows = Micro.rows params ~rng in
-  let harness =
-    Setup.make Setup.Mdcc ~seed:scale.seed ~schema:Micro.schema ~partitions:scale.partitions
-      ~rows ()
+  progress "[fig8] running the outage timeline...";
+  (* One simulation; par_map still threads the fresh-obs-and-merge path so
+     the ambient export matches the other figures' accounting. *)
+  let metrics =
+    match
+      par_map ?pool [ () ] ~f:(fun ~obs () ->
+          let params = micro_params Setup.Mdcc scale in
+          let rng = Rng.create ((scale.seed * 23) + 5) in
+          let rows = Micro.rows params ~rng in
+          let harness =
+            Setup.make Setup.Mdcc ~seed:scale.seed ~schema:Micro.schema
+              ~partitions:scale.partitions ~obs ~rows ()
+          in
+          let clients_per_dc =
+            Array.init 5 (fun d -> if d = Topology.us_west then scale.clients else 0)
+          in
+          let events =
+            [ (fail_at, fun () -> harness.Mdcc_protocols.Harness.fail_dc Topology.us_east) ]
+          in
+          Runner.run ~events harness (Micro.generator params) (spec_of scale ~clients_per_dc))
+    with
+    | [ m ] -> m
+    | _ -> Mdcc_util.Invariant.violate ~context:"Experiments.fig8" "single task returned none"
   in
-  let clients_per_dc = Array.init 5 (fun d -> if d = Topology.us_west then scale.clients else 0) in
-  let events = [ (fail_at, fun () -> harness.Mdcc_protocols.Harness.fail_dc Topology.us_east) ] in
-  let metrics = Runner.run ~events harness (Micro.generator params) (spec_of scale ~clients_per_dc) in
   let series = Metrics.latency_series metrics in
   let before = List.filter_map (fun (t, l) -> if t < fail_at then Some l else None) series in
   let skip = 2_000.0 in
@@ -380,12 +436,12 @@ let fig8 ?(quick = false) () =
 (* Ablation: fast-policy γ                                              *)
 (* ------------------------------------------------------------------ *)
 
-let ablation_gamma ?(quick = false) () =
+let ablation_gamma ?(quick = false) ?pool () =
   let scale = scale_of quick in
   let gammas = if quick then [ 0; 100 ] else [ 0; 10; 100; 1000 ] in
+  progress "[ablation-gamma] running %d gamma settings..." (List.length gammas);
   let results =
-    List.map
-      (fun gamma ->
+    par_map ?pool gammas ~f:(fun ~obs gamma ->
         let params =
           { (micro_params Setup.Mdcc scale) with
             Micro.hotspot = Some (0.05, 0.9);
@@ -393,13 +449,12 @@ let ablation_gamma ?(quick = false) () =
         in
         let metrics =
           run_micro Setup.Mdcc scale ~params ~master_dc_of:None ~gamma
-            ~clients_per_dc:(even_spread ~num_dcs:5 scale.clients) ()
+            ~clients_per_dc:(even_spread ~num_dcs:5 scale.clients) ~obs ()
         in
         let median =
           match Metrics.summary metrics with Some s -> s.Stats.p50 | None -> 0.0
         in
         (gamma, (Metrics.commit_count metrics, Metrics.abort_count metrics, median)))
-      gammas
   in
   Printf.printf "\n== Ablation: fast-policy window γ (contended, non-commutative) ==\n";
   Table.print
@@ -413,11 +468,11 @@ let ablation_gamma ?(quick = false) () =
 (* Ablation: replication factor (quorum sizes)                          *)
 (* ------------------------------------------------------------------ *)
 
-let ablation_replication ?(quick = false) () =
+let ablation_replication ?(quick = false) ?pool () =
   let scale = scale_of quick in
+  progress "[ablation-replication] running 2 replication factors...";
   let results =
-    List.map
-      (fun dcs ->
+    par_map ?pool [ 3; 5 ] ~f:(fun ~obs dcs ->
         let params = { (micro_params Setup.Mdcc scale) with Micro.num_dcs = dcs } in
         let rng = Rng.create ((scale.seed * 23) + 5) in
         let rows = Micro.rows params ~rng in
@@ -433,7 +488,7 @@ let ablation_replication ?(quick = false) () =
         in
         let cluster =
           Mdcc_core.Cluster.create ~engine ~topology ~partitions:scale.partitions ~config
-            ~schema:Micro.schema ()
+            ~schema:Micro.schema ~ctx:(Mdcc_core.Ctx.make ~obs ()) ()
         in
         Mdcc_core.Cluster.load cluster rows;
         Mdcc_core.Cluster.start_maintenance cluster;
@@ -444,7 +499,6 @@ let ablation_replication ?(quick = false) () =
         in
         let median = match Metrics.summary metrics with Some s -> s.Stats.p50 | None -> 0.0 in
         (dcs, Metrics.commit_count metrics, median))
-      [ 3; 5 ]
   in
   Printf.printf "\n== Ablation: replication factor (fast quorum |Q_F|) ==\n";
   Table.print
@@ -467,11 +521,11 @@ let ablation_replication ?(quick = false) () =
 (* Ablation: message batching                                           *)
 (* ------------------------------------------------------------------ *)
 
-let ablation_batching ?(quick = false) () =
+let ablation_batching ?(quick = false) ?pool () =
   let scale = scale_of quick in
+  progress "[ablation-batching] running batching on/off...";
   let results =
-    List.map
-      (fun batching ->
+    par_map ?pool [ false; true ] ~f:(fun ~obs batching ->
         let params = micro_params Setup.Mdcc scale in
         let rng = Rng.create ((scale.seed * 23) + 5) in
         let rows = Micro.rows params ~rng in
@@ -481,7 +535,7 @@ let ablation_batching ?(quick = false) () =
         in
         let cluster =
           Mdcc_core.Cluster.create ~engine ~partitions:scale.partitions ~config
-            ~schema:Micro.schema ()
+            ~schema:Micro.schema ~ctx:(Mdcc_core.Ctx.make ~obs ()) ()
         in
         Mdcc_core.Cluster.load cluster rows;
         Mdcc_core.Cluster.start_maintenance cluster;
@@ -494,7 +548,6 @@ let ablation_batching ?(quick = false) () =
         let commits = Metrics.commit_count metrics in
         let median = match Metrics.summary metrics with Some s -> s.Stats.p50 | None -> 0.0 in
         (batching, sent, commits, median))
-      [ false; true ]
   in
   Printf.printf "\n== Ablation: message batching (micro, MDCC) ==\n";
   Table.print
@@ -511,13 +564,13 @@ let ablation_batching ?(quick = false) () =
        results);
   results
 
-let run_all ?(quick = false) () =
-  ignore (fig3 ~quick ());
-  ignore (fig4 ~quick ());
-  ignore (fig5 ~quick ());
-  ignore (fig6 ~quick ());
-  ignore (fig7 ~quick ());
-  ignore (fig8 ~quick ());
-  ignore (ablation_gamma ~quick ());
-  ignore (ablation_batching ~quick ());
-  ignore (ablation_replication ~quick ())
+let run_all ?(quick = false) ?pool () =
+  ignore (fig3 ~quick ?pool ());
+  ignore (fig4 ~quick ?pool ());
+  ignore (fig5 ~quick ?pool ());
+  ignore (fig6 ~quick ?pool ());
+  ignore (fig7 ~quick ?pool ());
+  ignore (fig8 ~quick ?pool ());
+  ignore (ablation_gamma ~quick ?pool ());
+  ignore (ablation_batching ~quick ?pool ());
+  ignore (ablation_replication ~quick ?pool ())

@@ -6,6 +6,13 @@
     checks.  [quick:true] shrinks clients/duration for use in tests; the
     default scale is the benchmark scale recorded in EXPERIMENTS.md.
 
+    Every driver takes an optional worker [pool] ({!Mdcc_util.Pool.t}) and
+    fans its independent simulations out across it.  Each simulation gets a
+    fresh {!Mdcc_obs.Obs.t}; the handles are merged into the caller's
+    ambient registry in task order once the batch completes, so metric
+    exports are byte-identical with and without a pool.  Omitting [pool]
+    runs sequentially through the same code path.
+
     Correspondence:
     {ul
     {- {!fig3} — TPC-W write-transaction response-time CDF (QW-3, QW-4,
@@ -27,37 +34,37 @@ type latency_row = {
   aborts : int;
 }
 
-val fig3 : ?quick:bool -> unit -> latency_row list
+val fig3 : ?quick:bool -> ?pool:Mdcc_util.Pool.t -> unit -> latency_row list
 
-val fig4 : ?quick:bool -> unit -> (string * (int * float) list) list
+val fig4 : ?quick:bool -> ?pool:Mdcc_util.Pool.t -> unit -> (string * (int * float) list) list
 (** Per protocol: [(concurrent clients, committed txn/s)] at each scale
     point. *)
 
-val fig5 : ?quick:bool -> unit -> latency_row list
+val fig5 : ?quick:bool -> ?pool:Mdcc_util.Pool.t -> unit -> latency_row list
 
-val fig6 : ?quick:bool -> unit -> (float * (string * int * int) list) list
+val fig6 : ?quick:bool -> ?pool:Mdcc_util.Pool.t -> unit -> (float * (string * int * int) list) list
 (** Per hot-spot size: [(protocol, commits, aborts)]. *)
 
-val fig7 : ?quick:bool -> unit -> (float * (string * Mdcc_util.Stats.boxplot) list) list
+val fig7 : ?quick:bool -> ?pool:Mdcc_util.Pool.t -> unit -> (float * (string * Mdcc_util.Stats.boxplot) list) list
 (** Per locality fraction: [(protocol, latency box plot)]. *)
 
-val fig8 : ?quick:bool -> unit -> float * float * Mdcc_util.Stats.series_bucket list
+val fig8 : ?quick:bool -> ?pool:Mdcc_util.Pool.t -> unit -> float * float * Mdcc_util.Stats.series_bucket list
 (** Mean commit latency before / after the US-East outage, plus the 10 s
     time-series buckets. *)
 
-val ablation_gamma : ?quick:bool -> unit -> (int * (int * int * float)) list
+val ablation_gamma : ?quick:bool -> ?pool:Mdcc_util.Pool.t -> unit -> (int * (int * int * float)) list
 (** Per γ: (commits, aborts, median latency) on the contended micro
     workload. *)
 
-val ablation_batching : ?quick:bool -> unit -> (bool * int * int * float) list
+val ablation_batching : ?quick:bool -> ?pool:Mdcc_util.Pool.t -> unit -> (bool * int * int * float) list
 (** Per batching setting: (messages sent, commits, median latency) on the
     uniform micro workload — the message-overhead optimization from the
     paper's conclusion. *)
 
-val ablation_replication : ?quick:bool -> unit -> (int * int * float) list
+val ablation_replication : ?quick:bool -> ?pool:Mdcc_util.Pool.t -> unit -> (int * int * float) list
 (** Per replication factor (3 vs. 5 data centers): (commits, median
     latency).  DESIGN.md's quorum-size ablation: with n=3 the fast quorum
     is all three replicas, so the fast path has no slack. *)
 
-val run_all : ?quick:bool -> unit -> unit
+val run_all : ?quick:bool -> ?pool:Mdcc_util.Pool.t -> unit -> unit
 (** Every experiment in sequence (the benchmark harness entry point). *)

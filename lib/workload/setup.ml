@@ -18,7 +18,7 @@ let commutative = function
   | Fast | Multi | Two_pc | Megastore -> false
 
 let make protocol ~seed ~schema ?(partitions = 1) ?(app_servers_per_dc = 1) ?(gamma = 100)
-    ?master_dc_of ~rows () =
+    ?master_dc_of ?obs ~rows () =
   let engine = Engine.create ~seed in
   match protocol with
   | Mdcc | Fast | Multi ->
@@ -30,7 +30,8 @@ let make protocol ~seed ~schema ?(partitions = 1) ?(app_servers_per_dc = 1) ?(ga
     in
     let config = Config.make ~mode ~gamma ~replication:5 () in
     let cluster =
-      Cluster.create ~engine ~partitions ~app_servers_per_dc ?master_dc_of ~config ~schema ()
+      Cluster.create ~engine ~partitions ~app_servers_per_dc ?master_dc_of ~config ~schema
+        ~ctx:(Mdcc_core.Ctx.make ?obs ()) ()
     in
     Cluster.load cluster rows;
     Cluster.start_maintenance cluster;

@@ -31,8 +31,12 @@ val make :
   ?app_servers_per_dc:int ->
   ?gamma:int ->
   ?master_dc_of:(Key.t -> int) ->
+  ?obs:Mdcc_obs.Obs.t ->
   rows:(Key.t * Value.t) list ->
   unit ->
   Mdcc_protocols.Harness.t
 (** Fresh engine + deployment, pre-loaded with [rows].  Megastore* forces a
-    single partition (one entity group). *)
+    single partition (one entity group).  [obs] (MDCC-family protocols
+    only) defaults to the calling domain's ambient handle; experiment
+    drivers running protocols in parallel pass a fresh handle per run and
+    merge afterwards. *)

@@ -1,0 +1,23 @@
+(* Planted R4 violations: mutable ambient state bound at module top level.
+   Lines are pinned by t_lint — renumber the assertions if this file moves. *)
+
+let counter = ref 0
+
+let cache = Hashtbl.create 16
+
+let scratch = Buffer.create 64
+
+let table = Array.make 8 0
+
+let hidden =
+  let log = ref [] in
+  fun x -> log := x :: !log
+
+(* Fine: allocation happens per call, not per module. *)
+let fresh () = ref 0
+
+(* Fine: the DLS default closure allocates per domain. *)
+let slot = Domain.DLS.new_key (fun () -> ref 0)
+
+(* Fine: immutable top-level data. *)
+let names = [ "us-west"; "us-east" ]

@@ -135,9 +135,51 @@ let test_cluster_load_and_peek () =
   done;
   Alcotest.(check bool) "absent key" true (Cluster.peek cluster ~dc:0 (item 1) = None)
 
+(* Pinned network message counts on a seeded run, with and without
+   batching.  [Coordinator.send_all]'s single-destination fast path (which
+   skips the per-call Hashtbl) must not change what goes on the wire: any
+   drift in these counts means the optimization changed behavior. *)
+let send_all_counts ~batching =
+  let engine = Engine.create ~seed:13 in
+  let config = Config.make ~batching ~replication:5 () in
+  let cluster =
+    Cluster.create ~engine ~partitions:1 ~app_servers_per_dc:1 ~config ~schema ()
+  in
+  Cluster.load cluster
+    (List.init 4 (fun i -> (item i, Value.of_list [ ("stock", Value.Int 50) ])));
+  let coordinator = Cluster.coordinator cluster ~dc:0 ~rank:0 in
+  let done_ = ref 0 in
+  (* Single-key txns exercise the single-destination batches; multi-key
+     txns exercise the fan-out path. *)
+  List.iteri
+    (fun n updates ->
+      Mdcc_core.Coordinator.submit coordinator
+        (Txn.make ~id:(Printf.sprintf "p%d" n) ~updates)
+        (fun _ -> incr done_))
+    [
+      [ (item 0, Update.Delta [ ("stock", -1) ]) ];
+      [ (item 1, Update.Delta [ ("stock", -2) ]); (item 2, Update.Delta [ ("stock", -1) ]) ];
+      [ (item 3, Update.Delta [ ("stock", -1) ]) ];
+      [ (item 0, Update.Delta [ ("stock", -1) ]); (item 3, Update.Delta [ ("stock", -1) ]) ];
+    ];
+  Engine.run ~until:60_000.0 engine;
+  Alcotest.(check int) "all decided" 4 !done_;
+  let stats = Mdcc_sim.Network.stats (Cluster.network cluster) in
+  (stats.Mdcc_sim.Network.sent, stats.Mdcc_sim.Network.delivered)
+
+let test_send_all_pinned_counts () =
+  let sent_b, delivered_b = send_all_counts ~batching:true in
+  Alcotest.(check (pair int int))
+    "batching run message counts" (70, 70) (sent_b, delivered_b);
+  let sent, delivered = send_all_counts ~batching:false in
+  Alcotest.(check (pair int int))
+    "non-batching run message counts" (90, 90) (sent, delivered)
+
 let suite =
   [
     Alcotest.test_case "config quorums" `Quick test_config_quorums;
+    Alcotest.test_case "send_all pinned message counts" `Quick
+      test_send_all_pinned_counts;
     Alcotest.test_case "config mode names" `Quick test_config_mode_names;
     Alcotest.test_case "woption of_txn" `Quick test_woption_of_txn;
     Alcotest.test_case "messages describe" `Quick test_messages_describe;

@@ -98,6 +98,29 @@ let test_r3_scope () =
   let r = scan ~rel:"lib/sim/r3_partiality.ml" "r3_partiality.ml" in
   Alcotest.(check (list hit)) "no findings outside scope" [] (hits r)
 
+let test_r4_ambient () =
+  let r = scan ~rel:"lib/sim/r4_ambient.ml" "r4_ambient.ml" in
+  Alcotest.(check (list hit))
+    "r4 rule ids and lines"
+    [
+      ("R4-ambient", 4);
+      ("R4-ambient", 6);
+      ("R4-ambient", 8);
+      ("R4-ambient", 10);
+      ("R4-ambient", 13);
+    ]
+    (hits r);
+  let idents = List.map (fun f -> f.Finding.ident) r.Driver.rp_findings in
+  Alcotest.(check (list string))
+    "r4 offending constructs"
+    [ "ref"; "Hashtbl.create"; "Buffer.create"; "Array.make"; "ref" ]
+    idents
+
+let test_r4_scope () =
+  (* Executables own their process: top-level state in bin/ is fine. *)
+  let r = scan ~rel:"bin/r4_ambient.ml" "r4_ambient.ml" in
+  Alcotest.(check (list hit)) "no findings outside lib/" [] (hits r)
+
 let test_clean () =
   let r = scan ~rel:"lib/core/clean.ml" "clean.ml" in
   Alcotest.(check (list hit)) "clean file has no findings" [] (hits r);
@@ -121,6 +144,7 @@ let all_fixtures =
     source ~rel:"lib/core/r1_determinism.ml" "r1_determinism.ml";
     source ~rel:"lib/core/r2_aliasing.ml" "r2_aliasing.ml";
     source ~rel:"lib/core/r3_partiality.ml" "r3_partiality.ml";
+    source ~rel:"lib/sim/r4_ambient.ml" "r4_ambient.ml";
     source ~rel:"lib/core/clean.ml" "clean.ml";
     source ~rel:"lib/util/allowlisted.ml" "allowlisted.ml";
   ]
@@ -138,6 +162,8 @@ let suite =
     Alcotest.test_case "R2 aliasing fixture" `Quick test_r2_aliasing;
     Alcotest.test_case "R3 partiality fixture" `Quick test_r3_partiality;
     Alcotest.test_case "R3 scope" `Quick test_r3_scope;
+    Alcotest.test_case "R4 ambient-state fixture" `Quick test_r4_ambient;
+    Alcotest.test_case "R4 scope" `Quick test_r4_scope;
     Alcotest.test_case "clean fixture" `Quick test_clean;
     Alcotest.test_case "allowlist suppression" `Quick test_allowlist;
     Alcotest.test_case "report JSON determinism" `Quick test_json_determinism;

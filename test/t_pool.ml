@@ -1,0 +1,121 @@
+(* Tests for the work-stealing pool and the parallel-sweep determinism
+   contract: a --jobs N sweep must render byte-for-byte what --jobs 1
+   renders, reports AND observability export alike. *)
+
+module Pool = Mdcc_util.Pool
+module Sweep = Mdcc_chaos.Sweep
+module Nemesis = Mdcc_chaos.Nemesis
+module Runner = Mdcc_chaos.Runner
+module Json = Mdcc_obs.Json
+module Obs = Mdcc_obs.Obs
+
+let test_map_in_order () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let r = Pool.map pool 100 (fun i -> i * i) in
+      Alcotest.(check int) "length" 100 (Array.length r);
+      Array.iteri (fun i x -> Alcotest.(check int) "slot" (i * i) x) r)
+
+let test_map_list_order () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let xs = List.init 37 (fun i -> 37 - i) in
+      let r = Pool.map_list pool xs ~f:(fun x -> x * 2) in
+      Alcotest.(check (list int)) "order preserved" (List.map (fun x -> x * 2) xs) r)
+
+let test_empty_and_single () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map_list pool [] ~f:(fun x -> x));
+      Alcotest.(check (list int)) "single" [ 7 ] (Pool.map_list pool [ 7 ] ~f:(fun x -> x)))
+
+let test_jobs1_runs_on_caller () =
+  (* jobs = 1 must not spawn domains: every task sees the caller's domain. *)
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let self = Domain.self () in
+      let domains = Pool.map pool 8 (fun _ -> Domain.self ()) in
+      Array.iter
+        (fun d -> Alcotest.(check bool) "caller domain" true (d = self))
+        domains)
+
+let test_exception_lowest_index () =
+  (* Multiple failing tasks: the surfaced exception must be the lowest
+     failing index — exactly what a sequential loop raises first. *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let raised =
+        try
+          ignore
+            (Pool.map pool 50 (fun i ->
+                 if i mod 7 = 3 then failwith (string_of_int i) else i));
+          None
+        with Failure msg -> Some msg
+      in
+      Alcotest.(check (option string)) "lowest failing index" (Some "3") raised)
+
+let test_pool_reuse () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      for round = 1 to 5 do
+        let r = Pool.map pool (10 * round) (fun i -> i + round) in
+        Alcotest.(check int) "round length" (10 * round) (Array.length r);
+        Alcotest.(check int) "round content" (round + 3) r.(3)
+      done)
+
+let test_default_jobs_floor () =
+  Alcotest.(check bool) "at least 1" true (Pool.default_jobs () >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* The determinism contract, end to end                                *)
+(* ------------------------------------------------------------------ *)
+
+let render reports =
+  String.concat "\n" (List.map Runner.report_to_json reports)
+  ^ "\n"
+  ^ Json.to_string (Sweep.obs_doc reports)
+
+let test_sweep_byte_identity () =
+  let scenarios =
+    List.filteri (fun i _ -> i < 3) Nemesis.matrix
+  in
+  let specs = Sweep.specs ~seeds:3 ~scenarios () in
+  let seq = render (Sweep.run ~jobs:1 specs) in
+  let par = render (Sweep.run ~jobs:4 specs) in
+  Alcotest.(check bool) "sweep output byte-identical" true (String.equal seq par);
+  Alcotest.(check bool) "output non-trivial" true (String.length seq > 1000)
+
+let test_sweep_trace_capture_identity () =
+  (* A planted quorum bug makes every run re-execute with trace capture —
+     the DLS trace plumbing must behave identically on worker domains. *)
+  let scenarios = List.filteri (fun i _ -> i < 1) Nemesis.matrix in
+  let specs = Sweep.specs ~seeds:10 ~fast_quorum_override:3 ~scenarios () in
+  let seq = Sweep.run ~jobs:1 specs in
+  let par = Sweep.run ~jobs:4 specs in
+  Alcotest.(check bool) "violations found" true
+    (List.exists (fun r -> not (Runner.ok r)) seq);
+  Alcotest.(check bool) "captured traces byte-identical" true
+    (String.equal (render seq) (render par))
+
+let test_obs_merge () =
+  let a = Obs.create () and b = Obs.create () in
+  Obs.incr a ~by:2 "x";
+  Obs.incr b ~by:3 "x";
+  Obs.incr b ~by:1 "y";
+  Obs.set_gauge b "g" 7;
+  Obs.merge ~into:a b;
+  let doc = Json.to_string (Obs.metrics_json a) in
+  let counters = Option.get (Json.member "counters" (Result.get_ok (Json.parse doc))) in
+  Alcotest.(check (option int)) "counter x summed" (Some 5)
+    (match Json.member "x" counters with Some (Json.Int n) -> Some n | _ -> None);
+  Alcotest.(check (option int)) "counter y carried" (Some 1)
+    (match Json.member "y" counters with Some (Json.Int n) -> Some n | _ -> None)
+
+let suite =
+  [
+    Alcotest.test_case "map fills slots in order" `Quick test_map_in_order;
+    Alcotest.test_case "map_list preserves order" `Quick test_map_list_order;
+    Alcotest.test_case "empty and single batches" `Quick test_empty_and_single;
+    Alcotest.test_case "jobs=1 runs inline" `Quick test_jobs1_runs_on_caller;
+    Alcotest.test_case "lowest-index exception wins" `Quick test_exception_lowest_index;
+    Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse;
+    Alcotest.test_case "default_jobs floor" `Quick test_default_jobs_floor;
+    Alcotest.test_case "sweep byte-identity jobs 1 vs 4" `Quick test_sweep_byte_identity;
+    Alcotest.test_case "trace capture identity under domains" `Quick
+      test_sweep_trace_capture_identity;
+    Alcotest.test_case "obs merge" `Quick test_obs_merge;
+  ]

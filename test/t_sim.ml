@@ -30,9 +30,66 @@ let test_heap_cancel () =
   let q = Event_queue.create () in
   let fired = ref false in
   let e = Event_queue.push q ~at:1.0 ~seq:1 (fun () -> fired := true) in
-  Event_queue.cancel e;
+  Event_queue.cancel q e;
   Alcotest.(check bool) "cancelled popped as none" true (Event_queue.pop q = None);
   Alcotest.(check bool) "never fired" false !fired
+
+(* Cancel-heavy churn (every pushed event is cancelled, as when every
+   committed txn cancels its timeout) must not bloat the heap: cancelled
+   entries are compacted away once they outnumber live ones, so heap size
+   stays within a constant factor of the live count. *)
+let test_heap_bounded_under_churn () =
+  let q = Event_queue.create () in
+  (* A bed of live events that stays in the heap throughout. *)
+  for i = 1 to 32 do
+    ignore (Event_queue.push q ~at:(1000.0 +. float_of_int i) ~seq:i ignore)
+  done;
+  let max_size = ref 0 in
+  for i = 1 to 10_000 do
+    let ev = Event_queue.push q ~at:(float_of_int i) ~seq:(32 + i) ignore in
+    Event_queue.cancel q ev;
+    if Event_queue.size q > !max_size then max_size := Event_queue.size q
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "heap stayed bounded (max %d)" !max_size)
+    true (!max_size <= 128);
+  (* Cancellation is idempotent and the live bed survives intact. *)
+  let count = ref 0 in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some ev ->
+      Alcotest.(check bool) "only live events pop" false ev.Event_queue.cancelled;
+      incr count;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "all live events survived compaction" 32 !count
+
+(* Compaction must not disturb pop order: interleave pushes and cancels,
+   then check the survivors still drain in (at, seq) order. *)
+let test_heap_compaction_preserves_order () =
+  let q = Event_queue.create () in
+  let rng = Mdcc_util.Rng.create 5 in
+  let live = ref [] in
+  for i = 1 to 2_000 do
+    let at = Mdcc_util.Rng.float rng 1000.0 in
+    let ev = Event_queue.push q ~at ~seq:i ignore in
+    if Mdcc_util.Rng.float rng 1.0 < 0.7 then Event_queue.cancel q ev
+    else live := (at, i) :: !live
+  done;
+  let expected = List.sort compare (List.rev !live) in
+  let popped = ref [] in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some ev ->
+      popped := (ev.Event_queue.at, ev.Event_queue.seq) :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "survivors pop in (at, seq) order" expected (List.rev !popped)
 
 let test_heap_many () =
   let q = Event_queue.create () in
@@ -93,7 +150,7 @@ let test_engine_cancel () =
   let e = Engine.create ~seed:1 in
   let hits = ref 0 in
   let h = Engine.schedule e ~after:5.0 (fun () -> incr hits) in
-  Engine.cancel h;
+  Engine.cancel e h;
   Engine.run e;
   Alcotest.(check int) "cancelled" 0 !hits
 
@@ -216,9 +273,41 @@ let test_network_determinism () =
   Alcotest.(check bool) "same seed, same trace" true (run 9 = run 9);
   Alcotest.(check bool) "different seed, different trace" true (run 9 <> run 10)
 
+(* The meter's size estimator walks the whole payload, so it must run once
+   per message (at send), with the byte count carried into delivery — not
+   recomputed.  Byte counters must be identical to the old
+   size-at-both-ends behavior. *)
+let test_network_meter_size_once () =
+  let e = Engine.create ~seed:2 in
+  let net = Net.create e (Topology.ec2_five ()) ~jitter_sigma:0.0 () in
+  let size_calls = ref 0 in
+  let sent_bytes = ref 0 and delivered_bytes = ref 0 in
+  Net.set_meter net
+    {
+      Net.m_size =
+        (fun p ->
+          incr size_calls;
+          match p with Ping n -> 100 + n | _ -> 1);
+      m_on_send = (fun ~src:_ ~dst:_ ~bytes -> sent_bytes := !sent_bytes + bytes);
+      m_on_deliver =
+        (fun ~src:_ ~dst:_ ~bytes -> delivered_bytes := !delivered_bytes + bytes);
+    };
+  Net.register net 1 (fun ~src:_ _ -> ());
+  for i = 1 to 10 do
+    Net.send net ~src:0 ~dst:1 (Ping i)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "size_of computed once per message" 10 !size_calls;
+  Alcotest.(check int) "send bytes" 1055 !sent_bytes;
+  Alcotest.(check int) "deliver bytes match send bytes" 1055 !delivered_bytes
+
 let suite =
   [
     Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
+    Alcotest.test_case "heap bounded under cancel churn" `Quick
+      test_heap_bounded_under_churn;
+    Alcotest.test_case "heap compaction preserves order" `Quick
+      test_heap_compaction_preserves_order;
     Alcotest.test_case "heap cancel" `Quick test_heap_cancel;
     Alcotest.test_case "heap 10k monotone" `Quick test_heap_many;
     Alcotest.test_case "engine ordering & clock" `Quick test_engine_ordering_and_clock;
@@ -235,4 +324,5 @@ let suite =
     Alcotest.test_case "network drop probability" `Quick test_network_drop_probability;
     Alcotest.test_case "network jitter" `Quick test_network_jitter_positive;
     Alcotest.test_case "network determinism" `Quick test_network_determinism;
+    Alcotest.test_case "network meter sizes once" `Quick test_network_meter_size_once;
   ]

@@ -21,5 +21,6 @@ let () =
       ("workload", T_workload.suite);
       ("chaos", T_chaos.suite);
       ("obs", T_obs.suite);
+      ("pool", T_pool.suite);
       ("lint", T_lint.suite);
     ]
