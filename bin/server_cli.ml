@@ -1,0 +1,64 @@
+(* mdcc-server: the MDCC key/value store behind a memcached-style socket.
+
+     dune exec bin/server_cli.exe -- --nodes 5 --port 11311
+     printf 'set greeting 0 0 5\r\nhello\r\nget greeting\r\nquit\r\n' | nc 127.0.0.1 11311
+
+   Boots an N-replica MDCC deployment (every replica in-process, one
+   storage node per simulated data center, one coordinator) over the real
+   socket runtime and serves the ASCII wire protocol of docs/WIRE.md.
+
+   SIGTERM / SIGINT trigger a graceful drain: stop accepting, finish
+   in-flight requests and transactions, flush replies, exit 0. *)
+
+module Loop = Mdcc_runtime_unix.Loop
+module Server = Mdcc_wire.Server
+
+(* Signal handlers only flip this flag: the loop thread may hold the
+   run-queue mutex when the signal lands, so the handler must not touch
+   loop state itself.  The main loop polls the flag; select's EINTR (or
+   the 50 ms poll cap) bounds the reaction latency. *)
+let want_shutdown = Atomic.make false
+
+let serve nodes port addr =
+  if nodes < 3 then begin
+    Printf.eprintf "server_cli: --nodes must be >= 3 (got %d)\n" nodes;
+    exit 2
+  end;
+  let srv = Server.create ~nodes ~addr ~port () in
+  let lp = Server.loop srv in
+  Printf.printf "LISTENING %d\n%!" (Server.port srv);
+  let on_signal _ = Atomic.set want_shutdown true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let draining = ref false in
+  while not (Loop.stop_requested lp) do
+    if Atomic.get want_shutdown && not !draining then begin
+      draining := true;
+      prerr_endline "server_cli: draining";
+      Server.shutdown srv ~on_done:(fun () -> Loop.request_stop lp)
+    end;
+    Loop.poll lp ~max_wait_ms:50.0
+  done;
+  0
+
+open Cmdliner
+
+let nodes_arg =
+  Arg.(value & opt int 5 & info [ "nodes" ] ~docv:"N" ~doc:"Replication factor (>= 3).")
+
+let port_arg =
+  Arg.(
+    value & opt int 11311
+    & info [ "port" ] ~docv:"PORT" ~doc:"TCP port; 0 binds an ephemeral port.")
+
+let addr_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "addr" ] ~docv:"ADDR" ~doc:"Bind address.")
+
+let cmd =
+  let doc = "MDCC key/value server speaking the memcached-style wire protocol" in
+  Cmd.v
+    (Cmd.info "mdcc-server" ~doc)
+    Term.(const serve $ nodes_arg $ port_arg $ addr_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -70,16 +70,17 @@ let create ~engine ?topology ?(partitions = 1) ?(app_servers_per_dc = 1) ?(jitte
     let p = Key.hash key mod partitions in
     (master_dc_of key * partitions) + p
   in
+  let runtime = Runtime.of_network net in
   let nodes =
     Array.init (dcs * partitions) (fun node_id ->
-        Storage_node.create ~net ~config ~node_id ~schema ~replicas ~master_of ~ctx ())
+        Storage_node.create ~runtime ~config ~node_id ~schema ~replicas ~master_of ~ctx ())
   in
   let base = dcs * partitions in
   let coords =
     Array.init (dcs * app_servers_per_dc) (fun i ->
         let dc = i / app_servers_per_dc in
         let local_nodes = List.init partitions (fun p -> (dc * partitions) + p) in
-        Coordinator.create ~net ~config ~node_id:(base + i) ~replicas ~master_of
+        Coordinator.create ~runtime ~config ~node_id:(base + i) ~replicas ~master_of
           ~ctx:(Ctx.with_local_nodes ctx local_nodes) ())
   in
   { engine; net; config; topo; schema; partitions; app_per_dc = app_servers_per_dc; dcs;

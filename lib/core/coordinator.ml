@@ -2,8 +2,6 @@ open Mdcc_storage
 open Mdcc_paxos
 module Net = Mdcc_sim.Network
 module Engine = Mdcc_sim.Engine
-module Topology = Mdcc_sim.Topology
-module Trace = Mdcc_sim.Trace
 module Rng = Mdcc_util.Rng
 module Table = Mdcc_util.Table
 module Invariant = Mdcc_util.Invariant
@@ -25,7 +23,7 @@ type txn_state = {
   callback : Txn.outcome -> unit;
   mutable keys : key_state Key.Map.t;
   mutable undecided : int;
-  mutable timeout : Engine.handle option;
+  mutable timeout : Runtime.timer option;
 }
 
 type stats = {
@@ -54,8 +52,7 @@ type scan_state = {
 }
 
 type t = {
-  net : Net.t;
-  engine : Engine.t;
+  runtime : Runtime.t;
   config : Config.t;
   id : int;
   dc : int;
@@ -81,11 +78,11 @@ let hint_ttl = 2000.0
 
 let node_id t = t.id
 
-let now t = Engine.now t.engine
+let now t = Runtime.now t.runtime
 
-let send t dst payload = Net.send t.net ~src:t.id ~dst payload
+let send t dst payload = Runtime.send t.runtime ~src:t.id ~dst payload
 
-let trace t fmt = Trace.emit t.engine ~tag:(Printf.sprintf "app%d" t.id) fmt
+let trace t fmt = Runtime.trace t.runtime ~tag:(Printf.sprintf "app%d" t.id) fmt
 
 let span t ~txid ~name ?key ~detail () =
   Obs.span_event t.obs ~txid ~at:(now t) ~node:t.id ~name ?key ~detail ()
@@ -147,7 +144,7 @@ let propose_payloads t (ks : key_state) =
   end
 
 let decide t (ts : txn_state) =
-  (match ts.timeout with Some h -> Engine.cancel t.engine h | None -> ());
+  (match ts.timeout with Some h -> Runtime.cancel_timer t.runtime h | None -> ());
   Hashtbl.remove t.txns ts.txn.Txn.id;
   let rejected =
     Key.Map.fold
@@ -311,7 +308,7 @@ let rec arm_timeout t (ts : txn_state) =
   let jitter = Rng.float t.rng 100.0 in
   ts.timeout <-
     Some
-      (Engine.schedule t.engine ~after:(t.config.Config.learn_timeout +. jitter) (fun () ->
+      (Runtime.set_timer t.runtime ~after:(t.config.Config.learn_timeout +. jitter) (fun () ->
            if Hashtbl.mem t.txns ts.txn.Txn.id then begin
              Key.Map.iter
                (fun _ ks ->
@@ -326,7 +323,7 @@ let rec arm_timeout t (ts : txn_state) =
 
 let submit t txn callback =
   if Txn.is_read_only txn then
-    ignore (Engine.schedule t.engine ~after:0.0 (fun () -> callback Txn.Committed))
+    Runtime.spawn t.runtime (fun () -> callback Txn.Committed)
   else begin
     let options = Woption.of_txn txn ~coordinator:t.id in
     let keys =
@@ -358,8 +355,7 @@ let submit t txn callback =
 (* ------------------------------------------------------------------ *)
 
 let local_replica t key =
-  let topo = Net.topology t.net in
-  match List.find_opt (fun r -> Topology.dc_of topo r = t.dc) (t.replicas key) with
+  match List.find_opt (fun r -> Runtime.dc_of t.runtime r = t.dc) (t.replicas key) with
   | Some r -> r
   | None -> (
     match t.replicas key with
@@ -500,18 +496,16 @@ let rec handle t ~src payload =
   | Messages.Scan_reply { rid; rows } -> on_scan_reply t rid rows
   | _ -> ()
 
-let create ~net ~config ~node_id ~replicas ~master_of ?(ctx = Ctx.default ()) () =
-  let engine = Net.engine net in
+let create ~runtime ~config ~node_id ~replicas ~master_of ?(ctx = Ctx.default ()) () =
   let history = ctx.Ctx.history
   and obs = ctx.Ctx.obs
   and local_nodes = ctx.Ctx.local_nodes in
   let t =
     {
-      net;
-      engine;
+      runtime;
       config;
       id = node_id;
-      dc = Topology.dc_of (Net.topology net) node_id;
+      dc = Runtime.dc_of runtime node_id;
       replicas;
       master_of;
       local_nodes;
@@ -529,12 +523,12 @@ let create ~net ~config ~node_id ~replicas ~master_of ?(ctx = Ctx.default ()) ()
           redirects = 0;
           timeout_recoveries = 0;
         };
-      rng = Rng.split (Engine.rng engine);
+      rng = Rng.split (Runtime.rng runtime);
       history;
       obs;
     }
   in
-  Net.register net node_id (fun ~src payload -> handle t ~src payload);
+  Runtime.register runtime node_id (fun ~src payload -> handle t ~src payload);
   t
 
 let inflight t = Hashtbl.length t.txns

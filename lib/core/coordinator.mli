@@ -21,7 +21,7 @@ open Mdcc_storage
 type t
 
 val create :
-  net:Mdcc_sim.Network.t ->
+  runtime:Runtime.t ->
   config:Config.t ->
   node_id:int ->
   replicas:(Key.t -> int list) ->
@@ -29,7 +29,10 @@ val create :
   ?ctx:Ctx.t ->
   unit ->
   t
-(** Registers the app-server's message handler on the network.  [ctx]
+(** Registers the app-server's message handler on the runtime's transport
+    ({!Runtime.register}) — the coordinator never touches a clock or a
+    socket except through [runtime], so the same state machine runs under
+    the simulator and the real socket runtime.  [ctx]
     (default {!Ctx.default}) bundles the cross-cutting dependencies:
     [ctx.local_nodes] are the storage nodes of this app-server's data center
     (needed only for local {!scan}s); when [ctx.history] is set, every

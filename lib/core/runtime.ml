@@ -1,0 +1,65 @@
+module Net = Mdcc_sim.Network
+module Engine = Mdcc_sim.Engine
+module Topology = Mdcc_sim.Topology
+module Trace = Mdcc_sim.Trace
+module Rng = Mdcc_util.Rng
+
+type timer = unit -> unit
+
+type t = {
+  r_now : unit -> float;
+  r_send : src:int -> dst:int -> Net.payload -> unit;
+  r_register : int -> (src:int -> Net.payload -> unit) -> unit;
+  r_set_timer : after:float -> (unit -> unit) -> (unit -> unit);
+  r_spawn : (unit -> unit) -> unit;
+  r_rng : Rng.t;
+  r_dc_of : int -> int;
+  r_trace : tag:string -> string -> unit;
+}
+
+let make ~now ~send ~register ~set_timer ~spawn ~rng ~dc_of ~trace () =
+  {
+    r_now = now;
+    r_send = send;
+    r_register = register;
+    r_set_timer = set_timer;
+    r_spawn = spawn;
+    r_rng = rng;
+    r_dc_of = dc_of;
+    r_trace = trace;
+  }
+
+let now t = t.r_now ()
+
+let send t ~src ~dst payload = t.r_send ~src ~dst payload
+
+let register t node handler = t.r_register node handler
+
+let set_timer t ~after f = t.r_set_timer ~after f
+
+let cancel_timer _t (cancel : timer) = cancel ()
+
+let spawn t f = t.r_spawn f
+
+let rng t = t.r_rng
+
+let dc_of t node = t.r_dc_of node
+
+let trace t ~tag fmt = Printf.ksprintf (fun msg -> t.r_trace ~tag msg) fmt
+
+let of_network net =
+  let engine = Net.engine net in
+  let topo = Net.topology net in
+  {
+    r_now = (fun () -> Engine.now engine);
+    r_send = (fun ~src ~dst payload -> Net.send net ~src ~dst payload);
+    r_register = (fun node handler -> Net.register net node handler);
+    r_set_timer =
+      (fun ~after f ->
+        let h = Engine.schedule engine ~after f in
+        fun () -> Engine.cancel engine h);
+    r_spawn = (fun f -> ignore (Engine.schedule engine ~after:0.0 f));
+    r_rng = Engine.rng engine;
+    r_dc_of = (fun node -> Topology.dc_of topo node);
+    r_trace = (fun ~tag msg -> Trace.emit_at ~at:(Engine.now engine) ~tag "%s" msg);
+  }

@@ -1,0 +1,85 @@
+(** The runtime a protocol component runs on.
+
+    The MDCC state machines ({!Coordinator}, {!Storage_node}, and the
+    {!Session} layer above them) never talk to a clock, a scheduler or a
+    transport directly: they go through this interface.  Two
+    implementations exist —
+
+    {ul
+    {- {!of_network}: the discrete-event simulator ([lib/sim]), where time
+       is virtual, delivery order is deterministic and executions are
+       replayable.  This is the {e verification} substrate: every chaos
+       run, experiment and pinned test drives the state machines through
+       it.}
+    {- [Mdcc_runtime_unix]: real OS sockets, domains and a timer wheel —
+       the {e deployment} substrate the wire front-end serves traffic
+       from.}}
+
+    The determinism contract (R1–R4, docs/LINT.md) is what makes this
+    split safe: because the state machines contain no ambient time,
+    randomness or I/O, the very same code is chaos-checked under the
+    simulator and served under the socket runtime. *)
+
+type timer
+(** A cancellable pending timer (a protocol timeout). *)
+
+type t
+
+val make :
+  now:(unit -> float) ->
+  send:(src:int -> dst:int -> Mdcc_sim.Network.payload -> unit) ->
+  register:(int -> (src:int -> Mdcc_sim.Network.payload -> unit) -> unit) ->
+  set_timer:(after:float -> (unit -> unit) -> (unit -> unit)) ->
+  spawn:((unit -> unit) -> unit) ->
+  rng:Mdcc_util.Rng.t ->
+  dc_of:(int -> int) ->
+  trace:(tag:string -> string -> unit) ->
+  unit ->
+  t
+(** Assemble a runtime from its primitives.  [set_timer ~after f] must run
+    [f] once, [after] milliseconds from now, and return the cancel thunk;
+    [spawn f] must run [f] asynchronously but promptly (the "later, not
+    reentrantly" primitive used for completion callbacks); [rng] is the
+    runtime's root RNG, split once per component at create time; [trace]
+    receives the rendered line and decides whether anybody is listening. *)
+
+val now : t -> float
+(** The runtime's clock, in milliseconds.  Virtual under the simulator,
+    monotonic-process time under the socket runtime — never the wall
+    clock of rule R1. *)
+
+val send : t -> src:int -> dst:int -> Mdcc_sim.Network.payload -> unit
+(** Queue a message for asynchronous delivery to node [dst].  Delivery (if
+    it happens at all — real networks drop) runs the destination's
+    registered handler with the sender's causal trace context restored. *)
+
+val register : t -> int -> (src:int -> Mdcc_sim.Network.payload -> unit) -> unit
+(** Install the message handler of a node id.  Re-registering replaces the
+    handler (a node restarting with fresh state). *)
+
+val set_timer : t -> after:float -> (unit -> unit) -> timer
+(** [set_timer t ~after f] runs [f] once, [after] milliseconds from now. *)
+
+val cancel_timer : t -> timer -> unit
+(** Cancel a pending timer; a no-op if it already fired or was cancelled. *)
+
+val spawn : t -> (unit -> unit) -> unit
+(** Run a thunk asynchronously, as soon as possible.  Used to keep
+    user-facing callbacks off the caller's stack. *)
+
+val rng : t -> Mdcc_util.Rng.t
+(** The runtime's root RNG.  Components [Rng.split] it at set-up time so
+    their streams are independent of scheduling order. *)
+
+val dc_of : t -> int -> int
+(** Data center of a node id (replica locality for local reads). *)
+
+val trace : t -> tag:string -> ('a, unit, string, unit) format4 -> 'a
+(** Emit a protocol trace line attributed to [tag] at the runtime's
+    current time.  Rendering cost is only paid when tracing is enabled or
+    an event sink is installed. *)
+
+val of_network : Mdcc_sim.Network.t -> t
+(** The simulator runtime: timers are engine events, [send] is simulated
+    wide-area delivery with latency, jitter, drops and failures, [now] is
+    virtual time, and [spawn] is a zero-delay event. *)

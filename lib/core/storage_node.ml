@@ -1,8 +1,5 @@
 open Mdcc_storage
 open Mdcc_paxos
-module Net = Mdcc_sim.Network
-module Engine = Mdcc_sim.Engine
-module Trace = Mdcc_sim.Trace
 module Rng = Mdcc_util.Rng
 module Table = Mdcc_util.Table
 module Obs = Mdcc_obs.Obs
@@ -47,8 +44,7 @@ type txrec = {
 }
 
 type t = {
-  net : Net.t;
-  engine : Engine.t;
+  runtime : Runtime.t;
   config : Config.t;
   id : int;
   schema : Schema.t;
@@ -146,11 +142,11 @@ let bounds t key = Schema.bounds_of t.schema key
 
 let n_qf t = (t.config.Config.replication, Config.fast_quorum t.config)
 
-let send t dst payload = Net.send t.net ~src:t.id ~dst payload
+let send t dst payload = Runtime.send t.runtime ~src:t.id ~dst payload
 
-let now t = Engine.now t.engine
+let now t = Runtime.now t.runtime
 
-let trace t fmt = Trace.emit t.engine ~tag:(Printf.sprintf "node%d" t.id) fmt
+let trace t fmt = Runtime.trace t.runtime ~tag:(Printf.sprintf "node%d" t.id) fmt
 
 let span t ~txid ~name ?key ~detail () =
   Obs.span_event t.obs ~txid ~at:(now t) ~node:t.id ~name ?key ~detail ()
@@ -564,7 +560,7 @@ and broadcast_phase1a t key rc =
 and watch_recovery t key rc =
   let timeout = t.config.Config.learn_timeout +. Rng.float t.rng 200.0 in
   ignore
-    (Engine.schedule t.engine ~after:timeout (fun () ->
+    (Runtime.set_timer t.runtime ~after:timeout (fun () ->
          let ms = mstate t key in
          match ms.m_recovery with
          | Some rc' when rc' == rc && not rc.rc_done ->
@@ -592,7 +588,7 @@ and master_phase1b t ~src key ballot ok promised votes rebase decided =
       rc.rc_resp <- [];
       let backoff = 20.0 +. Rng.float t.rng 150.0 in
       ignore
-        (Engine.schedule t.engine ~after:backoff (fun () ->
+        (Runtime.set_timer t.runtime ~after:backoff (fun () ->
              match ms.m_recovery with
              | Some rc' when rc' == rc && not rc.rc_done -> broadcast_phase1a t key rc
              | Some _ | None -> ()))
@@ -963,7 +959,7 @@ let start_txn_recovery t (w : Woption.t) =
     (* If recovery stalls (failed replicas), forget it so a later scan can
        retry from scratch with fresh messages. *)
     ignore
-      (Engine.schedule t.engine ~after:(3.0 *. t.config.Config.txn_timeout) (fun () ->
+      (Runtime.set_timer t.runtime ~after:(3.0 *. t.config.Config.txn_timeout) (fun () ->
            match Hashtbl.find_opt t.recoveries w.Woption.txid with
            | Some tr' when tr' == tr && not tr.tx_done ->
              Hashtbl.remove t.recoveries w.Woption.txid
@@ -1182,13 +1178,11 @@ let rec handle t ~src payload =
          { rid; key; value = row.Store.value; version = row.Store.version; exists = row.Store.exists })
   | _ -> ()
 
-let create ~net ~config ~node_id ~schema ~replicas ~master_of ?(ctx = Ctx.default ()) () =
-  let engine = Net.engine net in
+let create ~runtime ~config ~node_id ~schema ~replicas ~master_of ?(ctx = Ctx.default ()) () =
   let history = ctx.Ctx.history and obs = ctx.Ctx.obs in
   let t =
     {
-      net;
-      engine;
+      runtime;
       config;
       id = node_id;
       schema;
@@ -1200,13 +1194,13 @@ let create ~net ~config ~node_id ~schema ~replicas ~master_of ?(ctx = Ctx.defaul
       decided_log = Hashtbl.create 1024;
       masters = Key.Tbl.create 256;
       recoveries = Hashtbl.create 64;
-      rng = Rng.split (Engine.rng engine);
+      rng = Rng.split (Runtime.rng runtime);
       history;
       obs;
       diverged = Hashtbl.create 16;
     }
   in
-  Net.register net node_id (fun ~src payload -> handle t ~src payload);
+  Runtime.register runtime node_id (fun ~src payload -> handle t ~src payload);
   t
 
 let load t rows =
@@ -1266,7 +1260,7 @@ let start_maintenance t =
   if period > 0.0 then begin
     let rec loop () =
       scan_dangling t;
-      ignore (Engine.schedule t.engine ~after:period loop)
+      ignore (Runtime.set_timer t.runtime ~after:period loop)
     in
-    ignore (Engine.schedule t.engine ~after:period loop)
+    ignore (Runtime.set_timer t.runtime ~after:period loop)
   end

@@ -30,7 +30,7 @@ open Mdcc_storage
 type t
 
 val create :
-  net:Mdcc_sim.Network.t ->
+  runtime:Runtime.t ->
   config:Config.t ->
   node_id:int ->
   schema:Schema.t ->
@@ -39,7 +39,9 @@ val create :
   ?ctx:Ctx.t ->
   unit ->
   t
-(** Build the node and register its message handler on the network.
+(** Build the node and register its message handler on the runtime's
+    transport — simulated network or real sockets, the state machine cannot
+    tell ({!Runtime}).
     [replicas key] must list the full replica group of [key] (including this
     node when it replicates [key]); [master_of key] is the node currently
     responsible for classic ballots on [key].  [ctx] (default {!Ctx.default})

@@ -43,10 +43,20 @@ let rule_matches entry_rule finding_rule =
   || String.equal entry_rule finding_rule
   || String.equal entry_rule (Finding.family finding_rule)
 
+(* A path ending in '/' is a directory allowance: it matches every file
+   under that directory (and only those — the trailing slash cannot match a
+   sibling file sharing the prefix).  Anything else must match the finding's
+   file exactly. *)
+let path_matches entry_path file =
+  let n = String.length entry_path in
+  if n > 0 && entry_path.[n - 1] = '/' then
+    String.length file > n && String.equal (String.sub file 0 n) entry_path
+  else String.equal entry_path file
+
 let permits (t : t) (f : Finding.t) =
   List.exists
     (fun e ->
       rule_matches e.a_rule f.Finding.rule
-      && String.equal e.a_path f.Finding.file
+      && path_matches e.a_path f.Finding.file
       && match e.a_line with None -> true | Some l -> l = f.Finding.line)
     t

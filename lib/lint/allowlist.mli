@@ -7,7 +7,13 @@
     R1              lib/util/table.ml      # whole family, whole file
     R1-hash-iter    lib/foo.ml:42          # one rule, one line
     *               lib/generated.ml       # everything in a file
-    v} *)
+    R1              lib/runtime_unix/      # whole family, whole directory
+    v}
+
+    A path with a trailing ['/'] allows the rule for every file under that
+    directory — and nowhere else: the allowance is path-scoped, never
+    global, and the slash cannot match a sibling file sharing the name as
+    a prefix. *)
 
 type entry = { a_rule : string; a_path : string; a_line : int option }
 type t = entry list

@@ -224,6 +224,7 @@ let check (env : env) ~rel (str : structure) : Finding.t list =
     match List.rev comps with
     | ("send" | "broadcast") :: owner :: _ ->
       String.equal owner "Net" || String.equal owner "Network"
+      || String.equal owner "Runtime"
     | _ -> false
   in
   let rec mutable_literal e =

@@ -1,0 +1,299 @@
+module Runtime = Mdcc_core.Runtime
+module Net = Mdcc_sim.Network
+module Trace = Mdcc_sim.Trace
+module Rng = Mdcc_util.Rng
+
+type meter = {
+  w_size : Net.payload -> int;
+  w_on_send : src:int -> dst:int -> bytes:int -> unit;
+  w_on_deliver : src:int -> dst:int -> bytes:int -> unit;
+}
+
+type conn_handlers = {
+  on_data : bytes -> int -> int -> unit;
+  on_close : unit -> unit;
+}
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_loop : t;
+  c_out : string Queue.t;  (* unsent chunks; head may be partially written *)
+  mutable c_out_off : int;  (* written prefix of the head chunk *)
+  mutable c_buffered : int;  (* total unsent bytes *)
+  mutable c_open : bool;
+  mutable c_close_after_flush : bool;
+  mutable c_handlers : conn_handlers option;
+}
+
+and t = {
+  origin : float;  (* gettimeofday at create, seconds *)
+  wheel : Timer_wheel.t;
+  run_q : (unit -> unit) Queue.t;  (* loop-domain only *)
+  posted : (unit -> unit) Queue.t;  (* cross-domain, under [posted_mx] *)
+  posted_mx : Mutex.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  handlers : (int, src:int -> Net.payload -> unit) Hashtbl.t;
+  mutable listeners : (Unix.file_descr * (conn -> conn_handlers)) list;
+  mutable conns : conn list;
+  rng : Rng.t;
+  dc_of : int -> int;
+  stop : bool Atomic.t;
+  mutable meter : meter option;
+  rbuf : bytes;  (* shared read scratch *)
+  mutable rt : Runtime.t option;  (* built once, cyclically *)
+}
+
+let clock t = (Unix.gettimeofday () -. t.origin) *. 1000.0
+
+let now = clock
+
+let create ?(seed = 1) ?(dc_of = fun _ -> 0) () =
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let origin = Unix.gettimeofday () in
+  {
+    origin;
+    wheel = Timer_wheel.create ~now:0.0 ();
+    run_q = Queue.create ();
+    posted = Queue.create ();
+    posted_mx = Mutex.create ();
+    wake_r;
+    wake_w;
+    handlers = Hashtbl.create 32;
+    listeners = [];
+    conns = [];
+    rng = Rng.create seed;
+    dc_of;
+    stop = Atomic.make false;
+    meter = None;
+    rbuf = Bytes.create 65536;
+    rt = None;
+  }
+
+let set_meter t m = t.meter <- Some m
+
+let wake t = try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1) with Unix.Unix_error _ -> ()
+
+let post t f =
+  Mutex.lock t.posted_mx;
+  Queue.add f t.posted;
+  Mutex.unlock t.posted_mx;
+  wake t
+
+let request_stop t =
+  Atomic.set t.stop true;
+  wake t
+
+let stop_requested t = Atomic.get t.stop
+
+(* ------------------------------------------------------------------ *)
+(* The Runtime interface                                               *)
+(* ------------------------------------------------------------------ *)
+
+let deliver t ~src ~dst payload =
+  (* Capture the sender's causal context now; restore it around the
+     destination handler — the socket-runtime twin of Network.send. *)
+  let ctx = Net.trace_context () in
+  (match t.meter with
+  | Some m -> m.w_on_send ~src ~dst ~bytes:(m.w_size payload)
+  | None -> ());
+  Queue.add
+    (fun () ->
+      match Hashtbl.find_opt t.handlers dst with
+      | None -> ()
+      | Some handler ->
+        (match t.meter with
+        | Some m -> m.w_on_deliver ~src ~dst ~bytes:(m.w_size payload)
+        | None -> ());
+        Net.with_trace_context ctx (fun () -> handler ~src payload))
+    t.run_q
+
+let runtime t =
+  match t.rt with
+  | Some rt -> rt
+  | None ->
+    let rt =
+      Runtime.make
+        ~now:(fun () -> clock t)
+        ~send:(fun ~src ~dst payload -> deliver t ~src ~dst payload)
+        ~register:(fun node handler -> Hashtbl.replace t.handlers node handler)
+        ~set_timer:(fun ~after f ->
+          let timer = Timer_wheel.set t.wheel ~now:(clock t) ~after f in
+          fun () -> Timer_wheel.cancel t.wheel timer)
+        ~spawn:(fun f -> Queue.add f t.run_q)
+        ~rng:t.rng
+        ~dc_of:t.dc_of
+        ~trace:(fun ~tag msg -> Trace.emit_at ~at:(clock t) ~tag "%s" msg)
+        ()
+    in
+    t.rt <- Some rt;
+    rt
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let conn_buffered c = c.c_buffered
+
+let open_conns t = List.length t.conns
+
+let buffered_bytes t = List.fold_left (fun acc c -> acc + c.c_buffered) 0 t.conns
+
+let teardown c =
+  if c.c_open then begin
+    c.c_open <- false;
+    c.c_loop.conns <- List.filter (fun c' -> c' != c) c.c_loop.conns;
+    (try Unix.close c.c_fd with Unix.Unix_error _ -> ());
+    match c.c_handlers with Some h -> h.on_close () | None -> ()
+  end
+
+(* Write as much of the queue as the socket accepts; true = fully flushed. *)
+let flush_out c =
+  let continue = ref true in
+  while !continue && not (Queue.is_empty c.c_out) do
+    let chunk = Queue.peek c.c_out in
+    let len = String.length chunk - c.c_out_off in
+    match Unix.write_substring c.c_fd chunk c.c_out_off len with
+    | n ->
+      c.c_buffered <- c.c_buffered - n;
+      if n = len then begin
+        ignore (Queue.pop c.c_out);
+        c.c_out_off <- 0
+      end
+      else begin
+        c.c_out_off <- c.c_out_off + n;
+        continue := false
+      end
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> continue := false
+    | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) ->
+      teardown c;
+      continue := false
+  done;
+  c.c_open && Queue.is_empty c.c_out
+
+let write c data =
+  if c.c_open && String.length data > 0 then begin
+    Queue.add data c.c_out;
+    c.c_buffered <- c.c_buffered + String.length data;
+    ignore (flush_out c)
+  end
+
+let close c =
+  if c.c_open then
+    if Queue.is_empty c.c_out then teardown c else c.c_close_after_flush <- true
+
+let listen t ?(backlog = 64) ?(addr = "127.0.0.1") ~port on_conn =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt fd SO_REUSEADDR true;
+  Unix.bind fd (ADDR_INET (Unix.inet_addr_of_string addr, port));
+  Unix.listen fd backlog;
+  Unix.set_nonblock fd;
+  t.listeners <- (fd, on_conn) :: t.listeners;
+  match Unix.getsockname fd with
+  | ADDR_INET (_, bound) -> bound
+  | ADDR_UNIX _ -> port
+
+let close_listeners t =
+  List.iter (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
+  t.listeners <- []
+
+let accept_ready t (lfd, on_conn) =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept lfd with
+    | fd, _peer ->
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
+      let c =
+        {
+          c_fd = fd;
+          c_loop = t;
+          c_out = Queue.create ();
+          c_out_off = 0;
+          c_buffered = 0;
+          c_open = true;
+          c_close_after_flush = false;
+          c_handlers = None;
+        }
+      in
+      t.conns <- c :: t.conns;
+      c.c_handlers <- Some (on_conn c)
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> continue := false
+    | exception Unix.Unix_error _ -> continue := false
+  done
+
+let read_ready t c =
+  match Unix.read c.c_fd t.rbuf 0 (Bytes.length t.rbuf) with
+  | 0 -> teardown c
+  | n -> ( match c.c_handlers with Some h -> h.on_data t.rbuf 0 n | None -> ())
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> teardown c
+
+(* ------------------------------------------------------------------ *)
+(* The loop                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let drain_posted t =
+  Mutex.lock t.posted_mx;
+  Queue.transfer t.posted t.run_q;
+  Mutex.unlock t.posted_mx
+
+let drain_run_q t =
+  while not (Queue.is_empty t.run_q) do
+    (Queue.pop t.run_q) ()
+  done
+
+let poll t ~max_wait_ms =
+  drain_posted t;
+  drain_run_q t;
+  Timer_wheel.advance t.wheel ~now:(clock t);
+  drain_run_q t;
+  let timeout =
+    if not (Queue.is_empty t.run_q) then 0.0
+    else begin
+      let cap = Float.max 0.0 max_wait_ms in
+      match Timer_wheel.next_deadline t.wheel with
+      | None -> cap
+      | Some at -> Float.min cap (Float.max 0.0 (at -. clock t))
+    end
+  in
+  let reads =
+    (t.wake_r :: List.map fst t.listeners)
+    @ List.filter_map (fun c -> if c.c_open then Some c.c_fd else None) t.conns
+  in
+  let writes =
+    List.filter_map
+      (fun c -> if c.c_open && not (Queue.is_empty c.c_out) then Some c.c_fd else None)
+      t.conns
+  in
+  match Unix.select reads writes [] (timeout /. 1000.0) with
+  | exception Unix.Unix_error (EINTR, _, _) -> ()
+  | exception Unix.Unix_error (EBADF, _, _) -> ()
+  | readable, writable, _ ->
+    if List.mem t.wake_r readable then begin
+      let continue = ref true in
+      while !continue do
+        match Unix.read t.wake_r t.rbuf 0 64 with
+        | n -> continue := n = 64
+        | exception Unix.Unix_error _ -> continue := false
+      done
+    end;
+    List.iter
+      (fun (lfd, on_conn) ->
+        if List.mem lfd readable then accept_ready t (lfd, on_conn))
+      t.listeners;
+    (* Snapshot: handlers may open/close connections while we iterate. *)
+    let snapshot = t.conns in
+    List.iter
+      (fun c ->
+        if c.c_open && List.mem c.c_fd writable then
+          if flush_out c && c.c_close_after_flush then teardown c)
+      snapshot;
+    List.iter (fun c -> if c.c_open && List.mem c.c_fd readable then read_ready t c) snapshot
+
+let run t =
+  while not (Atomic.get t.stop) do
+    poll t ~max_wait_ms:100.0
+  done

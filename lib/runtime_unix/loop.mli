@@ -1,0 +1,99 @@
+(** The real-time runtime: a select-based event loop over OS sockets.
+
+    One loop runs on one domain and executes {e all} protocol state-machine
+    callbacks — message deliveries, timers, spawned thunks — sequentially,
+    preserving the single-threaded execution discipline the state machines
+    were verified under in the simulator.  Sibling domains (signal
+    handlers, load-generator threads, a supervising CLI) talk to the loop
+    only through {!post} and {!request_stop}, both cross-domain safe.
+
+    Node-to-node messages stay in-process: {!Mdcc_core.Runtime.send}
+    enqueues the delivery on the run queue (asynchronous, never reentrant),
+    with the sender's causal trace context captured and restored exactly as
+    the simulated network does.  The sockets carry {e client} traffic — the
+    memcached-style wire protocol of [Mdcc_wire] — via listeners,
+    per-connection read callbacks, and per-connection write queues flushed
+    as the peer drains them. *)
+
+type t
+
+val create : ?seed:int -> ?dc_of:(int -> int) -> unit -> t
+(** [seed] (default 1) feeds the runtime's root {!Mdcc_util.Rng}; [dc_of]
+    (default [fun _ -> 0]) gives replica locality to the coordinator's
+    local reads. *)
+
+val runtime : t -> Mdcc_core.Runtime.t
+(** The {!Mdcc_core.Runtime} interface of this loop: [now] is monotonic
+    process time in milliseconds, timers live on a {!Timer_wheel}, sends
+    are run-queue deliveries. *)
+
+val now : t -> float
+(** Milliseconds since {!create} (the runtime's clock). *)
+
+type meter = {
+  w_size : Mdcc_sim.Network.payload -> int;
+  w_on_send : src:int -> dst:int -> bytes:int -> unit;
+  w_on_deliver : src:int -> dst:int -> bytes:int -> unit;
+}
+(** Observability hook mirroring {!Mdcc_sim.Network.meter}: the size
+    estimator is supplied by the protocol layer ([Messages.size_of]), so
+    byte accounting has a single source of truth across both runtimes. *)
+
+val set_meter : t -> meter -> unit
+
+(** {1 Connections} *)
+
+type conn
+
+type conn_handlers = {
+  on_data : bytes -> int -> int -> unit;
+      (** [on_data buf off len]: bytes read from the peer.  The buffer is
+          the loop's scratch buffer — consume or copy before returning. *)
+  on_close : unit -> unit;  (** peer closed, or {!close} completed *)
+}
+
+val listen :
+  t -> ?backlog:int -> ?addr:string -> port:int -> (conn -> conn_handlers) -> int
+(** Open a listening TCP socket ([addr] defaults to 127.0.0.1) and return
+    the bound port (useful with [port:0] for an ephemeral port). *)
+
+val close_listeners : t -> unit
+(** Stop accepting new connections (first step of a graceful drain);
+    established connections are untouched. *)
+
+val write : conn -> string -> unit
+(** Queue bytes for the peer; flushed eagerly when the socket allows and
+    from the loop as it becomes writable.  Silently dropped on a closed
+    connection (the peer is gone; the protocol has no one to answer). *)
+
+val close : conn -> unit
+(** Flush the pending write queue, then close. *)
+
+val conn_buffered : conn -> int
+(** Bytes queued but not yet written to the socket. *)
+
+val open_conns : t -> int
+
+val buffered_bytes : t -> int
+(** Total unflushed bytes across connections (drain predicate input). *)
+
+(** {1 Driving the loop} *)
+
+val post : t -> (unit -> unit) -> unit
+(** Enqueue a thunk from any domain; wakes the loop if it is sleeping in
+    select.  The thunk runs on the loop domain. *)
+
+val request_stop : t -> unit
+(** Ask {!run} to return after the current iteration.  Async-signal and
+    cross-domain safe (an atomic flag plus a self-pipe wake-up). *)
+
+val stop_requested : t -> bool
+
+val poll : t -> max_wait_ms:float -> unit
+(** One loop iteration: drain posted/spawned thunks, advance the timer
+    wheel, then select on listeners/connections for at most [max_wait_ms]
+    (clipped to the next timer deadline; 0 returns immediately).  Exposed
+    for tests and custom drivers. *)
+
+val run : t -> unit
+(** Iterate {!poll} until {!request_stop}. *)

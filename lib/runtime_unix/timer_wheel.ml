@@ -1,0 +1,92 @@
+type entry = {
+  e_at : float;  (* absolute deadline, ms *)
+  e_tick : int;  (* tick the entry fires on *)
+  e_seq : int;  (* insertion order, for stable same-tick firing *)
+  e_cb : unit -> unit;
+  mutable e_live : bool;
+}
+
+type timer = entry
+
+type t = {
+  slots : entry list array;  (* unordered; sorted at fire time *)
+  tick_ms : float;
+  mutable cursor : int;  (* last fully-processed tick *)
+  mutable seq : int;
+  mutable live : int;
+}
+
+(* The slot lists are physically mutable via Array.set only — no per-entry
+   links, so a cancelled timer is simply skipped and dropped at sweep time. *)
+
+let tick_of t at = int_of_float (Float.max 0.0 at /. t.tick_ms)
+
+let create ?(slots = 512) ?(tick_ms = 1.0) ~now () =
+  if slots <= 0 || tick_ms <= 0.0 then
+    invalid_arg "Timer_wheel.create: slots and tick_ms must be positive";
+  let t = { slots = Array.make slots []; tick_ms; cursor = 0; seq = 0; live = 0 } in
+  t.cursor <- tick_of t now;
+  t
+
+let set t ~now ~after f =
+  let at = now +. Float.max 0.0 after in
+  (* Never on or before the cursor: a timer set "for now" fires on the next
+     sweep step, exactly like the simulator's clamped-to-now events. *)
+  let tick = Stdlib.max (tick_of t at) (t.cursor + 1) in
+  let e = { e_at = at; e_tick = tick; e_seq = t.seq; e_cb = f; e_live = true } in
+  t.seq <- t.seq + 1;
+  t.live <- t.live + 1;
+  let idx = tick mod Array.length t.slots in
+  t.slots.(idx) <- e :: t.slots.(idx);
+  e
+
+let cancel t e =
+  if e.e_live then begin
+    e.e_live <- false;
+    t.live <- t.live - 1
+  end
+
+let advance t ~now =
+  let target = tick_of t now in
+  while t.cursor < target do
+    t.cursor <- t.cursor + 1;
+    let idx = t.cursor mod Array.length t.slots in
+    let due, later =
+      List.partition (fun e -> e.e_tick <= t.cursor) t.slots.(idx)
+    in
+    t.slots.(idx) <- later;
+    let due = List.filter (fun e -> e.e_live) due in
+    let due =
+      List.sort
+        (fun a b ->
+          match Float.compare a.e_at b.e_at with
+          | 0 -> Int.compare a.e_seq b.e_seq
+          | c -> c)
+        due
+    in
+    List.iter
+      (fun e ->
+        if e.e_live then begin
+          e.e_live <- false;
+          t.live <- t.live - 1;
+          e.e_cb ()
+        end)
+      due
+  done
+
+let next_deadline t =
+  if t.live = 0 then None
+  else
+    Array.fold_left
+      (fun acc entries ->
+        List.fold_left
+          (fun acc e ->
+            if not e.e_live then acc
+            else
+              match acc with
+              | Some best when best <= e.e_at -> acc
+              | Some _ | None -> Some e.e_at)
+          acc entries)
+      None t.slots
+
+let pending t = t.live

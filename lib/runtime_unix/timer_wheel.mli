@@ -1,0 +1,34 @@
+(** A hashed timer wheel for the socket runtime.
+
+    Timers are bucketed into fixed-width ticks on a circular slot array;
+    setting and cancelling are O(1), and {!advance} fires everything due as
+    the cursor sweeps forward.  Same-tick timers fire in (deadline,
+    insertion) order so the wheel preserves the scheduling discipline the
+    simulator's event heap gives protocol timeouts. *)
+
+type t
+
+type timer
+(** A pending timer; cancellation is lazy (O(1) flag flip). *)
+
+val create : ?slots:int -> ?tick_ms:float -> now:float -> unit -> t
+(** [slots] (default 512) circular buckets of [tick_ms] (default 1.0)
+    milliseconds each.  [now] anchors the cursor. *)
+
+val set : t -> now:float -> after:float -> (unit -> unit) -> timer
+(** [set t ~now ~after f] schedules [f] at [now +. after] (clamped to the
+    next tick — a timer never fires inside the call that sets it). *)
+
+val cancel : t -> timer -> unit
+(** A no-op if the timer already fired or was already cancelled. *)
+
+val advance : t -> now:float -> unit
+(** Fire every live timer with a deadline at or before [now].  Callbacks
+    may set new timers (including zero-delay ones: they land on a future
+    tick and fire in the same sweep only once the cursor reaches it). *)
+
+val next_deadline : t -> float option
+(** Earliest live deadline, for the I/O multiplexer's sleep bound. *)
+
+val pending : t -> int
+(** Live (set, not yet fired, not cancelled) timers. *)

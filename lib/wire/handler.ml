@@ -1,0 +1,159 @@
+type t = {
+  parser : Parser.t;
+  backend : Backend.t;
+  write : string -> unit;
+  close : unit -> unit;
+  out : Buffer.t;  (* replies of the current pump, flushed as one write *)
+  mutable busy : bool;  (* an async operation owns the connection *)
+  mutable txn : Backend.txn_op list option;  (* buffered ops, newest first *)
+  mutable closed : bool;
+}
+
+let create ~backend ~write ~close () =
+  {
+    parser = Parser.create ();
+    backend;
+    write;
+    close;
+    out = Buffer.create 256;
+    busy = false;
+    txn = None;
+    closed = false;
+  }
+
+(* pump runs until the parser is drained or an operation went async, so an
+   idle handler never sits on a complete unanswered request. *)
+let idle t = not t.busy
+
+let flush t =
+  if Buffer.length t.out > 0 then begin
+    let s = Buffer.contents t.out in
+    Buffer.clear t.out;
+    t.write s
+  end
+
+let emit t s = Buffer.add_string t.out s
+
+let store_reply = function
+  | Backend.Stored -> Protocol.stored
+  | Backend.Not_stored -> Protocol.not_stored
+  | Backend.Exists -> Protocol.exists
+  | Backend.Not_found -> Protocol.not_found
+  | Backend.Server_busy msg -> Protocol.server_error msg
+
+let delete_reply = function
+  | Backend.Stored -> Protocol.deleted
+  | Backend.Not_found -> Protocol.not_found
+  | Backend.Not_stored | Backend.Exists -> Protocol.server_error "unexpected delete status"
+  | Backend.Server_busy msg -> Protocol.server_error msg
+
+let rec pump t =
+  if (not t.busy) && not t.closed then
+    match Parser.next t.parser with
+    | None -> flush t
+    | Some Parser.Junk ->
+      emit t Protocol.error;
+      pump t
+    | Some (Parser.Bad msg) ->
+      emit t (Protocol.client_error msg);
+      pump t
+    | Some (Parser.Req r) -> request t r
+
+and finish t =
+  t.busy <- false;
+  pump t
+
+and request t r =
+  match (t.txn, r) with
+  (* ---- transaction mode: buffer writes, answer QUEUED ---- *)
+  | Some ops, Protocol.Set s ->
+    t.txn <- Some (Backend.T_set { key = s.s_key; flags = s.s_flags; data = s.s_data } :: ops);
+    emit t Protocol.queued;
+    pump t
+  | Some ops, Delete { key; _ } ->
+    t.txn <- Some (Backend.T_delete key :: ops);
+    emit t Protocol.queued;
+    pump t
+  | Some _, Cas _ ->
+    (* the commit-time read chooses vread; a client cas token has no slot *)
+    emit t (Protocol.client_error "cas not allowed inside txn");
+    pump t
+  | Some _, Txn ->
+    emit t (Protocol.client_error "txn already open");
+    pump t
+  | Some ops, Commit ->
+    t.txn <- None;
+    t.busy <- true;
+    t.backend.b_commit (List.rev ops) (fun res ->
+        (match res with
+        | Ok () -> emit t Protocol.committed
+        | Error reason -> emit t (Protocol.aborted reason));
+        finish t)
+  | Some _, Abort ->
+    t.txn <- None;
+    emit t (Protocol.aborted "by client");
+    pump t
+  | None, (Commit | Abort) ->
+    emit t (Protocol.client_error "no open txn");
+    pump t
+  | None, Txn ->
+    t.txn <- Some [];
+    emit t Protocol.started;
+    pump t
+  (* ---- reads: allowed in either mode, never joined to the write-set ---- *)
+  | _, Get { keys; with_cas } ->
+    t.busy <- true;
+    let rec loop = function
+      | [] ->
+        emit t Protocol.end_line;
+        finish t
+      | key :: rest ->
+        t.backend.b_get key `Session (fun hit ->
+            (match hit with
+            | Some h -> Protocol.render_hit t.out ~with_cas h
+            | None -> ());
+            loop rest)
+    in
+    loop keys
+  | _, Read { key; level } ->
+    t.busy <- true;
+    t.backend.b_get key level (fun hit ->
+        (match hit with
+        | Some h -> Protocol.render_hit t.out ~with_cas:true h
+        | None -> ());
+        emit t Protocol.end_line;
+        finish t)
+  (* ---- autocommit writes ---- *)
+  | None, Set s ->
+    t.busy <- true;
+    t.backend.b_set ~key:s.s_key ~flags:s.s_flags ~data:s.s_data (fun st ->
+        if not s.s_noreply then emit t (store_reply st);
+        finish t)
+  | None, Cas { store = s; cas } ->
+    t.busy <- true;
+    t.backend.b_cas ~key:s.s_key ~flags:s.s_flags ~data:s.s_data ~cas (fun st ->
+        if not s.s_noreply then emit t (store_reply st);
+        finish t)
+  | None, Delete { key; noreply } ->
+    t.busy <- true;
+    t.backend.b_delete key (fun st ->
+        if not noreply then emit t (delete_reply st);
+        finish t)
+  (* ---- immediate answers ---- *)
+  | _, Stats ->
+    List.iter (fun (name, v) -> emit t (Protocol.stat_line name v)) (t.backend.b_stats ());
+    emit t Protocol.end_line;
+    pump t
+  | _, Version ->
+    emit t (Protocol.version_line "mdcc-wire/1");
+    pump t
+  | _, Quit ->
+    t.closed <- true;
+    flush t;
+    t.close ()
+
+let on_data t buf off len =
+  if not t.closed then begin
+    Parser.feed t.parser buf off len;
+    pump t
+  end

@@ -1,0 +1,27 @@
+(** Per-connection protocol state machine.
+
+    Requests on one connection execute strictly in arrival order: an
+    asynchronous operation marks the handler busy and parsing resumes only
+    when its continuation fires, so replies come back in request order and
+    a pipelined [set k] … [gets k] always observes the acknowledged write.
+    Responses accumulate in one buffer per pump and flush as a single
+    write, keeping pipelined bursts to one syscall each way.
+
+    The handler also owns the [txn]/[commit] extension state: between [txn]
+    and [commit], [set]/[delete] are buffered (answered [QUEUED]) instead
+    of submitted, and [commit] hands the whole write-set to
+    {!Backend.t.b_commit} as one MDCC transaction. *)
+
+type t
+
+val create :
+  backend:Backend.t -> write:(string -> unit) -> close:(unit -> unit) -> unit -> t
+(** [write] receives ready response bytes; [close] is called after [quit]
+    (and after the farewell bytes were handed to [write]). *)
+
+val on_data : t -> bytes -> int -> int -> unit
+(** Feed raw bytes from the socket (the loop's scratch buffer; copied). *)
+
+val idle : t -> bool
+(** No request executing and no complete unanswered request buffered — the
+    per-connection drain predicate for graceful shutdown. *)

@@ -1,0 +1,89 @@
+type level = [ `Local | `Session | `Majority ]
+
+type store = {
+  s_key : string;
+  s_flags : int;
+  s_exptime : int;
+  s_data : string;
+  s_noreply : bool;
+}
+
+type request =
+  | Get of { keys : string list; with_cas : bool }
+  | Set of store
+  | Cas of { store : store; cas : int }
+  | Delete of { key : string; noreply : bool }
+  | Read of { key : string; level : level }
+  | Txn
+  | Commit
+  | Abort
+  | Stats
+  | Version
+  | Quit
+
+type hit = { h_key : string; h_flags : int; h_data : string; h_cas : int }
+
+let level_of_string = function
+  | "local" -> Some `Local
+  | "session" -> Some `Session
+  | "majority" -> Some `Majority
+  | _ -> None
+
+let level_name = function
+  | `Local -> "local"
+  | `Session -> "session"
+  | `Majority -> "majority"
+
+let render_hit buf ~with_cas h =
+  Buffer.add_string buf "VALUE ";
+  Buffer.add_string buf h.h_key;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (string_of_int h.h_flags);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (string_of_int (String.length h.h_data));
+  if with_cas then begin
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (string_of_int h.h_cas)
+  end;
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf h.h_data;
+  Buffer.add_string buf "\r\n"
+
+let end_line = "END\r\n"
+let stored = "STORED\r\n"
+let not_stored = "NOT_STORED\r\n"
+let exists = "EXISTS\r\n"
+let not_found = "NOT_FOUND\r\n"
+let deleted = "DELETED\r\n"
+let started = "STARTED\r\n"
+let queued = "QUEUED\r\n"
+let committed = "COMMITTED\r\n"
+let aborted reason = Printf.sprintf "ABORTED %s\r\n" reason
+let error = "ERROR\r\n"
+let client_error msg = Printf.sprintf "CLIENT_ERROR %s\r\n" msg
+let server_error msg = Printf.sprintf "SERVER_ERROR %s\r\n" msg
+let stat_line name value = Printf.sprintf "STAT %s %s\r\n" name value
+let version_line v = Printf.sprintf "VERSION %s\r\n" v
+
+let pp_store ppf verb s =
+  Format.fprintf ppf "%s %s flags=%d exptime=%d bytes=%d%s%s" verb s.s_key s.s_flags
+    s.s_exptime (String.length s.s_data)
+    (if s.s_noreply then " noreply" else "")
+    (if String.length s.s_data <= 32 then Printf.sprintf " %S" s.s_data else "")
+
+let pp_request ppf = function
+  | Get { keys; with_cas } ->
+    Format.fprintf ppf "%s %s" (if with_cas then "gets" else "get") (String.concat " " keys)
+  | Set s -> pp_store ppf "set" s
+  | Cas { store; cas } ->
+    pp_store ppf "cas" store;
+    Format.fprintf ppf " cas=%d" cas
+  | Delete { key; noreply } ->
+    Format.fprintf ppf "delete %s%s" key (if noreply then " noreply" else "")
+  | Read { key; level } -> Format.fprintf ppf "read %s %s" key (level_name level)
+  | Txn -> Format.pp_print_string ppf "txn"
+  | Commit -> Format.pp_print_string ppf "commit"
+  | Abort -> Format.pp_print_string ppf "abort"
+  | Stats -> Format.pp_print_string ppf "stats"
+  | Version -> Format.pp_print_string ppf "version"
+  | Quit -> Format.pp_print_string ppf "quit"

@@ -1,0 +1,126 @@
+open Mdcc_storage
+module Loop = Mdcc_runtime_unix.Loop
+module Runtime = Mdcc_core.Runtime
+module Config = Mdcc_core.Config
+module Coordinator = Mdcc_core.Coordinator
+module Storage_node = Mdcc_core.Storage_node
+module Session = Mdcc_core.Session
+module Messages = Mdcc_core.Messages
+module Ctx = Mdcc_core.Ctx
+module Obs = Mdcc_obs.Obs
+
+type t = {
+  sv_loop : Loop.t;
+  sv_coord : Coordinator.t;
+  sv_obs : Obs.t;
+  sv_table : string;
+  mutable sv_port : int;
+  mutable sv_handlers : Handler.t list;
+  mutable sv_txid : int;
+}
+
+let loop t = t.sv_loop
+let port t = t.sv_port
+let obs t = t.sv_obs
+let coordinator t = t.sv_coord
+
+let next_txid t () =
+  t.sv_txid <- t.sv_txid + 1;
+  Printf.sprintf "wire%06d" t.sv_txid
+
+let stats t () =
+  let s = Coordinator.stats t.sv_coord in
+  [
+    ("fast_commits", string_of_int s.Coordinator.fast_commits);
+    ("assisted_commits", string_of_int s.Coordinator.assisted_commits);
+    ("aborts", string_of_int s.Coordinator.aborts);
+    ("collisions", string_of_int s.Coordinator.collisions);
+    ("redirects", string_of_int s.Coordinator.redirects);
+    ("timeout_recoveries", string_of_int s.Coordinator.timeout_recoveries);
+    ("inflight", string_of_int (Coordinator.inflight t.sv_coord));
+    ("curr_connections", string_of_int (Loop.open_conns t.sv_loop));
+    ("uptime_ms", string_of_int (int_of_float (Loop.now t.sv_loop)));
+  ]
+
+let create ?(seed = 1) ?(nodes = 5) ?(table = "kv") ?(addr = "127.0.0.1") ?(port = 11311) () =
+  (* Storage node [i] plays data center [i]'s replica; the coordinator
+     (node id [nodes]) lives in DC 0 and reads node 0 locally. *)
+  let lp = Loop.create ~seed ~dc_of:(fun id -> if id < nodes then id else 0) () in
+  let runtime = Loop.runtime lp in
+  let config = Config.make ~replication:nodes () in
+  let schema = Mdcc_storage.Schema.create [ { name = table; bounds = []; master_dc = 0 } ] in
+  let observ = Obs.create () in
+  let ctx = Ctx.make ~obs:observ ~local_nodes:[ 0 ] () in
+  let replicas _key = List.init nodes Fun.id in
+  let master_of key = Hashtbl.hash (Key.to_string key ^ "#master") mod nodes in
+  let storage =
+    List.init nodes (fun i ->
+        Storage_node.create ~runtime ~config ~node_id:i ~schema ~replicas ~master_of ~ctx ())
+  in
+  List.iter Storage_node.start_maintenance storage;
+  let coord =
+    Coordinator.create ~runtime ~config ~node_id:nodes ~replicas ~master_of ~ctx ()
+  in
+  Loop.set_meter lp
+    {
+      Loop.w_size = Messages.size_of;
+      w_on_send =
+        (fun ~src ~dst:_ ~bytes ->
+          Obs.incr observ (Printf.sprintf "net.sent.node%02d" src);
+          Obs.incr observ ~by:bytes (Printf.sprintf "net.sent_bytes.node%02d" src));
+      w_on_deliver =
+        (fun ~src:_ ~dst ~bytes ->
+          Obs.incr observ (Printf.sprintf "net.recv.node%02d" dst);
+          Obs.incr observ ~by:bytes (Printf.sprintf "net.recv_bytes.node%02d" dst));
+    };
+  let t =
+    {
+      sv_loop = lp;
+      sv_coord = coord;
+      sv_obs = observ;
+      sv_table = table;
+      sv_port = 0;
+      sv_handlers = [];
+      sv_txid = 0;
+    }
+  in
+  let bound =
+    Loop.listen lp ~addr ~port (fun conn ->
+        let session = Session.create coord in
+        let backend =
+          Backend.of_session ~table:t.sv_table ~stats:(stats t) ~next_txid:(next_txid t)
+            session
+        in
+        let handler =
+          Handler.create ~backend
+            ~write:(fun s -> Loop.write conn s)
+            ~close:(fun () -> Loop.close conn)
+            ()
+        in
+        t.sv_handlers <- handler :: t.sv_handlers;
+        Obs.incr observ "wire.connections";
+        {
+          Loop.on_data = (fun buf off len -> Handler.on_data handler buf off len);
+          on_close =
+            (fun () -> t.sv_handlers <- List.filter (fun h -> h != handler) t.sv_handlers);
+        })
+  in
+  t.sv_port <- bound;
+  t
+
+let run t = Loop.run t.sv_loop
+
+let shutdown ?(grace_ms = 5000.0) t ~on_done =
+  Loop.close_listeners t.sv_loop;
+  let runtime = Loop.runtime t.sv_loop in
+  let deadline = Loop.now t.sv_loop +. grace_ms in
+  let rec check () =
+    let drained =
+      List.for_all Handler.idle t.sv_handlers
+      && Coordinator.inflight t.sv_coord = 0
+      && Loop.buffered_bytes t.sv_loop = 0
+    in
+    if drained || Loop.now t.sv_loop >= deadline then on_done ()
+    else ignore (Runtime.set_timer runtime ~after:5.0 check)
+  in
+  Runtime.spawn runtime check

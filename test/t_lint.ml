@@ -139,6 +139,31 @@ let test_allowlist () =
   let r = scan ~allow:wrong_line ~rel "allowlisted.ml" in
   Alcotest.(check (list hit)) "wrong line does not suppress" [ ("R1-hash-iter", 3) ] (hits r)
 
+(* A trailing-slash entry (as lint_allow.conf carries for lib/runtime_unix/)
+   is a *directory* allowance: it must suppress for every file under that
+   directory and for nothing else — not for the same file name in another
+   tree, and not for a sibling path sharing the directory name as a string
+   prefix.  This is what keeps the socket runtime's wall-clock allowance
+   from silently turning R1 off repo-wide. *)
+let test_allowlist_dir_scope () =
+  let allow = Allowlist.of_string "# socket runtime may touch the wall clock\nR1 lib/runtime_unix/\n" in
+  let inside = scan ~allow ~rel:"lib/runtime_unix/loop.ml" "allowlisted.ml" in
+  Alcotest.(check (list hit)) "suppressed under the directory" [] (hits inside);
+  Alcotest.(check int) "recorded as allowlisted" 1 (List.length inside.Driver.rp_suppressed);
+  let nested = scan ~allow ~rel:"lib/runtime_unix/sub/deep.ml" "allowlisted.ml" in
+  Alcotest.(check (list hit)) "suppressed in subdirectories too" [] (hits nested);
+  let outside = scan ~allow ~rel:"lib/core/loop.ml" "allowlisted.ml" in
+  Alcotest.(check (list hit)) "still fires outside the directory" [ ("R1-hash-iter", 3) ]
+    (hits outside);
+  let prefix_sibling = scan ~allow ~rel:"lib/runtime_unix_extras.ml" "allowlisted.ml" in
+  Alcotest.(check (list hit)) "prefix-sharing sibling is not covered"
+    [ ("R1-hash-iter", 3) ] (hits prefix_sibling);
+  (* the directory entry suppresses only its family: R4 in the same
+     directory keeps firing *)
+  let r4 = scan ~allow ~rel:"lib/runtime_unix/r4_ambient.ml" "r4_ambient.ml" in
+  Alcotest.(check bool) "other families unaffected by the R1 entry" true
+    (List.exists (fun f -> String.length f.Finding.rule >= 2 && String.sub f.Finding.rule 0 2 = "R4") r4.Driver.rp_findings)
+
 let all_fixtures =
   [
     source ~rel:"lib/core/r1_determinism.ml" "r1_determinism.ml";
@@ -166,5 +191,6 @@ let suite =
     Alcotest.test_case "R4 scope" `Quick test_r4_scope;
     Alcotest.test_case "clean fixture" `Quick test_clean;
     Alcotest.test_case "allowlist suppression" `Quick test_allowlist;
+    Alcotest.test_case "allowlist directory scoping" `Quick test_allowlist_dir_scope;
     Alcotest.test_case "report JSON determinism" `Quick test_json_determinism;
   ]

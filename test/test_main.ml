@@ -23,4 +23,5 @@ let () =
       ("obs", T_obs.suite);
       ("pool", T_pool.suite);
       ("lint", T_lint.suite);
+      ("wire", T_wire.suite);
     ]
