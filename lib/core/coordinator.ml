@@ -494,6 +494,13 @@ let rec handle t ~src payload =
   | Messages.Read_reply { rid; key = _; value; version; exists } ->
     on_read_reply t rid src value version exists
   | Messages.Scan_reply { rid; rows } -> on_scan_reply t rid rows
+  (* Acceptor- and storage-bound traffic; a coordinator is never their
+     destination, so receiving one is a routing mistake we ignore. *)
+  | Messages.Propose _ | Messages.Phase1a _ | Messages.Phase1b _ | Messages.Phase2a _
+  | Messages.Phase2b_master _ | Messages.Visibility _ | Messages.Start_recovery _
+  | Messages.Status_query _ | Messages.Status_reply _ | Messages.Catchup_request _
+  | Messages.Catchup _ | Messages.Sync_request _ | Messages.Sync_reply _
+  | Messages.Read_request _ | Messages.Scan_request _ -> ()
   | _ -> ()
 
 let create ~runtime ~config ~node_id ~replicas ~master_of ?(ctx = Ctx.default ()) () =

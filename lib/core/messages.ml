@@ -213,4 +213,10 @@ let describe = function
   | Sync_reply { key; version; applied } ->
     Printf.sprintf "sync!(%s, v%d, %d applied)" (Key.to_string key) version
       (List.length applied)
+  | Read_request { rid; key } -> Printf.sprintf "read?(%d, %s)" rid (Key.to_string key)
+  | Read_reply { rid; key; version; exists; _ } ->
+    Printf.sprintf "read!(%d, %s, v%d, %b)" rid (Key.to_string key) version exists
+  | Scan_request { rid; table; limit; _ } ->
+    Printf.sprintf "scan?(%d, %s, limit=%d)" rid table limit
+  | Scan_reply { rid; rows } -> Printf.sprintf "scan!(%d, %d rows)" rid (List.length rows)
   | _ -> "<other>"

@@ -1176,6 +1176,9 @@ let rec handle t ~src payload =
     send t src
       (Messages.Read_reply
          { rid; key; value = row.Store.value; version = row.Store.version; exists = row.Store.exists })
+  (* Coordinator-bound replies; a storage node never consumes them. *)
+  | Messages.Phase2b_fast _ | Messages.Redirect _ | Messages.Read_reply _
+  | Messages.Scan_reply _ -> ()
   | _ -> ()
 
 let create ~runtime ~config ~node_id ~schema ~replicas ~master_of ?(ctx = Ctx.default ()) () =

@@ -7,15 +7,22 @@
     R1              lib/util/table.ml      # whole family, whole file
     R1-hash-iter    lib/foo.ml:42          # one rule, one line
     *               lib/generated.ml       # everything in a file
-    R1              lib/runtime_unix/      # whole family, whole directory
+    R1              lib/runtime_unix       # whole family, whole directory
     v}
 
-    A path with a trailing ['/'] allows the rule for every file under that
-    directory — and nowhere else: the allowance is path-scoped, never
-    global, and the slash cannot match a sibling file sharing the name as
-    a prefix. *)
+    A path matches a finding when it names the finding's file exactly or is
+    a directory prefix of it ("lib/foo" covers "lib/foo/bar.ml" but never
+    the sibling "lib/foobar.ml").  A trailing ['/'] is accepted and
+    ignored — "lib/runtime_unix" and "lib/runtime_unix/" are the same
+    entry.  The allowance is always path-scoped, never global. *)
 
-type entry = { a_rule : string; a_path : string; a_line : int option }
+type entry = {
+  a_rule : string;  (** rule id, family prefix, or ["*"] *)
+  a_path : string;  (** normalised: norm_rel applied, trailing '/' stripped *)
+  a_line : int option;
+  a_raw : string;  (** the source line as written, for diagnostics *)
+}
+
 type t = entry list
 
 val of_string : string -> t
@@ -28,3 +35,14 @@ val permits : t -> Finding.t -> bool
 (** [permits t f] is true when some entry matches [f]'s rule (exactly, by
     family prefix, or ["*"]), file path, and — when the entry pins one —
     line number. *)
+
+val unused : t -> Finding.t list -> entry list
+(** Entries that permit none of the given findings (which should be the
+    full pre-suppression finding list).  A non-empty result means the
+    allowlist has gone stale: either the underlying violation was fixed or
+    the path/rule no longer exists.  [lint_cli --check-allow] fails on
+    these so suppressions cannot outlive what they suppress. *)
+
+val entry_to_string : entry -> string
+(** The entry as written in the file (comment stripped), for error
+    messages. *)

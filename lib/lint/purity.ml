@@ -1,0 +1,166 @@
+(* R6 — runtime purity.
+
+   The deterministic core (lib/core, lib/paxos, lib/protocols, lib/storage,
+   lib/wire) is parameterized over [Mdcc_core.Runtime.t]: clocks, timers,
+   sends, and traces all arrive through that record, which is what lets the
+   exact same state machines run under the simulator and the real socket
+   loop.  A direct [Unix.*] call, a [Sys.*] read, channel I/O, or a
+   process-level [exit] in those trees reopens the hole — an effect the
+   replayer cannot see and the DES cannot reproduce.  R6 bans them
+   syntactically; the only sanctioned home for OS ambience is
+   lib/runtime_unix (which implements the Runtime interface) and the
+   executables under bin/. *)
+
+open Parsetree
+
+let in_scope rel =
+  List.exists
+    (fun p -> Rules.starts_with ~prefix:p rel)
+    [ "lib/core/"; "lib/paxos/"; "lib/protocols/"; "lib/storage/"; "lib/wire/" ]
+
+(* [Sys] members that are pure compile-time-ish constants; everything else
+   in [Sys] is an environment read or an OS effect. *)
+let benign_sys =
+  [
+    "max_string_length";
+    "max_array_length";
+    "max_floatarray_length";
+    "int_size";
+    "word_size";
+    "big_endian";
+    "ocaml_version";
+    "backend_type";
+    "opaque_identity";
+  ]
+
+(* Stdlib console/channel primitives that reach the process's file
+   descriptors when used bare or via [Stdlib.]. *)
+let channel_prims =
+  [
+    "print_string";
+    "print_bytes";
+    "print_char";
+    "print_int";
+    "print_float";
+    "print_endline";
+    "print_newline";
+    "prerr_string";
+    "prerr_bytes";
+    "prerr_char";
+    "prerr_int";
+    "prerr_float";
+    "prerr_endline";
+    "prerr_newline";
+    "read_line";
+    "read_int";
+    "read_int_opt";
+    "read_float";
+    "read_float_opt";
+    "open_in";
+    "open_in_bin";
+    "open_in_gen";
+    "open_out";
+    "open_out_bin";
+    "open_out_gen";
+    "input_line";
+    "input_char";
+    "input_byte";
+    "input_binary_int";
+    "really_input";
+    "really_input_string";
+    "output_string";
+    "output_bytes";
+    "output_char";
+    "output_byte";
+    "output_binary_int";
+    "close_in";
+    "close_in_noerr";
+    "close_out";
+    "close_out_noerr";
+    "flush";
+    "flush_all";
+    "stdin";
+    "stdout";
+    "stderr";
+  ]
+
+module Sset = Set.Make (String)
+
+(* Every name the file binds itself (top-level lets, local lets, function
+   parameters).  A bare identifier carrying one of those names resolves to
+   the local binding, not to Stdlib — wire/handler.ml's own [flush] must
+   not read as [Stdlib.flush].  Qualified uses are unaffected. *)
+let bound_names (str : structure) =
+  let acc = ref Sset.empty in
+  let super = Ast_iterator.default_iterator in
+  let pat it p =
+    (match p.ppat_desc with
+    | Ppat_var { txt; _ } -> acc := Sset.add txt !acc
+    | _ -> ());
+    super.pat it p
+  in
+  let it = { super with pat } in
+  it.structure it str;
+  !acc
+
+let check ~rel (str : structure) : Finding.t list =
+  let rel = Rules.norm_rel rel in
+  if not (in_scope rel) then []
+  else begin
+    let locally_bound = bound_names str in
+    let out = ref [] in
+    let add ~loc rule ident message =
+      let p = loc.Location.loc_start in
+      out :=
+        {
+          Finding.rule;
+          file = rel;
+          line = p.Lexing.pos_lnum;
+          col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+          ident;
+          message;
+        }
+        :: !out
+    in
+    let check_ident ~loc comps =
+      let dotted = String.concat "." comps in
+      match List.rev comps with
+      | _ :: "Unix" :: _ ->
+        add ~loc "R6-unix" dotted
+          "direct OS call in the deterministic core; route the effect through Runtime.t"
+      | fn :: "Sys" :: _ when not (List.mem fn benign_sys) ->
+        add ~loc "R6-sys" dotted
+          "ambient process state read in the deterministic core; route it through Runtime.t"
+      | _ :: ("In_channel" | "Out_channel") :: _ ->
+        add ~loc "R6-channel" dotted
+          "channel I/O in the deterministic core; route the effect through Runtime.t"
+      | ("printf" | "eprintf" | "fprintf") :: "Printf" :: _
+      | ("printf" | "eprintf") :: "Format" :: _
+      | ("std_formatter" | "err_formatter") :: "Format" :: _ ->
+        add ~loc "R6-print" dotted
+          "console output in the deterministic core; use Runtime.trace (or return the string)"
+      | [ "exit" ] when not (Sset.mem "exit" locally_bound) ->
+        add ~loc "R6-exit" dotted
+          "process exit in the deterministic core; raise a structured error instead"
+      | "exit" :: "Stdlib" :: _ ->
+        add ~loc "R6-exit" dotted
+          "process exit in the deterministic core; raise a structured error instead"
+      | [ x ] when List.mem x channel_prims && not (Sset.mem x locally_bound) ->
+        add ~loc "R6-channel" dotted
+          "channel I/O in the deterministic core; route the effect through Runtime.t"
+      | x :: "Stdlib" :: _ when List.mem x channel_prims ->
+        add ~loc "R6-channel" dotted
+          "channel I/O in the deterministic core; route the effect through Runtime.t"
+      | _ -> ()
+    in
+    let super = Ast_iterator.default_iterator in
+    let expr it e =
+      (match e.pexp_desc with
+      | Pexp_ident { txt; loc } -> check_ident ~loc (Longident.flatten txt)
+      | _ -> ());
+      super.expr it e
+    in
+    let it = { super with expr } in
+    it.structure it str;
+    List.rev !out
+  end

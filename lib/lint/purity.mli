@@ -1,0 +1,16 @@
+(** R6 — runtime purity for the deterministic core.
+
+    lib/core, lib/paxos, lib/protocols, lib/storage, and lib/wire may not
+    touch the OS directly: no [Unix.*] ([R6-unix]), no effectful [Sys.*]
+    ([R6-sys]; pure constants like [Sys.word_size] are exempt), no channel
+    or console I/O ([R6-channel]: [open_in], [print_endline], [stdout],
+    [In_channel.*], ...), no [Printf.printf]/[Format.eprintf]-style console
+    formatting ([R6-print]; [sprintf]/[asprintf] and
+    formatter-parameterised [fprintf] are pure and allowed), and no [exit]
+    ([R6-exit]).  Every effect must flow through the [Mdcc_core.Runtime.t]
+    record, which is what keeps the same state machines byte-identical
+    under the simulator and the socket loop. *)
+
+val check : rel:string -> Parsetree.structure -> Finding.t list
+(** [R6-*] findings for one file, in source order; empty outside the five
+    scoped directories. *)

@@ -89,20 +89,27 @@ let decl_entry ~module_ (td : type_declaration) =
   let types = match td.ptype_manifest with Some m -> m :: types | None -> types in
   { e_module = module_; e_mutable = mut; e_types = types }
 
-let build_env (files : (string * structure) list) : env =
+(* Per-file half of env building, so the driver can harvest declarations
+   from every file in parallel and fold the (order-independent) entries
+   together in a sequential link phase. *)
+let type_entries ~module_ (str : structure) : (string * type_entry) list =
+  List.concat_map
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_type (_, tds) ->
+        List.map (fun td -> (module_ ^ "." ^ td.ptype_name.txt, decl_entry ~module_ td)) tds
+      | _ -> [])
+    str
+
+let env_of_entries (entries : (string * type_entry) list list) : env =
   List.fold_left
-    (fun env (module_, str) ->
-      List.fold_left
-        (fun env item ->
-          match item.pstr_desc with
-          | Pstr_type (_, tds) ->
-            List.fold_left
-              (fun env td ->
-                Smap.add (module_ ^ "." ^ td.ptype_name.txt) (decl_entry ~module_ td) env)
-              env tds
-          | _ -> env)
-        env str)
-    Smap.empty files
+    (fun env file_entries ->
+      List.fold_left (fun env (k, e) -> Smap.add k e env) env file_entries)
+    Smap.empty entries
+
+let build_env (files : (string * structure) list) : env =
+  env_of_entries
+    (List.map (fun (module_, str) -> type_entries ~module_ str) files)
 
 (* ------------------------------------------------------------------ *)
 (* Mutability reachability (R2)                                        *)

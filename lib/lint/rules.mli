@@ -20,10 +20,23 @@ type env
 (** Type declarations harvested from all scanned files, keyed by
     ["Module.typename"], used for R2 reachability. *)
 
+type type_entry
+(** One harvested type declaration (opaque; see {!type_entries}). *)
+
+val type_entries :
+  module_:string -> Parsetree.structure -> (string * type_entry) list
+(** The per-file half of {!build_env}: harvest one file's top-level type
+    declarations. Safe to run per-file in parallel; entries are
+    order-independent until folded by {!env_of_entries}. *)
+
+val env_of_entries : (string * type_entry) list list -> env
+(** Fold per-file entry lists into one environment. Later files win on
+    (unlikely) module-name collisions; feed files in sorted order for
+    determinism. *)
+
 val build_env : (string * Parsetree.structure) list -> env
-(** [build_env [(module_name, ast); ...]] collects top-level type
-    declarations. Later files win on (unlikely) module-name collisions;
-    feed files in sorted order for determinism. *)
+(** [build_env [(module_name, ast); ...]] =
+    [env_of_entries] over [type_entries] of each file. *)
 
 val check : env -> rel:string -> Parsetree.structure -> Finding.t list
 (** Run every rule over one file. [rel] is the repo-relative path; it
@@ -33,6 +46,11 @@ val check : env -> rel:string -> Parsetree.structure -> Finding.t list
 val norm_rel : string -> string
 (** Normalise a repo-relative path: strip a leading ["./"], forward
     slashes. *)
+
+val starts_with : prefix:string -> string -> bool
+(** Shared prefix test used by the scope predicates of every rule
+    module (OCaml 5.1's [String.starts_with] rebuilt so the linter has no
+    stdlib-version sensitivity). *)
 
 val module_name_of_rel : string -> string
 (** ["lib/core/messages.ml"] -> ["Messages"]. *)

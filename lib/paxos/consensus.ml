@@ -110,6 +110,8 @@ let acceptor_handle t node ~src payload =
     if ok then Obs.incr t.obs "cp_phase2_vote";
     span t ~pid ~node ~name:"vote" ~detail:(if ok then "classic acc" else "classic rej");
     reply (Cp_phase2b { pid; ballot; ok })
+  (* Proposer-bound replies; an acceptor never consumes them. *)
+  | Cp_fast_reply _ | Cp_phase1b _ | Cp_phase2b _ -> ()
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -254,6 +256,8 @@ let proposer_handle t ~src payload =
     match Hashtbl.find_opt t.pending pid with
     | Some p -> on_phase2b t p ~src ballot ok
     | None -> ())
+  (* Acceptor-bound requests; a proposer never consumes them. *)
+  | Cp_fast _ | Cp_phase1a _ | Cp_phase2a _ -> ()
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)

@@ -128,6 +128,8 @@ let storage_handler t node ~src payload =
     replica_deliver t node pos updates;
     Fabric.send t.fabric ~src:node ~dst:src (Ms_append_ack { pos })
   | Ms_append_ack { pos } -> if node = t.master_node then master_ack t ~src pos
+  (* Client-bound result; the replica log never consumes it. *)
+  | Ms_result _ -> ()
   | _ -> ()
 
 let app_handler t ~node:_ ~src:_ payload =
@@ -138,6 +140,8 @@ let app_handler t ~node:_ ~src:_ payload =
     | Some cb ->
       Hashtbl.remove t.results txid;
       cb (if committed then Txn.Committed else Txn.Aborted Txn.Conflict))
+  (* Replica-log traffic; the app side never consumes it. *)
+  | Ms_submit _ | Ms_append _ | Ms_append_ack _ -> ()
   | _ -> ()
 
 let submit t ~dc (txn : Txn.t) cb =

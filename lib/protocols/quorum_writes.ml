@@ -40,6 +40,8 @@ let storage_handler t node ~src payload =
   | Qw_write { wid; key; update } ->
     blind_apply (Fabric.store_of t.fabric node) key update;
     Fabric.send t.fabric ~src:node ~dst:src (Qw_ack { wid; key })
+  (* Writer-bound ack; a storage replica never consumes it. *)
+  | Qw_ack _ -> ()
   | _ -> ()
 
 let app_handler t ~node:_ ~src:_ payload =
@@ -59,6 +61,8 @@ let app_handler t ~node:_ ~src:_ payload =
           Hashtbl.remove t.writes wid;
           ws.cb Txn.Committed
         end))
+  (* Replica-bound write; the app side never consumes it. *)
+  | Qw_write _ -> ()
   | _ -> ()
 
 let submit t ~dc (txn : Txn.t) cb =

@@ -54,6 +54,8 @@ let storage_handler t node ~src payload =
       if commit then Store.apply (Fabric.store_of t.fabric node) key update
     | Some _ | None -> ());
     Fabric.send t.fabric ~src:node ~dst:src (Decision_ack { txid; key })
+  (* Coordinator-bound replies; a participant never consumes them. *)
+  | Vote _ | Decision_ack _ -> ()
   | _ -> ()
 
 let broadcast_decision t ~app (ts : txn_state) =
@@ -88,6 +90,8 @@ let app_handler t ~node ~src:_ payload =
         Hashtbl.remove t.txns txid;
         ts.cb (if ts.all_yes then Txn.Committed else Txn.Aborted Txn.Conflict)
       end)
+  (* Participant-bound requests; the coordinator never consumes them. *)
+  | Prepare _ | Decision _ -> ()
   | _ -> ()
 
 let submit t ~dc (txn : Txn.t) cb =

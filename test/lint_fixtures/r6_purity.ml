@@ -1,0 +1,18 @@
+(* R6 fixture: direct OS/channel effects in the deterministic core. *)
+let env () = Unix.getenv "HOME"
+
+let argv0 () = Sys.argv.(0)
+
+let shout () = print_endline "hello"
+
+let shout_fmt n = Printf.printf "%d\n" n
+
+let slurp path = In_channel.with_open_text path In_channel.input_all
+
+let bail () = exit 1
+
+(* A locally defined [flush] shadows Stdlib's: calling it is not channel
+   I/O and must not be flagged. *)
+let flush t = t
+
+let pump t = flush t

@@ -1,0 +1,11 @@
+(* R6 negative fixture: pure formatting and benign constants are fine in
+   the deterministic core. *)
+let describe n = Printf.sprintf "n=%d" n
+
+let pretty pp v = Format.asprintf "%a" pp v
+
+let into_buffer fmt buf n = Format.fprintf fmt "%d" n |> fun () -> Buffer.length buf
+
+let width () = Sys.word_size
+
+let version () = Sys.ocaml_version

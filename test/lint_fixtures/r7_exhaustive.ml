@@ -1,0 +1,7 @@
+(* R7 fixture: a payload family whose receiver drops constructors. *)
+type Network.payload += Ping of int | Pong of int | Quit
+
+let bad p =
+  match p with
+  | Ping n -> n
+  | _ -> 0

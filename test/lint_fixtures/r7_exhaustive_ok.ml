@@ -1,0 +1,13 @@
+(* R7 negative fixture: complete handling and delegation are both fine. *)
+type Network.payload += Ra of int | Rb of string
+
+let complete p =
+  match p with
+  | Ra _ -> ()
+  | Rb _ -> ()
+  | _ -> ()
+
+let delegating ~fallback p =
+  match p with
+  | Ra n -> ignore n
+  | other -> fallback other

@@ -1,0 +1,6 @@
+(* R7 cross-file fixture: handles one constructor of R7_exhaustive's
+   family declared in r7_exhaustive.ml; the wildcard drops the rest. *)
+let cross p =
+  match p with
+  | R7_exhaustive.Ping n -> n
+  | _ -> 0

@@ -26,12 +26,16 @@ let hit = Alcotest.(pair string int)
 
 let test_r1_determinism () =
   let r = scan ~rel:"lib/core/r1_determinism.ml" "r1_determinism.ml" in
+  (* The wall-clock reads are double-flagged since R6: they are both a
+     determinism leak (R1) and a direct OS effect in the core (R6). *)
   Alcotest.(check (list hit))
     "r1 rule ids and lines"
     [
       ("R1-random", 3);
       ("R1-wallclock", 5);
+      ("R6-sys", 5);
       ("R1-wallclock", 7);
+      ("R6-unix", 7);
       ("R1-hash-iter", 9);
       ("R1-hash-iter", 11);
       ("R1-hash-iter", 13);
@@ -44,6 +48,8 @@ let test_r1_determinism () =
     [
       "Random.int";
       "Sys.time";
+      "Sys.time";
+      "Unix.gettimeofday";
       "Unix.gettimeofday";
       "Hashtbl.iter";
       "Hashtbl.fold";
@@ -164,12 +170,173 @@ let test_allowlist_dir_scope () =
   Alcotest.(check bool) "other families unaffected by the R1 entry" true
     (List.exists (fun f -> String.length f.Finding.rule >= 2 && String.sub f.Finding.rule 0 2 = "R4") r4.Driver.rp_findings)
 
+(* ------------------------------------------------------------------ *)
+(* R5 — domain safety                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_r5_domain () =
+  let r = scan ~rel:"lib/workload/r5_domain.ml" "r5_domain.ml" in
+  Alcotest.(check (list hit))
+    "r5 rule ids and lines"
+    [ ("R5-capture", 4); ("R5-mutate", 8); ("R5-mutate", 11); ("R5-mutate", 19) ]
+    (hits r);
+  let idents = List.map (fun f -> f.Finding.ident) r.Driver.rp_findings in
+  Alcotest.(check (list string))
+    "r5 captured variables" [ "hits"; "total"; "row"; "acc" ] idents
+
+let test_r5_ok () =
+  (* Atomics, task-local allocation, mutex-guarded closures, immutable
+     captures, and non-spawner iteration are all silent. *)
+  let r = scan ~rel:"lib/workload/r5_domain_ok.ml" "r5_domain_ok.ml" in
+  Alcotest.(check (list hit)) "no findings" [] (hits r)
+
+(* ------------------------------------------------------------------ *)
+(* R6 — runtime purity                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_r6_purity () =
+  let r = scan ~rel:"lib/core/r6_purity.ml" "r6_purity.ml" in
+  Alcotest.(check (list hit))
+    "r6 rule ids and lines"
+    [
+      ("R6-unix", 2);
+      ("R6-sys", 4);
+      ("R6-channel", 6);
+      ("R6-print", 8);
+      ("R6-channel", 10);
+      ("R6-channel", 10);
+      ("R6-exit", 12);
+    ]
+    (hits r);
+  (* The file defines its own [flush]; the call on the last line must not
+     read as Stdlib.flush.  Its absence from the list above pins that. *)
+  let idents = List.map (fun f -> f.Finding.ident) r.Driver.rp_findings in
+  Alcotest.(check (list string))
+    "r6 offending idents"
+    [
+      "Unix.getenv";
+      "Sys.argv";
+      "print_endline";
+      "Printf.printf";
+      "In_channel.with_open_text";
+      "In_channel.input_all";
+      "exit";
+    ]
+    idents
+
+let test_r6_scope () =
+  (* The same effects outside the five core directories are not R6's
+     business (bin/ and lib/runtime_unix own their process). *)
+  let r = scan ~rel:"lib/workload/r6_purity.ml" "r6_purity.ml" in
+  Alcotest.(check (list hit)) "no findings outside scope" [] (hits r)
+
+let test_r6_ok () =
+  let r = scan ~rel:"lib/core/r6_purity_ok.ml" "r6_purity_ok.ml" in
+  Alcotest.(check (list hit)) "sprintf/asprintf/constants are pure" [] (hits r)
+
+(* ------------------------------------------------------------------ *)
+(* R7 — protocol exhaustiveness                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_r7_exhaustive () =
+  let r = scan ~rel:"lib/core/r7_exhaustive.ml" "r7_exhaustive.ml" in
+  Alcotest.(check (list hit)) "r7 rule id and line" [ ("R7-unhandled", 7) ] (hits r);
+  let f = List.hd r.Driver.rp_findings in
+  Alcotest.(check string) "family named" "R7_exhaustive" f.Finding.ident;
+  let contains ~sub s =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.equal (String.sub s i n) sub || go (i + 1)) in
+    n = 0 || go 0
+  in
+  Alcotest.(check bool) "missing constructors listed" true
+    (contains ~sub:"Pong, Quit" f.Finding.message)
+
+let test_r7_ok () =
+  (* Naming every own constructor before the (extensible-variant-mandated)
+     wildcard is fine; so is delegating the wildcard to another handler. *)
+  let r = scan ~rel:"lib/core/r7_exhaustive_ok.ml" "r7_exhaustive_ok.ml" in
+  Alcotest.(check (list hit)) "no findings" [] (hits r)
+
+let test_r7_cross_file () =
+  (* The family is declared in r7_exhaustive.ml; the receiver lives in a
+     different file and names constructors with the module qualifier.  The
+     link phase must carry the constructor set across. *)
+  let r =
+    Driver.scan_sources
+      [
+        source ~rel:"lib/core/r7_exhaustive.ml" "r7_exhaustive.ml";
+        source ~rel:"lib/paxos/r7_receiver.ml" "r7_receiver.ml";
+      ]
+  in
+  Alcotest.(check (list hit))
+    "declaring file and foreign receiver both flagged"
+    [ ("R7-unhandled", 7); ("R7-unhandled", 6) ]
+    (hits r);
+  let files = List.map (fun f -> f.Finding.file) r.Driver.rp_findings in
+  Alcotest.(check (list string))
+    "cross-file finding lands in the receiver"
+    [ "lib/core/r7_exhaustive.ml"; "lib/paxos/r7_receiver.ml" ]
+    files
+
+let test_r7_scope () =
+  let r =
+    Driver.scan_sources
+      [
+        source ~rel:"lib/workload/r7_exhaustive.ml" "r7_exhaustive.ml";
+        source ~rel:"lib/workload/r7_receiver.ml" "r7_receiver.ml";
+      ]
+  in
+  Alcotest.(check (list hit)) "no findings outside scope" [] (hits r)
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist normalisation and staleness                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_allowlist_normalisation () =
+  (* A directory entry needs no trailing slash: "lib/runtime_unix" and
+     "lib/runtime_unix/" are the same scope, and neither leaks onto a
+     sibling sharing the name as a string prefix. *)
+  let no_slash = Allowlist.of_string "R1 lib/runtime_unix\n" in
+  let with_slash = Allowlist.of_string "R1 ./lib/runtime_unix/\n" in
+  List.iter
+    (fun allow ->
+      let inside = scan ~allow ~rel:"lib/runtime_unix/loop.ml" "allowlisted.ml" in
+      Alcotest.(check (list hit)) "suppressed under the directory" [] (hits inside);
+      let sibling = scan ~allow ~rel:"lib/runtime_unix_extras.ml" "allowlisted.ml" in
+      Alcotest.(check (list hit)) "prefix sibling still fires"
+        [ ("R1-hash-iter", 3) ] (hits sibling))
+    [ no_slash; with_slash ]
+
+let test_allowlist_stale () =
+  let allow =
+    Allowlist.of_string
+      "R1 lib/util/allowlisted.ml\nR4 lib/never/matches.ml\nR1 lib/util/allowlisted.ml:99\n"
+  in
+  let r = scan ~allow ~rel:"lib/util/allowlisted.ml" "allowlisted.ml" in
+  let everything = r.Driver.rp_findings @ r.Driver.rp_suppressed in
+  let stale = Allowlist.unused allow everything in
+  Alcotest.(check (list string))
+    "entries that suppress nothing are reported stale"
+    [ "R4 lib/never/matches.ml"; "R1 lib/util/allowlisted.ml:99" ]
+    (List.map Allowlist.entry_to_string stale)
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
 let all_fixtures =
   [
     source ~rel:"lib/core/r1_determinism.ml" "r1_determinism.ml";
     source ~rel:"lib/core/r2_aliasing.ml" "r2_aliasing.ml";
     source ~rel:"lib/core/r3_partiality.ml" "r3_partiality.ml";
     source ~rel:"lib/sim/r4_ambient.ml" "r4_ambient.ml";
+    source ~rel:"lib/workload/r5_domain.ml" "r5_domain.ml";
+    source ~rel:"lib/workload/r5_domain_ok.ml" "r5_domain_ok.ml";
+    source ~rel:"lib/core/r6_purity.ml" "r6_purity.ml";
+    source ~rel:"lib/core/r6_purity_ok.ml" "r6_purity_ok.ml";
+    source ~rel:"lib/core/r7_exhaustive.ml" "r7_exhaustive.ml";
+    source ~rel:"lib/core/r7_exhaustive_ok.ml" "r7_exhaustive_ok.ml";
+    source ~rel:"lib/paxos/r7_receiver.ml" "r7_receiver.ml";
     source ~rel:"lib/core/clean.ml" "clean.ml";
     source ~rel:"lib/util/allowlisted.ml" "allowlisted.ml";
   ]
@@ -179,6 +346,39 @@ let test_json_determinism () =
   let a = render () and b = render () in
   Alcotest.(check string) "byte-identical reports" a b;
   Alcotest.(check bool) "report is non-trivial" true (String.length a > 100)
+
+let test_jobs_byte_identity () =
+  (* The whole point of the three-phase driver: a parallel scan is
+     indistinguishable from the sequential one, in both report formats. *)
+  let allow = Allowlist.of_string "R1 lib/util/allowlisted.ml\n" in
+  let seq = Driver.scan_sources ~allow ~jobs:1 all_fixtures in
+  let par = Driver.scan_sources ~allow ~jobs:4 all_fixtures in
+  Alcotest.(check string) "JSON identical under --jobs 4"
+    (Driver.report_to_json seq) (Driver.report_to_json par);
+  Alcotest.(check string) "SARIF identical under --jobs 4"
+    (Driver.report_to_sarif seq) (Driver.report_to_sarif par)
+
+let test_sarif_shape () =
+  let allow = Allowlist.of_string "R1 lib/util/allowlisted.ml\n" in
+  let r = Driver.scan_sources ~allow all_fixtures in
+  let doc = Driver.report_to_sarif r in
+  let contains ~sub s =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.equal (String.sub s i n) sub || go (i + 1)) in
+    n = 0 || go 0
+  in
+  List.iter
+    (fun sub -> Alcotest.(check bool) (Printf.sprintf "SARIF contains %S" sub) true (contains ~sub doc))
+    [
+      "\"version\":\"2.1.0\"";
+      "\"name\":\"mdcc_lint\"";
+      "\"ruleId\":\"R5-capture\"";
+      "\"ruleId\":\"R6-exit\"";
+      "\"ruleId\":\"R7-unhandled\"";
+      (* the allowlisted R1 finding rides along, suppressed *)
+      "\"suppressions\":[{\"kind\":\"external\"}]";
+    ];
+  Alcotest.(check bool) "single line" false (String.contains doc '\n')
 
 let suite =
   [
@@ -190,7 +390,20 @@ let suite =
     Alcotest.test_case "R4 ambient-state fixture" `Quick test_r4_ambient;
     Alcotest.test_case "R4 scope" `Quick test_r4_scope;
     Alcotest.test_case "clean fixture" `Quick test_clean;
+    Alcotest.test_case "R5 domain-safety fixture" `Quick test_r5_domain;
+    Alcotest.test_case "R5 negative fixture" `Quick test_r5_ok;
+    Alcotest.test_case "R6 purity fixture" `Quick test_r6_purity;
+    Alcotest.test_case "R6 scope" `Quick test_r6_scope;
+    Alcotest.test_case "R6 negative fixture" `Quick test_r6_ok;
+    Alcotest.test_case "R7 exhaustiveness fixture" `Quick test_r7_exhaustive;
+    Alcotest.test_case "R7 negative fixture" `Quick test_r7_ok;
+    Alcotest.test_case "R7 cross-file link" `Quick test_r7_cross_file;
+    Alcotest.test_case "R7 scope" `Quick test_r7_scope;
     Alcotest.test_case "allowlist suppression" `Quick test_allowlist;
     Alcotest.test_case "allowlist directory scoping" `Quick test_allowlist_dir_scope;
+    Alcotest.test_case "allowlist path normalisation" `Quick test_allowlist_normalisation;
+    Alcotest.test_case "allowlist stale-entry detection" `Quick test_allowlist_stale;
     Alcotest.test_case "report JSON determinism" `Quick test_json_determinism;
+    Alcotest.test_case "--jobs byte identity" `Quick test_jobs_byte_identity;
+    Alcotest.test_case "SARIF report shape" `Quick test_sarif_shape;
   ]
