@@ -24,6 +24,7 @@ module Sweep = Mdcc_chaos.Sweep
 module Nemesis = Mdcc_chaos.Nemesis
 module Runner = Mdcc_chaos.Runner
 module Json = Mdcc_obs.Json
+module Prof = Mdcc_obs.Prof
 
 type measurement = { wall_s : float; runs_per_s : float; events_per_s : float }
 
@@ -72,6 +73,47 @@ let doc ~seeds ~scenarios ~runs ~jobs ~seq ~par ~speedup =
       ("speedup", Json.Float speedup);
     ]
 
+(* --profile: run each leg once more under the per-domain profiler and
+   write the attribution artifact.  The profiled legs are separate runs —
+   the measured legs above stay un-instrumented, and the profile rides
+   its own file (wall-clock numbers are nondeterministic, so they must
+   never share a channel with byte-pinned outputs). *)
+let profile_side ~jobs specs =
+  let t0 = Unix.gettimeofday () in
+  let _reports, snapshot = Sweep.run_profiled ~jobs specs in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (wall_s, snapshot)
+
+let profile_side_json (wall_s, snapshot) =
+  let attributed_ms = Prof.attributed_ms snapshot in
+  Json.Obj
+    [
+      ("wall_s", Json.Float wall_s);
+      ("attributed_ms", Json.Float attributed_ms);
+      (* For the sequential leg this is the share of the leg's wall time
+         the named phases explain (the >= 0.95 acceptance bar); for a
+         parallel leg phase time sums across domains, so the "fraction"
+         is effectively worker-domain utilization and may exceed 1. *)
+      ("attributed_fraction", Json.Float (attributed_ms /. (wall_s *. 1000.0)));
+      ("profile", Prof.snapshot_to_json snapshot);
+    ]
+
+let profile_doc ~seeds ~scenarios ~runs ~jobs ~seq_side ~par_side =
+  Json.Obj
+    [
+      ("schema", Json.Str "mdcc.bench_profile.v1");
+      ( "config",
+        Json.Obj
+          [
+            ("seeds", Json.Int seeds);
+            ("scenarios", Json.Int scenarios);
+            ("runs", Json.Int runs);
+            ("jobs", Json.Int jobs);
+          ] );
+      ("sequential", profile_side_json seq_side);
+      ("parallel", profile_side_json par_side);
+    ]
+
 let get_float path j =
   let rec go j = function
     | [] -> (match j with Json.Float f -> Some f | Json.Int i -> Some (Float.of_int i) | _ -> None)
@@ -112,7 +154,7 @@ let check_baseline ~path ~tolerance ~absolute ~speedup ~par =
       | Some _ | None ->
         Printf.eprintf "bench-sweep: baseline %s has no parallel.runs_per_s field\n" path
 
-let bench ~seeds ~jobs ~out ~check ~tolerance ~min_speedup ~absolute =
+let bench ~seeds ~jobs ~out ~check ~tolerance ~min_speedup ~absolute ~profile =
   let scenarios = Nemesis.matrix in
   let specs = Sweep.specs ~seeds ~scenarios () in
   let runs = List.length specs in
@@ -141,6 +183,23 @@ let bench ~seeds ~jobs ~out ~check ~tolerance ~min_speedup ~absolute =
       close_out oc;
       Printf.printf "  written: %s\n" path)
     out;
+  Option.iter
+    (fun path ->
+      Printf.printf "  profiling sequential leg...\n%!";
+      let seq_side = profile_side ~jobs:1 specs in
+      Printf.printf "  profiling jobs=%d leg...\n%!" jobs;
+      let par_side = profile_side ~jobs specs in
+      let oc = open_out path in
+      output_string oc
+        (Json.to_string
+           (profile_doc ~seeds ~scenarios:(List.length scenarios) ~runs ~jobs ~seq_side
+              ~par_side));
+      output_char oc '\n';
+      close_out oc;
+      let frac (wall_s, snap) = Prof.attributed_ms snap /. (wall_s *. 1000.0) in
+      Printf.printf "  profile: attributed %.0f%% (seq) / %.0f%% (jobs=%d) of wall; %s\n"
+        (100.0 *. frac seq_side) (100.0 *. frac par_side) jobs path)
+    profile;
   Option.iter (fun path -> check_baseline ~path ~tolerance ~absolute ~speedup ~par) check;
   Option.iter
     (fun floor ->
@@ -192,16 +251,26 @@ let absolute_flag =
           "Also compare absolute runs/sec against the baseline (off by default: wall-clock \
            throughput does not transfer across machine classes; speedup does).")
 
+let profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Re-run both legs under the hot-path profiler and write the attribution artifact \
+           (schema mdcc.bench_profile.v1: per-phase wall/alloc breakdown, sequential vs \
+           --jobs N side by side) to $(docv).  The measured legs above stay un-instrumented.")
+
 let () =
   let doc = "wall-clock benchmark and regression guard for the parallel chaos sweep" in
-  let run seeds jobs out check tolerance min_speedup absolute =
-    bench ~seeds ~jobs ~out ~check ~tolerance ~min_speedup ~absolute
+  let run seeds jobs out check tolerance min_speedup absolute profile =
+    bench ~seeds ~jobs ~out ~check ~tolerance ~min_speedup ~absolute ~profile
   in
   let cmd =
     Cmd.v
       (Cmd.info "bench-sweep" ~doc)
       Term.(
         const run $ seeds_arg $ jobs_arg $ out_arg $ check_arg $ tolerance_arg $ min_speedup_arg
-        $ absolute_flag)
+        $ absolute_flag $ profile_arg)
   in
   exit (Cmd.eval cmd)

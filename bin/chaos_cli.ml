@@ -36,7 +36,25 @@ let write_obs_out path runs =
   output_char oc '\n';
   close_out oc
 
-let sweep ~seeds ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace ~obs_out ~jobs =
+(* The profiler snapshot rides its own file — wall-clock durations are
+   nondeterministic, so they must never share a channel with the
+   byte-pinned report/obs-out outputs. *)
+let write_profile path ~jobs snapshot =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "mdcc.profile.v1");
+        ("jobs", Json.Int jobs);
+        ("profile", Mdcc_obs.Prof.snapshot_to_json snapshot);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc
+
+let sweep ~seeds ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace ~obs_out ~jobs
+    ~profile =
   let scenarios =
     match scenario with
     | None -> Nemesis.matrix
@@ -66,7 +84,14 @@ let sweep ~seeds ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace ~obs_o
             make_spec ~seed:(i + 1) ~scenario ~workload ~txns ~items ~plant_bug ~trace))
       scenarios
   in
-  let all = Sweep.run ~jobs specs in
+  let all =
+    match profile with
+    | None -> Sweep.run ~jobs specs
+    | Some path ->
+      let reports, snapshot = Sweep.run_profiled ~jobs specs in
+      write_profile path ~jobs snapshot;
+      reports
+  in
   let total = List.length all in
   List.iter
     (fun r ->
@@ -173,16 +198,27 @@ let obs_out_arg =
           "Write every run's metrics snapshot and span trees to $(docv) as one JSON document \
            ({\"runs\":[{seed,scenario,metrics,spans},..]}).")
 
+let profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Profile the sweep (per-phase wall/alloc breakdown, merged across worker domains \
+           in task order) and write the snapshot to $(docv).  Reports and $(b,--obs-out) \
+           bytes are unchanged — the profile is a separate channel.")
+
 let sweep_cmd =
   let doc = "Sweep seeds across the scenario matrix and check every history." in
-  let run seeds scenario workload txns items plant_bug json trace obs_out jobs =
+  let run seeds scenario workload txns items plant_bug json trace obs_out jobs profile =
     sweep ~seeds ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace ~obs_out ~jobs
+      ~profile
   in
   Cmd.v
     (Cmd.info "sweep" ~doc)
     Term.(
       const run $ seeds_arg $ scenario_opt $ workload_arg $ txns_arg $ items_arg $ plant_bug_arg
-      $ json_flag $ trace_flag $ obs_out_arg $ jobs_arg)
+      $ json_flag $ trace_flag $ obs_out_arg $ jobs_arg $ profile_arg)
 
 let replay_cmd =
   let doc = "Re-run a single (seed, scenario) pair, verbosely." in

@@ -67,19 +67,48 @@ let jobs_arg =
            and metric exports are merged in task order, so output is byte-identical to \
            $(b,--jobs 1).")
 
+let profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Profile the whole run (per-phase wall/alloc breakdown on the driving domain) and \
+           write the snapshot to $(docv).  Figure outputs and $(b,--metrics-out) bytes are \
+           unchanged — the profile is a separate channel.")
+
 let run_cmd =
   let doc = "Reproduce one or more of the paper's figures (default: all)." in
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"fig3..fig8, gamma")
   in
   let all = Arg.(value & flag & info [ "all" ] ~doc:"Run every experiment.") in
-  let run quick all ids metrics_out jobs =
+  let run quick all ids metrics_out jobs profile =
     (* A fresh baseline, so the exported snapshot covers exactly this run. *)
     if metrics_out <> None then Obs.reset_ambient ();
-    Pool.with_pool ~jobs (fun pool ->
-        match (all, ids) with
-        | true, _ | false, [] -> Experiments.run_all ~quick ~pool ()
-        | false, ids -> List.iter (run_one ~quick ~pool) ids);
+    let body () =
+      Pool.with_pool ~jobs (fun pool ->
+          match (all, ids) with
+          | true, _ | false, [] -> Experiments.run_all ~quick ~pool ()
+          | false, ids -> List.iter (run_one ~quick ~pool) ids)
+    in
+    (match profile with
+    | None -> body ()
+    | Some path ->
+      let (), snapshot = Mdcc_obs.Prof.with_task body in
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.Str "mdcc.profile.v1");
+            ("jobs", Json.Int jobs);
+            ("profile", Mdcc_obs.Prof.snapshot_to_json snapshot);
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (Json.to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "profile written to %s\n" path);
     Option.iter
       (fun path ->
         let oc = open_out path in
@@ -91,7 +120,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(const run $ quick_flag $ all $ ids $ metrics_out_arg $ jobs_arg)
+    Term.(const run $ quick_flag $ all $ ids $ metrics_out_arg $ jobs_arg $ profile_arg)
 
 let demo_cmd =
   let doc = "Run one multi-record transaction with protocol tracing." in

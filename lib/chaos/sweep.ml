@@ -1,6 +1,7 @@
 module Pool = Mdcc_util.Pool
 module Obs = Mdcc_obs.Obs
 module Json = Mdcc_obs.Json
+module Prof = Mdcc_obs.Prof
 
 let specs ?workload ?txns ?items ?fast_quorum_override ?capture_trace ~seeds
     ~scenarios () =
@@ -19,6 +20,51 @@ let run_one spec =
 let run_on pool specs = Pool.map_list pool specs ~f:run_one
 
 let run ?jobs specs = Pool.with_pool ?jobs (fun pool -> run_on pool specs)
+
+(* Profiled variant: each run executes under [Prof.with_task] (a fresh
+   enabled per-domain profiler handle), and the per-task snapshots fold
+   together in task order — exactly the [Registry.merge] discipline, so
+   the aggregate is independent of which domain ran what.  The reports
+   are the same values [run] returns; only the extra snapshot channel
+   differs, keeping report/obs-out bytes identical with or without
+   profiling. *)
+let run_profiled ?jobs specs =
+  let pairs, pool_stats =
+    Pool.with_pool ?jobs (fun pool ->
+        let before = Pool.stats pool in
+        let pairs =
+          Pool.map_list pool specs ~f:(fun spec ->
+              Prof.with_task (fun () ->
+                  Prof.span "sweep.run_one" (fun () -> run_one spec)))
+        in
+        let after = Pool.stats pool in
+        ( pairs,
+          Pool.
+            {
+              batches = after.batches - before.batches;
+              tasks = after.tasks - before.tasks;
+              stolen = after.stolen - before.stolen;
+            } ))
+  in
+  let reports = List.map fst pairs in
+  let profile =
+    List.fold_left
+      (fun acc (_, snap) -> Prof.merge acc snap)
+      Prof.empty_snapshot pairs
+  in
+  let profile =
+    Prof.merge profile
+      {
+        Prof.sn_phases = [];
+        sn_counters =
+          [
+            ("pool.batches", pool_stats.Pool.batches);
+            ("pool.stolen", pool_stats.Pool.stolen);
+            ("pool.tasks", pool_stats.Pool.tasks);
+          ];
+      }
+  in
+  (reports, profile)
 
 let obs_doc reports =
   Json.Obj

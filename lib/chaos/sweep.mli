@@ -35,6 +35,14 @@ val run : ?jobs:int -> Runner.spec list -> Runner.report list
 val run_on : Mdcc_util.Pool.t -> Runner.spec list -> Runner.report list
 (** {!run} on an existing pool. *)
 
+val run_profiled :
+  ?jobs:int -> Runner.spec list -> Runner.report list * Mdcc_obs.Prof.snapshot
+(** {!run} with every task bracketed by {!Mdcc_obs.Prof.with_task};
+    per-task snapshots merge in task order, plus [pool.batches] /
+    [pool.tasks] / [pool.stolen] counters from the pool.  The reports are
+    identical to {!run}'s — the profile rides a separate channel so the
+    byte-pinned sweep outputs are untouched by [--profile]. *)
+
 val obs_doc : Runner.report list -> Mdcc_obs.Json.t
 (** The sweep's observability export:
     [{"runs":[{seed,scenario,metrics,spans},..]}] in report order. *)

@@ -9,14 +9,27 @@
    replayer cannot see and the DES cannot reproduce.  R6 bans them
    syntactically; the only sanctioned home for OS ambience is
    lib/runtime_unix (which implements the Runtime interface) and the
-   executables under bin/. *)
+   executables under bin/.
+
+   lib/obs is in scope too: the observability layer runs inside the
+   deterministic sweeps, so a stray [Unix.*] there would leak wall-clock
+   values into byte-pinned exports.  Its one sanctioned clock is
+   [Mdcc_obs.Clock] (lib/obs/clock.ml), carved out by a file-scoped
+   lint_allow.conf entry — every other lib/obs file must go through it. *)
 
 open Parsetree
 
 let in_scope rel =
   List.exists
     (fun p -> Rules.starts_with ~prefix:p rel)
-    [ "lib/core/"; "lib/paxos/"; "lib/protocols/"; "lib/storage/"; "lib/wire/" ]
+    [
+      "lib/core/";
+      "lib/obs/";
+      "lib/paxos/";
+      "lib/protocols/";
+      "lib/storage/";
+      "lib/wire/";
+    ]
 
 (* [Sys] members that are pure compile-time-ish constants; everything else
    in [Sys] is an environment read or an OS effect. *)

@@ -202,7 +202,8 @@ let check (env : env) ~rel (str : structure) : Finding.t list =
       add ~loc "R1-random" dotted "nondeterministic PRNG; use the seeded Mdcc_util.Rng";
     (match rcomps with
     | "time" :: "Sys" :: _ | "time" :: "Unix" :: _ | "gettimeofday" :: "Unix" :: _ ->
-      add ~loc "R1-wallclock" dotted "wall-clock read; use Mdcc_sim.Engine.now"
+      add ~loc "R1-wallclock" dotted
+        "wall-clock read; use Mdcc_sim.Engine.now (profiler code: Mdcc_obs.Clock)"
     | fn :: "Hashtbl" :: _ when List.mem fn hash_order_fns ->
       add ~loc "R1-hash-iter" dotted
         "hash-order iteration; use Mdcc_util.Table.sorted_* (or Key.Tbl.sorted_*)"

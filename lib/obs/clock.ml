@@ -1,0 +1,28 @@
+(* The one sanctioned wall-clock read in the library tree.
+
+   Profiling needs real elapsed time, but R1 bans wall-clock reads so the
+   deterministic core can never grow a hidden time dependency.  The
+   compromise: this module is the only file allowed to touch
+   [Unix.gettimeofday] (a path-scoped [lint_allow.conf] entry for R1 and
+   R6 covers exactly [lib/obs/clock.ml]), and everything else — including
+   the rest of lib/obs — must go through it.  A bare [Unix.gettimeofday]
+   anywhere else in lib/ still fails the lint. *)
+
+let wall_ms () = Unix.gettimeofday () *. 1000.0
+
+(* Per-domain monotonic clamp: NTP steps can move [gettimeofday]
+   backwards, which would produce negative span durations.  Each domain
+   remembers the last value it handed out and never goes below it.  The
+   state lives in [Domain.DLS] so worker domains don't contend (and lint
+   rule R4's closure-boundary exemption makes the key legal). *)
+type state = { mutable last : float }
+
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { last = 0.0 })
+
+let monotonic_ms () =
+  let s = Domain.DLS.get state_key in
+  let t = wall_ms () in
+  let t = if t > s.last then t else s.last in
+  s.last <- t;
+  t

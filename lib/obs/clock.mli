@@ -1,0 +1,16 @@
+(** The sanctioned wall clock.
+
+    R1 bans wall-clock reads everywhere in lib/ so simulated runs stay
+    pure functions of their seed; profiling is the one consumer that
+    genuinely needs elapsed real time.  This module is the single
+    allowlisted home for that effect — use it (via {!Prof}) instead of
+    calling [Unix.gettimeofday] directly, which the lint still rejects in
+    every other file. *)
+
+val wall_ms : unit -> float
+(** Wall-clock time in milliseconds since the epoch. *)
+
+val monotonic_ms : unit -> float
+(** {!wall_ms} clamped per domain to never decrease, so span durations
+    are non-negative even across clock steps.  Values are only
+    comparable within one domain. *)

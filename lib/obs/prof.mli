@@ -1,0 +1,80 @@
+(** Hierarchical per-domain profiler (off by default).
+
+    Instrumentation points call {!span} / {!count} against the calling
+    domain's ambient handle; with profiling disabled (the default) both
+    collapse to a [Domain.DLS] read and a boolean test, so decorated hot
+    paths cost nothing in normal runs and all byte-identity pins are
+    untouched.  Enabled handles time spans with {!Clock.monotonic_ms}
+    (the sanctioned clock — R1 still bans every other wall-clock read)
+    and charge [Gc.minor_words] deltas per hierarchical span path.
+
+    Parallel aggregation mirrors [Registry.merge]: wrap each task in
+    {!with_task} and fold the returned snapshots in task order with
+    {!merge}.  Profiler output must ride its own channel ([--profile
+    FILE], BENCH_profile.json) — wall time is not deterministic, so it
+    must never leak into byte-pinned reports. *)
+
+type t
+
+val create : unit -> t
+(** A fresh disabled handle. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val span_in : t -> string -> (unit -> 'a) -> 'a
+(** [span_in t name f] runs [f], charging its wall time and minor
+    allocation to [parent-path/name] when [t] is enabled.  Exceptions
+    propagate; the span still closes. *)
+
+val count_in : t -> ?by:int -> string -> unit
+
+val ambient : unit -> t
+(** The calling domain's handle.  Fresh (disabled) per domain. *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** {!span_in} on the ambient handle. *)
+
+val count : ?by:int -> string -> unit
+(** {!count_in} on the ambient handle. *)
+
+val enabled_ambient : unit -> bool
+
+(** {2 Snapshots} *)
+
+type phase = {
+  ph_path : string;  (** "/"-joined path of enclosing spans *)
+  ph_count : int;
+  ph_wall_ms : float;  (** inclusive *)
+  ph_self_ms : float;  (** inclusive − children, clamped ≥ 0 *)
+  ph_minor_words : float;
+}
+
+type snapshot = {
+  sn_phases : phase list;  (** sorted by [ph_path] *)
+  sn_counters : (string * int) list;  (** sorted by name *)
+}
+
+val empty_snapshot : snapshot
+
+val capture : t -> snapshot
+(** Immutable copy of [t]'s accumulators, sorted. *)
+
+val with_task : (unit -> 'a) -> 'a * snapshot
+(** Install a fresh {e enabled} handle as the calling domain's ambient,
+    run [f], capture, and restore the previous handle (also on
+    exceptions, though the snapshot is then lost).  The snapshot gains
+    [gc.minor_collections] / [gc.major_collections] /
+    [gc.promoted_words] counters from a [Gc.quick_stat] bracket — taken
+    only at this coarse boundary because [quick_stat] itself
+    allocates. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Pointwise sum by phase path / counter name.  Associative; fold in
+    task order like [Registry.merge]. *)
+
+val attributed_ms : snapshot -> float
+(** Sum of self time over all phases — the numerator of the
+    "≥ 95 % of measured wall time attributed" acceptance check. *)
+
+val snapshot_to_json : snapshot -> Json.t

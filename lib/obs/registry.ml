@@ -31,15 +31,18 @@ let add_gauge t name d =
   let r = cell t.gauges name in
   r := !r + d
 
+let hist_cell t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.replace t.hists name r;
+      r
+
+let ensure_hist t name = ignore (hist_cell t name)
+
 let observe t name sample =
-  let r =
-    match Hashtbl.find_opt t.hists name with
-    | Some r -> r
-    | None ->
-        let r = ref [] in
-        Hashtbl.replace t.hists name r;
-        r
-  in
+  let r = hist_cell t name in
   r := sample :: !r
 
 let counter t name =
@@ -53,15 +56,36 @@ let hist_count t name =
   | Some r -> List.length !r
   | None -> 0
 
+let sorted_ints tbl =
+  Table.sorted_bindings ~compare:String.compare tbl
+  |> List.map (fun (name, r) -> (name, !r))
+
+let counter_bindings t = sorted_ints t.counters
+let gauge_bindings t = sorted_ints t.gauges
+
+let hist_bindings t =
+  Table.sorted_bindings ~compare:String.compare t.hists
+  |> List.map (fun (name, r) -> (name, List.rev !r))
+
 let merge ~into src =
+  Prof.count "registry.merge";
+  Prof.span "registry.merge" @@ fun () ->
   let sorted tbl = Table.sorted_bindings ~compare:String.compare tbl in
   List.iter (fun (name, r) -> incr into ~by:!r name) (sorted src.counters);
+  (* Gauges take src's value unconditionally — last writer wins exactly as
+     it would in a sequential run, so folding per-task registries in task
+     order reproduces the sequential final value even when a task sets a
+     gauge back to 0 (the cell exists, so it still overwrites). *)
   List.iter (fun (name, r) -> set_gauge into name !r) (sorted src.gauges);
   List.iter
     (fun (name, r) ->
-      (* Samples were prepended, so [List.rev] restores observation order;
+      (* Union the histogram name even when src recorded no samples, so a
+         merged snapshot lists the same histograms a sequential run would
+         (per-domain profiler handles create empty hists routinely).
+         Samples were prepended, so [List.rev] restores observation order;
          appending them keeps the merged histogram's sample list equal to
          what a single sequential run would have accumulated. *)
+      ensure_hist into name;
       List.iter (fun sample -> observe into name sample) (List.rev !r))
     (sorted src.hists)
 

@@ -19,6 +19,10 @@ val add_gauge : t -> string -> int -> unit
 val observe : t -> string -> float -> unit
 (** Record one sample into a histogram, creating it empty first. *)
 
+val ensure_hist : t -> string -> unit
+(** Create a histogram with no samples if absent (so {!merge} and
+    renderers see it even before the first observation). *)
+
 val counter : t -> string -> int
 (** Current value of a counter ([0] if never incremented). *)
 
@@ -27,10 +31,19 @@ val gauge : t -> string -> int
 val hist_count : t -> string -> int
 (** Number of samples observed into a histogram. *)
 
+val counter_bindings : t -> (string * int) list
+val gauge_bindings : t -> (string * int) list
+(** Current values in sorted name order. *)
+
+val hist_bindings : t -> (string * float list) list
+(** Histograms in sorted name order, samples in observation order;
+    includes empty histograms created by {!ensure_hist}. *)
+
 val merge : into:t -> t -> unit
 (** [merge ~into src] folds [src] into [into]: counters add, gauges take
     [src]'s value (last write wins, as in a sequential run), histogram
-    samples append in observation order.  Iteration is in sorted name
+    samples append in observation order and histogram {e names} union
+    even when [src] recorded no samples.  Iteration is in sorted name
     order, so merging the same sources in the same order is
     deterministic.  [src] is unchanged. *)
 

@@ -2,6 +2,7 @@ module Runtime = Mdcc_core.Runtime
 module Net = Mdcc_sim.Network
 module Trace = Mdcc_sim.Trace
 module Rng = Mdcc_util.Rng
+module Prof = Mdcc_obs.Prof
 
 type meter = {
   w_size : Net.payload -> int;
@@ -141,6 +142,11 @@ let open_conns t = List.length t.conns
 
 let buffered_bytes t = List.fold_left (fun acc c -> acc + c.c_buffered) 0 t.conns
 
+let max_conn_buffered t =
+  List.fold_left (fun acc c -> max acc c.c_buffered) 0 t.conns
+
+let timers_pending t = Timer_wheel.pending t.wheel
+
 let teardown c =
   if c.c_open then begin
     c.c_open <- false;
@@ -245,11 +251,16 @@ let drain_run_q t =
     (Queue.pop t.run_q) ()
   done
 
+(* Phase spans cost a DLS read + branch each when profiling is off (the
+   default); with [--profile] they attribute the loop's time across
+   drain / timer-wheel / select / socket-I/O. *)
 let poll t ~max_wait_ms =
-  drain_posted t;
-  drain_run_q t;
-  Timer_wheel.advance t.wheel ~now:(clock t);
-  drain_run_q t;
+  Prof.span "loop.drain" (fun () ->
+      drain_posted t;
+      drain_run_q t);
+  Prof.span "loop.timers" (fun () ->
+      Timer_wheel.advance t.wheel ~now:(clock t);
+      drain_run_q t);
   let timeout =
     if not (Queue.is_empty t.run_q) then 0.0
     else begin
@@ -268,30 +279,39 @@ let poll t ~max_wait_ms =
       (fun c -> if c.c_open && not (Queue.is_empty c.c_out) then Some c.c_fd else None)
       t.conns
   in
-  match Unix.select reads writes [] (timeout /. 1000.0) with
-  | exception Unix.Unix_error (EINTR, _, _) -> ()
-  | exception Unix.Unix_error (EBADF, _, _) -> ()
-  | readable, writable, _ ->
-    if List.mem t.wake_r readable then begin
-      let continue = ref true in
-      while !continue do
-        match Unix.read t.wake_r t.rbuf 0 64 with
-        | n -> continue := n = 64
-        | exception Unix.Unix_error _ -> continue := false
-      done
-    end;
-    List.iter
-      (fun (lfd, on_conn) ->
-        if List.mem lfd readable then accept_ready t (lfd, on_conn))
-      t.listeners;
-    (* Snapshot: handlers may open/close connections while we iterate. *)
-    let snapshot = t.conns in
-    List.iter
-      (fun c ->
-        if c.c_open && List.mem c.c_fd writable then
-          if flush_out c && c.c_close_after_flush then teardown c)
-      snapshot;
-    List.iter (fun c -> if c.c_open && List.mem c.c_fd readable then read_ready t c) snapshot
+  let selected =
+    Prof.span "loop.select" (fun () ->
+        match Unix.select reads writes [] (timeout /. 1000.0) with
+        | exception Unix.Unix_error (EINTR, _, _) -> None
+        | exception Unix.Unix_error (EBADF, _, _) -> None
+        | readable, writable, _ -> Some (readable, writable))
+  in
+  match selected with
+  | None -> ()
+  | Some (readable, writable) ->
+    Prof.span "loop.io" (fun () ->
+        if List.mem t.wake_r readable then begin
+          let continue = ref true in
+          while !continue do
+            match Unix.read t.wake_r t.rbuf 0 64 with
+            | n -> continue := n = 64
+            | exception Unix.Unix_error _ -> continue := false
+          done
+        end;
+        List.iter
+          (fun (lfd, on_conn) ->
+            if List.mem lfd readable then accept_ready t (lfd, on_conn))
+          t.listeners;
+        (* Snapshot: handlers may open/close connections while we iterate. *)
+        let snapshot = t.conns in
+        List.iter
+          (fun c ->
+            if c.c_open && List.mem c.c_fd writable then
+              if flush_out c && c.c_close_after_flush then teardown c)
+          snapshot;
+        List.iter
+          (fun c -> if c.c_open && List.mem c.c_fd readable then read_ready t c)
+          snapshot)
 
 let run t =
   while not (Atomic.get t.stop) do

@@ -77,6 +77,13 @@ val open_conns : t -> int
 val buffered_bytes : t -> int
 (** Total unflushed bytes across connections (drain predicate input). *)
 
+val max_conn_buffered : t -> int
+(** Largest single connection write-queue depth, in bytes (the
+    [metrics] gauge for per-connection backpressure). *)
+
+val timers_pending : t -> int
+(** Live timers on the wheel (the [metrics] occupancy gauge). *)
+
 (** {1 Driving the loop} *)
 
 val post : t -> (unit -> unit) -> unit

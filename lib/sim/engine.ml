@@ -37,13 +37,14 @@ let step t =
     true
 
 let run ?until t =
-  match until with
-  | None -> while step t do () done
-  | Some limit ->
-    let continue = ref true in
-    while !continue do
-      match Event_queue.peek_time t.queue with
-      | Some at when at <= limit -> ignore (step t)
-      | Some _ | None -> continue := false
-    done;
-    if t.now < limit then t.now <- limit
+  Mdcc_obs.Prof.span "engine.run" (fun () ->
+      match until with
+      | None -> while step t do () done
+      | Some limit ->
+        let continue = ref true in
+        while !continue do
+          match Event_queue.peek_time t.queue with
+          | Some at when at <= limit -> ignore (step t)
+          | Some _ | None -> continue := false
+        done;
+        if t.now < limit then t.now <- limit)

@@ -56,6 +56,7 @@ let rec sift_down t i =
    a function only of the [(at, seq)] total order over live entries, so pop
    order — and therefore the simulation — is unaffected. *)
 let compact t =
+  Mdcc_obs.Prof.count "event_queue.compact";
   let live = ref 0 in
   for i = 0 to t.len - 1 do
     let ev = t.heap.(i) in
@@ -72,6 +73,7 @@ let compact t =
   done
 
 let push t ~at ~seq run =
+  Mdcc_obs.Prof.count "event_queue.push";
   if t.len = Array.length t.heap then begin
     (* Reclaim dead entries before paying for a bigger array. *)
     if t.dead * 2 > t.len then compact t;
@@ -89,6 +91,7 @@ let push t ~at ~seq run =
    ones, so heap size stays within a constant factor of the live count. *)
 let cancel t ev =
   if not ev.cancelled then begin
+    Mdcc_obs.Prof.count "event_queue.cancel";
     ev.cancelled <- true;
     t.dead <- t.dead + 1;
     if t.len >= compact_floor && t.dead * 2 > t.len then compact t
@@ -109,7 +112,12 @@ let pop_any t =
 let rec pop t =
   match pop_any t with
   | None -> None
-  | Some ev -> if ev.cancelled then pop t else Some ev
+  | Some ev ->
+      if ev.cancelled then pop t
+      else begin
+        Mdcc_obs.Prof.count "event_queue.pop";
+        Some ev
+      end
 
 let rec peek_time t =
   if t.len = 0 then None

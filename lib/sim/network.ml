@@ -88,6 +88,7 @@ let blocked t ~src ~dst = t.failed.(src) || t.failed.(dst) || link_cut t ~src ~d
 
 let send t ~src ~dst payload =
   t.stats.sent <- t.stats.sent + 1;
+  Mdcc_obs.Prof.count "network.send";
   (* Size the payload once at send time and carry the byte count into the
      delivery closure: [m_size] walks the whole message, and computing it
      again at delivery doubled the metering cost of every message. *)
@@ -96,6 +97,7 @@ let send t ~src ~dst payload =
     | Some m ->
       let bytes = m.m_size payload in
       m.m_on_send ~src ~dst ~bytes;
+      Mdcc_obs.Prof.count ~by:bytes "network.sized_bytes";
       bytes
     | None -> 0
   in

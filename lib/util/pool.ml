@@ -28,7 +28,22 @@ type t = {
   mutable generation : int;
   mutable stop : bool;
   mutable domains : unit Domain.t list;
+  (* Lifetime stats, read by the profiler layer (lib/obs cannot be a
+     dependency here — it already depends on this library).  Atomics: the
+     claim loop updates them from every participating domain. *)
+  st_batches : int Atomic.t;
+  st_tasks : int Atomic.t;
+  st_stolen : int Atomic.t;
 }
+
+type stats = { batches : int; tasks : int; stolen : int }
+
+let stats t =
+  {
+    batches = Atomic.get t.st_batches;
+    tasks = Atomic.get t.st_tasks;
+    stolen = Atomic.get t.st_stolen;
+  }
 
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
@@ -36,10 +51,12 @@ let jobs t = t.jobs
 
 (* Claim-and-run until the batch cursor runs past the end.  Whoever
    completes the last task retires the batch and wakes the caller. *)
-let drain t b =
+let drain ?(stolen = false) t b =
   let rec claim () =
     let i = Atomic.fetch_and_add b.b_next 1 in
     if i < b.b_count then begin
+      Atomic.incr t.st_tasks;
+      if stolen then Atomic.incr t.st_stolen;
       b.b_run i;
       let completed = 1 + Atomic.fetch_and_add b.b_completed 1 in
       if completed = b.b_count then begin
@@ -67,7 +84,7 @@ let worker t =
       seen := t.generation;
       let b = t.batch in
       Mutex.unlock t.mutex;
-      (match b with Some b -> drain t b | None -> ());
+      (match b with Some b -> drain ~stolen:true t b | None -> ());
       loop ()
     end
   in
@@ -91,6 +108,9 @@ let create ?jobs () =
       generation = 0;
       stop = false;
       domains = [];
+      st_batches = Atomic.make 0;
+      st_tasks = Atomic.make 0;
+      st_stolen = Atomic.make 0;
     }
   in
   if jobs > 1 then
@@ -107,10 +127,13 @@ let shutdown t =
 
 let run_batch t ~count ~run =
   if count > 0 then begin
-    if t.jobs = 1 || count = 1 then
+    Atomic.incr t.st_batches;
+    if t.jobs = 1 || count = 1 then begin
+      Atomic.fetch_and_add t.st_tasks count |> ignore;
       for i = 0 to count - 1 do
         run i
       done
+    end
     else begin
       let b =
         {

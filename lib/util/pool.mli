@@ -41,3 +41,13 @@ val shutdown : t -> unit
 
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [create], run, and always [shutdown] (even on exceptions). *)
+
+type stats = { batches : int; tasks : int; stolen : int }
+(** Lifetime work accounting: batches submitted, tasks claimed, and the
+    subset of tasks claimed by a spawned worker rather than the calling
+    domain ([stolen = 0] when [jobs = 1]). *)
+
+val stats : t -> stats
+(** Snapshot of the pool's counters.  Read by the profiling layer
+    ([lib/obs] depends on this library, so the pool cannot call the
+    profiler itself); values only ever increase. *)

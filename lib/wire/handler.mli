@@ -15,9 +15,20 @@
 type t
 
 val create :
-  backend:Backend.t -> write:(string -> unit) -> close:(unit -> unit) -> unit -> t
+  backend:Backend.t ->
+  write:(string -> unit) ->
+  close:(unit -> unit) ->
+  ?obs:Mdcc_obs.Obs.t ->
+  unit ->
+  t
 (** [write] receives ready response bytes; [close] is called after [quit]
-    (and after the farewell bytes were handed to [write]). *)
+    (and after the farewell bytes were handed to [write]).  [obs]
+    (default: the domain's ambient handle) receives the live wire
+    counters — per-verb requests ([wire.cmd.*]), get/cas/delete
+    hits+misses, [wire.bytes_read]/[wire.bytes_written],
+    [wire.parser_errors]/[wire.parser_resyncs], commit outcomes — and is
+    the registry served by [metrics] / [stats detail].  The server passes
+    one shared handle so every connection feeds one exposition. *)
 
 val on_data : t -> bytes -> int -> int -> unit
 (** Feed raw bytes from the socket (the loop's scratch buffer; copied). *)

@@ -26,6 +26,7 @@ type t = {
   mutable scan : int;  (* prefix of [len] already searched for \n *)
   out : item Queue.t;
   mutable mode : mode;
+  mutable resyncs : int;  (* times we entered a Skip_* recovery mode *)
   max_key : int;
   max_data : int;
   max_line : int;
@@ -39,12 +40,19 @@ let create ?(max_key = 250) ?(max_data = 1024 * 1024) ?(max_line = 8192) () =
     scan = 0;
     out = Queue.create ();
     mode = Line;
+    resyncs = 0;
     max_key;
     max_data;
     max_line;
   }
 
 let pending_bytes t = t.len
+
+let resyncs t = t.resyncs
+
+let resync t mode =
+  t.resyncs <- t.resyncs + 1;
+  t.mode <- mode
 
 let consume t n =
   t.start <- t.start + n;
@@ -91,7 +99,7 @@ let parse_store t ~cas tokens =
   let fail ?bytes msg =
     emit t (Bad msg);
     match bytes with
-    | Some b when b > 0 -> t.mode <- Skip_data { remaining = b + 2 }
+    | Some b when b > 0 -> resync t (Skip_data { remaining = b + 2 })
     | Some _ | None -> ()
   in
   match tokens with
@@ -156,6 +164,15 @@ let parse_line t line =
   | [ "commit" ] -> emit t (Req Commit)
   | [ "abort" ] -> emit t (Req Abort)
   | [ "stats" ] -> emit t (Req Stats)
+  | [ "stats"; "detail" ] -> emit t (Req Stats_detail)
+  | [ "metrics" ] -> emit t (Req Metrics)
+  (* An HTTP request line on the ASCII port: curl / a Prometheus scrape
+     job asking for /metrics.  The handler answers with a full HTTP
+     response and closes, so the request's header lines are never
+     interpreted as commands. *)
+  | [ "GET"; path; version ]
+    when String.length version >= 5 && String.sub version 0 5 = "HTTP/" ->
+    emit t (Req (Http_get path))
   | [ "version" ] -> emit t (Req Version)
   | [ "quit" ] -> emit t (Req Quit)
   | _ -> emit t Junk
@@ -185,7 +202,7 @@ let rec advance t =
       if t.len > t.max_line then begin
         emit t (Bad "line too long");
         consume t t.len;
-        t.mode <- Skip_line
+        resync t Skip_line
       end)
   | Data hd ->
     let need = hd.hd_bytes + 2 in
@@ -211,7 +228,7 @@ let rec advance t =
       else begin
         consume t hd.hd_bytes;
         emit t (Bad "bad data chunk");
-        t.mode <- Skip_line;
+        resync t Skip_line;
         advance t
       end
     end

@@ -34,3 +34,8 @@ val next : t -> item option
 
 val pending_bytes : t -> int
 (** Buffered bytes not yet parsed into items (diagnostics). *)
+
+val resyncs : t -> int
+(** Times the parser entered a skip-and-resynchronize recovery (bad
+    header with a declared data block, mis-terminated chunk, overlong
+    line) — the [metrics] resync counter's source. *)

@@ -18,6 +18,9 @@ type request =
   | Commit
   | Abort
   | Stats
+  | Stats_detail
+  | Metrics
+  | Http_get of string
   | Version
   | Quit
 
@@ -65,6 +68,15 @@ let server_error msg = Printf.sprintf "SERVER_ERROR %s\r\n" msg
 let stat_line name value = Printf.sprintf "STAT %s %s\r\n" name value
 let version_line v = Printf.sprintf "VERSION %s\r\n" v
 
+(* Minimal HTTP/1.0 response for scrapers that speak GET instead of the
+   ASCII protocol (curl, a Prometheus scrape job).  Connection: close —
+   the handler tears the connection down after the body, which also stops
+   the request's remaining header lines from being parsed as commands. *)
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status content_type (String.length body) body
+
 let pp_store ppf verb s =
   Format.fprintf ppf "%s %s flags=%d exptime=%d bytes=%d%s%s" verb s.s_key s.s_flags
     s.s_exptime (String.length s.s_data)
@@ -85,5 +97,8 @@ let pp_request ppf = function
   | Commit -> Format.pp_print_string ppf "commit"
   | Abort -> Format.pp_print_string ppf "abort"
   | Stats -> Format.pp_print_string ppf "stats"
+  | Stats_detail -> Format.pp_print_string ppf "stats detail"
+  | Metrics -> Format.pp_print_string ppf "metrics"
+  | Http_get path -> Format.fprintf ppf "GET %s" path
   | Version -> Format.pp_print_string ppf "version"
   | Quit -> Format.pp_print_string ppf "quit"

@@ -37,6 +37,12 @@ type request =
   | Commit  (** submit the buffered write-set as one transaction *)
   | Abort  (** discard the buffered write-set *)
   | Stats
+  | Stats_detail  (** every live registry entry as [STAT] lines *)
+  | Metrics  (** Prometheus text exposition of the live registry *)
+  | Http_get of string
+      (** [GET <path> HTTP/1.x] — lets [curl]/a scrape job hit
+          [/metrics] on the same port; answered with an HTTP response
+          and an immediate close *)
   | Version
   | Quit
 
@@ -79,6 +85,10 @@ val client_error : string -> string
 val server_error : string -> string
 val stat_line : string -> string -> string
 val version_line : string -> string
+
+val http_response : status:string -> content_type:string -> string -> string
+(** [http_response ~status ~content_type body]: a complete HTTP/1.0
+    response ([Connection: close]) carrying [body]. *)
 
 val pp_request : Format.formatter -> request -> unit
 (** Canonical one-line rendering, used by the parser tests to pin the

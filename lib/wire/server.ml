@@ -28,9 +28,34 @@ let next_txid t () =
   t.sv_txid <- t.sv_txid + 1;
   Printf.sprintf "wire%06d" t.sv_txid
 
+(* The memcached-compatible field set, backed by the live registry the
+   handlers write into, followed by the MDCC-specific coordinator stats.
+   Field names track memcached's ("uptime", "cmd_get", "get_hits", …) so
+   existing dashboards/clients can point at this server unchanged. *)
 let stats t () =
+  let reg = Obs.registry t.sv_obs in
+  let c name = string_of_int (Mdcc_obs.Registry.counter reg name) in
   let s = Coordinator.stats t.sv_coord in
   [
+    ("uptime", string_of_int (int_of_float (Loop.now t.sv_loop /. 1000.0)));
+    ("uptime_ms", string_of_int (int_of_float (Loop.now t.sv_loop)));
+    ("curr_connections", string_of_int (Loop.open_conns t.sv_loop));
+    ("total_connections", c "wire.connections");
+    ("bytes_read", c "wire.bytes_read");
+    ("bytes_written", c "wire.bytes_written");
+    ("cmd_get", c "wire.cmd.get");
+    ("cmd_set", c "wire.cmd.set");
+    ("cmd_cas", c "wire.cmd.cas");
+    ("cmd_delete", c "wire.cmd.delete");
+    ("get_hits", c "wire.get_hits");
+    ("get_misses", c "wire.get_misses");
+    ("cas_hits", c "wire.cas_hits");
+    ("cas_misses", c "wire.cas_misses");
+    ("cas_badval", c "wire.cas_badval");
+    ("delete_hits", c "wire.delete_hits");
+    ("delete_misses", c "wire.delete_misses");
+    ("parser_errors", c "wire.parser_errors");
+    ("parser_resyncs", c "wire.parser_resyncs");
     ("fast_commits", string_of_int s.Coordinator.fast_commits);
     ("assisted_commits", string_of_int s.Coordinator.assisted_commits);
     ("aborts", string_of_int s.Coordinator.aborts);
@@ -38,8 +63,6 @@ let stats t () =
     ("redirects", string_of_int s.Coordinator.redirects);
     ("timeout_recoveries", string_of_int s.Coordinator.timeout_recoveries);
     ("inflight", string_of_int (Coordinator.inflight t.sv_coord));
-    ("curr_connections", string_of_int (Loop.open_conns t.sv_loop));
-    ("uptime_ms", string_of_int (int_of_float (Loop.now t.sv_loop)));
   ]
 
 let create ?(seed = 1) ?(nodes = 5) ?(table = "kv") ?(addr = "127.0.0.1") ?(port = 11311) () =
@@ -95,7 +118,7 @@ let create ?(seed = 1) ?(nodes = 5) ?(table = "kv") ?(addr = "127.0.0.1") ?(port
           Handler.create ~backend
             ~write:(fun s -> Loop.write conn s)
             ~close:(fun () -> Loop.close conn)
-            ()
+            ~obs:observ ()
         in
         t.sv_handlers <- handler :: t.sv_handlers;
         Obs.incr observ "wire.connections";
@@ -106,6 +129,21 @@ let create ?(seed = 1) ?(nodes = 5) ?(table = "kv") ?(addr = "127.0.0.1") ?(port
         })
   in
   t.sv_port <- bound;
+  (* Periodic gauge snapshot on the timer wheel: loop/coordinator state
+     (connection count, write-queue depths, wheel occupancy, inflight) is
+     copied into the registry every quarter second, so a [metrics] scrape
+     only renders already-materialized gauges and never walks the
+     connection list on the request path. *)
+  let rec snapshot () =
+    Obs.set_gauge observ "wire.curr_connections" (Loop.open_conns lp);
+    Obs.set_gauge observ "wire.buffered_bytes" (Loop.buffered_bytes lp);
+    Obs.set_gauge observ "wire.max_conn_buffered" (Loop.max_conn_buffered lp);
+    Obs.set_gauge observ "wire.timers_pending" (Loop.timers_pending lp);
+    Obs.set_gauge observ "wire.uptime_ms" (int_of_float (Loop.now lp));
+    Obs.set_gauge observ "coord.inflight" (Coordinator.inflight coord);
+    ignore (Runtime.set_timer runtime ~after:250.0 snapshot)
+  in
+  Runtime.spawn runtime snapshot;
   t
 
 let run t = Loop.run t.sv_loop

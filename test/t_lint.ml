@@ -234,6 +234,42 @@ let test_r6_ok () =
   let r = scan ~rel:"lib/core/r6_purity_ok.ml" "r6_purity_ok.ml" in
   Alcotest.(check (list hit)) "sprintf/asprintf/constants are pure" [] (hits r)
 
+(* The lib/obs carve-out: the observability layer is inside R6's scope (a
+   stray wall-clock read there would leak into byte-pinned exports), with
+   exactly one sanctioned escape — Obs.Clock, covered by file-scoped R1/R6
+   allowlist entries mirroring lint_allow.conf.  A bare [Unix.gettimeofday]
+   in any *other* lib/obs file must keep failing both rules. *)
+let test_r6_obs_scope () =
+  let r = scan ~rel:"lib/obs/prof.ml" "r1_determinism.ml" in
+  Alcotest.(check (list hit))
+    "bare wall-clock reads in lib/obs fail R1 and R6"
+    [
+      ("R1-random", 3);
+      ("R1-wallclock", 5);
+      ("R6-sys", 5);
+      ("R1-wallclock", 7);
+      ("R6-unix", 7);
+      ("R1-hash-iter", 9);
+      ("R1-hash-iter", 11);
+      ("R1-hash-iter", 13);
+    ]
+    (hits r)
+
+let test_r6_obs_clock_allow () =
+  let allow = Allowlist.of_string "R1 lib/obs/clock.ml\nR6 lib/obs/clock.ml\n" in
+  let clock = scan ~allow ~rel:"lib/obs/clock.ml" "r1_determinism.ml" in
+  Alcotest.(check (list hit)) "clock.ml is fully covered by the two entries" [] (hits clock);
+  Alcotest.(check bool) "suppressions recorded (entries are not stale)" true
+    (List.length clock.Driver.rp_suppressed > 0);
+  (* The allowance is file-scoped: a sibling in lib/obs gets no cover. *)
+  let sibling = scan ~allow ~rel:"lib/obs/registry.ml" "r1_determinism.ml" in
+  Alcotest.(check bool) "sibling still fails R6-unix" true
+    (List.exists (fun f -> String.equal f.Finding.rule "R6-unix") sibling.Driver.rp_findings);
+  Alcotest.(check bool) "sibling still fails R1-wallclock" true
+    (List.exists
+       (fun f -> String.equal f.Finding.rule "R1-wallclock")
+       sibling.Driver.rp_findings)
+
 (* ------------------------------------------------------------------ *)
 (* R7 — protocol exhaustiveness                                        *)
 (* ------------------------------------------------------------------ *)
@@ -395,6 +431,8 @@ let suite =
     Alcotest.test_case "R6 purity fixture" `Quick test_r6_purity;
     Alcotest.test_case "R6 scope" `Quick test_r6_scope;
     Alcotest.test_case "R6 negative fixture" `Quick test_r6_ok;
+    Alcotest.test_case "R6 lib/obs scope" `Quick test_r6_obs_scope;
+    Alcotest.test_case "R6 Obs.Clock carve-out" `Quick test_r6_obs_clock_allow;
     Alcotest.test_case "R7 exhaustiveness fixture" `Quick test_r7_exhaustive;
     Alcotest.test_case "R7 negative fixture" `Quick test_r7_ok;
     Alcotest.test_case "R7 cross-file link" `Quick test_r7_cross_file;

@@ -9,10 +9,13 @@ module Json = Mdcc_obs.Json
 module Registry = Mdcc_obs.Registry
 module Span = Mdcc_obs.Span
 module Obs = Mdcc_obs.Obs
+module Prof = Mdcc_obs.Prof
+module Prometheus = Mdcc_obs.Prometheus
 module Trace = Mdcc_sim.Trace
 module Engine = Mdcc_sim.Engine
 module Runner = Mdcc_chaos.Runner
 module Nemesis = Mdcc_chaos.Nemesis
+module Sweep = Mdcc_chaos.Sweep
 
 let contains ~needle hay =
   let nl = String.length needle and hl = String.length hay in
@@ -122,6 +125,185 @@ let test_registry_json_shape () =
           Alcotest.(check bool) ("histogram has " ^ f) true (Json.member f hist <> None))
         [ "count"; "mean"; "min"; "max"; "p50"; "p95"; "p99" ]
     | None -> Alcotest.fail "histogram \"lat\" missing")
+
+(* Registry.merge edge cases: histogram-name union on empty histograms,
+   and gauge last-writer determinism under task-order folding. *)
+
+let test_registry_merge_empty_hist () =
+  let src = Registry.create () in
+  Registry.ensure_hist src "lat";
+  let into = Registry.create () in
+  Registry.merge ~into src;
+  Alcotest.(check bool) "empty histogram name unions across merge" true
+    (List.mem_assoc "lat" (Registry.hist_bindings into));
+  Alcotest.(check int) "still no samples" 0 (Registry.hist_count into "lat");
+  (* Samples observed after the union land in the pre-created cell. *)
+  Registry.observe into "lat" 3.0;
+  Alcotest.(check int) "observable after union" 1 (Registry.hist_count into "lat")
+
+let test_registry_merge_gauge_order () =
+  let task value =
+    let r = Registry.create () in
+    Registry.set_gauge r "g" value;
+    Registry.incr r ~by:value "c";
+    r
+  in
+  let fold srcs =
+    let into = Registry.create () in
+    List.iter (fun src -> Registry.merge ~into src) srcs;
+    into
+  in
+  let ab = fold [ task 1; task 2 ] and ba = fold [ task 2; task 1 ] in
+  (* Gauges are last-writer-wins in *task order* — the fold order, not
+     the domain schedule — so the merged value is a pure function of the
+     task list. *)
+  Alcotest.(check int) "gauge takes the later task's value" 2 (Registry.gauge ab "g");
+  Alcotest.(check int) "reversed task order, reversed winner" 1 (Registry.gauge ba "g");
+  Alcotest.(check int) "counters sum regardless of order" 3 (Registry.counter ab "c");
+  Alcotest.(check int) "counters sum regardless of order (rev)" 3 (Registry.counter ba "c");
+  let again = fold [ task 1; task 2 ] in
+  Alcotest.(check string) "same task order renders byte-identically"
+    (Json.to_string (Registry.to_json ab))
+    (Json.to_string (Registry.to_json again))
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_prometheus_render () =
+  let r = Registry.create () in
+  Registry.incr r ~by:5 "wire.cmd.get";
+  Registry.set_gauge r "depth" 3;
+  Registry.observe r "lat" 0.05;
+  Registry.observe r "lat" 2.0;
+  Registry.observe r "lat" 5000.0;
+  let s = Prometheus.render r in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "exposition contains %S" needle) true
+        (contains ~needle s))
+    [
+      "# TYPE mdcc_wire_cmd_get_total counter";
+      "mdcc_wire_cmd_get_total 5\n";
+      "# TYPE mdcc_depth gauge";
+      "mdcc_depth 3\n";
+      "# TYPE mdcc_lat histogram";
+      (* cumulative buckets: 0.05 <= 0.1; 2.0 joins at le=5; +Inf sees all *)
+      "mdcc_lat_bucket{le=\"0.1\"} 1\n";
+      "mdcc_lat_bucket{le=\"5\"} 2\n";
+      "mdcc_lat_bucket{le=\"1000\"} 2\n";
+      "mdcc_lat_bucket{le=\"+Inf\"} 3\n";
+      "mdcc_lat_sum ";
+      "mdcc_lat_count 3\n";
+    ];
+  (* Kinds render counters -> gauges -> histograms, each kind's families
+     in sorted metric-name order, deterministically. *)
+  Registry.incr r ~by:1 "another.counter";
+  let s = Prometheus.render r in
+  let ia = index_of ~needle:"mdcc_another_counter_total" s
+  and iw = index_of ~needle:"mdcc_wire_cmd_get_total" s
+  and id = index_of ~needle:"mdcc_depth" s
+  and il = index_of ~needle:"mdcc_lat" s in
+  Alcotest.(check bool) "counters sorted within the kind" true (ia >= 0 && ia < iw);
+  Alcotest.(check bool) "counters before gauges before histograms" true
+    (iw < id && id < il);
+  Alcotest.(check string) "byte-identical re-render" s (Prometheus.render r)
+
+let test_prometheus_escaping () =
+  Alcotest.(check string) "metric name sanitized" "mdcc_wire_cmd_get"
+    (Prometheus.metric_name "wire.cmd-get");
+  Alcotest.(check string) "help escapes backslash and newline" "a\\\\b\\nc"
+    (Prometheus.escape_help "a\\b\nc");
+  Alcotest.(check string) "label value also escapes quotes" "q\\\"w\\nz"
+    (Prometheus.escape_label_value "q\"w\nz");
+  (* Keys that collide after sanitization combine rather than emitting an
+     illegal duplicate family. *)
+  let r = Registry.create () in
+  Registry.incr r ~by:1 "a.b";
+  Registry.incr r ~by:2 "a_b";
+  let s = Prometheus.render r in
+  Alcotest.(check bool) "colliding keys sum into one family" true
+    (contains ~needle:"mdcc_a_b_total 3\n" s)
+
+(* ------------------------------------------------------------------ *)
+(* Profiler                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_prof_spans () =
+  let p = Prof.create () in
+  Prof.set_enabled p true;
+  let v =
+    Prof.span_in p "outer" (fun () ->
+        Prof.span_in p "inner" (fun () -> ());
+        Prof.span_in p "inner" (fun () -> ());
+        Prof.count_in p ~by:3 "widgets";
+        42)
+  in
+  Alcotest.(check int) "span is transparent to the result" 42 v;
+  let s = Prof.capture p in
+  Alcotest.(check (list string))
+    "hierarchical paths, sorted" [ "outer"; "outer/inner" ]
+    (List.map (fun ph -> ph.Prof.ph_path) s.Prof.sn_phases);
+  let find path = List.find (fun ph -> String.equal ph.Prof.ph_path path) s.Prof.sn_phases in
+  Alcotest.(check int) "outer entered once" 1 (find "outer").Prof.ph_count;
+  Alcotest.(check int) "inner entered twice" 2 (find "outer/inner").Prof.ph_count;
+  Alcotest.(check bool) "inclusive wall nests" true
+    ((find "outer").Prof.ph_wall_ms >= (find "outer/inner").Prof.ph_wall_ms);
+  Alcotest.(check bool) "self time clamped non-negative" true
+    (List.for_all (fun ph -> ph.Prof.ph_self_ms >= 0.0) s.Prof.sn_phases);
+  Alcotest.(check (list (pair string int))) "counters" [ ("widgets", 3) ] s.Prof.sn_counters
+
+let test_prof_disabled_is_noop () =
+  let p = Prof.create () in
+  Alcotest.(check bool) "fresh handle disabled" false (Prof.enabled p);
+  let v = Prof.span_in p "outer" (fun () -> Prof.count_in p "c"; 9) in
+  Alcotest.(check int) "body still runs" 9 v;
+  let s = Prof.capture p in
+  Alcotest.(check int) "no phases recorded" 0 (List.length s.Prof.sn_phases);
+  Alcotest.(check int) "no counters recorded" 0 (List.length s.Prof.sn_counters)
+
+let test_prof_with_task_and_merge () =
+  let task n =
+    snd
+      (Prof.with_task (fun () ->
+           Prof.span "work" (fun () -> Sys.opaque_identity (List.init 100 Fun.id) |> ignore);
+           Prof.count ~by:n "items"))
+  in
+  let a = task 2 and b = task 5 in
+  Alcotest.(check bool) "ambient restored to disabled" false (Prof.enabled_ambient ());
+  Alcotest.(check bool) "task snapshot includes gc counters" true
+    (List.mem_assoc "gc.minor_collections" a.Prof.sn_counters);
+  let merged = Prof.merge a b in
+  let work = List.find (fun ph -> String.equal ph.Prof.ph_path "work") merged.Prof.sn_phases in
+  Alcotest.(check int) "phase counts sum across tasks" 2 work.Prof.ph_count;
+  Alcotest.(check int) "counters sum across tasks" 7 (List.assoc "items" merged.Prof.sn_counters);
+  Alcotest.(check bool) "merge with empty is identity on phases" true
+    (Prof.merge Prof.empty_snapshot a = a);
+  Alcotest.(check bool) "attributed time is the self-time sum" true
+    (Prof.attributed_ms merged >= Prof.attributed_ms a)
+
+(* --profile must be a pure side channel: the profiled sweep's reports and
+   obs export render byte-identically to the unprofiled sweep's. *)
+let test_profile_byte_identity () =
+  let specs = Sweep.specs ~seeds:2 ~scenarios:[ Nemesis.clean ] () in
+  let render rs =
+    String.concat "\n" (List.map Runner.report_to_json rs)
+    ^ "\n"
+    ^ Json.to_string (Sweep.obs_doc rs)
+  in
+  let plain = Sweep.run ~jobs:2 specs in
+  let profiled, snapshot = Sweep.run_profiled ~jobs:2 specs in
+  Alcotest.(check string) "reports identical with and without --profile" (render plain)
+    (render profiled);
+  let run_one =
+    List.find
+      (fun ph -> String.equal ph.Prof.ph_path "sweep.run_one")
+      snapshot.Prof.sn_phases
+  in
+  Alcotest.(check int) "one profiled span per run" (List.length specs) run_one.Prof.ph_count;
+  Alcotest.(check int) "pool task counter merged in" (List.length specs)
+    (List.assoc "pool.tasks" snapshot.Prof.sn_counters);
+  Alcotest.(check bool) "some wall time attributed" true (Prof.attributed_ms snapshot > 0.0)
 
 (* ------------------------------------------------------------------ *)
 (* Span                                                                *)
@@ -252,6 +434,14 @@ let suite =
     Alcotest.test_case "json member" `Quick test_json_member;
     Alcotest.test_case "registry counters and gauges" `Quick test_registry_counters_gauges;
     Alcotest.test_case "registry json shape" `Quick test_registry_json_shape;
+    Alcotest.test_case "registry merge: empty-histogram union" `Quick test_registry_merge_empty_hist;
+    Alcotest.test_case "registry merge: gauge task order" `Quick test_registry_merge_gauge_order;
+    Alcotest.test_case "prometheus exposition" `Quick test_prometheus_render;
+    Alcotest.test_case "prometheus escaping" `Quick test_prometheus_escaping;
+    Alcotest.test_case "profiler span hierarchy" `Quick test_prof_spans;
+    Alcotest.test_case "profiler disabled is a no-op" `Quick test_prof_disabled_is_noop;
+    Alcotest.test_case "profiler with_task and merge" `Quick test_prof_with_task_and_merge;
+    Alcotest.test_case "--profile byte identity" `Quick test_profile_byte_identity;
     Alcotest.test_case "span basics" `Quick test_span_basics;
     Alcotest.test_case "span json key groups" `Quick test_span_json_groups_keys;
     Alcotest.test_case "trace line sink" `Quick test_trace_line_sink;

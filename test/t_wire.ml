@@ -91,7 +91,8 @@ let items_of_feeds feeds =
 let canonical_stream =
   "version\r\nset alpha 7 0 5\r\nhello\r\ngets alpha\r\nget alpha beta\r\n"
   ^ "cas alpha 0 0 2 9\r\nhi\r\ndelete beta noreply\r\nread alpha majority\r\n"
-  ^ "txn\r\nset beta 0 0 4\r\nab\rc\r\ncommit\r\nabort\r\nstats\r\nquit\r\n"
+  ^ "txn\r\nset beta 0 0 4\r\nab\rc\r\ncommit\r\nabort\r\nstats\r\n"
+  ^ "stats detail\r\nmetrics\r\nGET /metrics HTTP/1.1\r\nquit\r\n"
 
 let canonical_items =
   [
@@ -108,6 +109,9 @@ let canonical_items =
     "commit";
     "abort";
     "stats";
+    "stats detail";
+    "metrics";
+    "GET /metrics";
     "quit";
   ]
 
@@ -260,6 +264,73 @@ let test_handler_conversation () =
   feed "quit\r\n";
   Alcotest.(check bool) "quit closes" true !closed
 
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* Live exposition over the handler: the same registry feeds [metrics]
+   (Prometheus text), [stats detail] (the verbatim-name firehose), and
+   HTTP GET /metrics — and the per-verb counters it serves move with the
+   conversation that precedes the scrape. *)
+let test_handler_metrics () =
+  let out = Buffer.create 1024 in
+  let obs = Mdcc_obs.Obs.create () in
+  let closed = ref false in
+  let h =
+    Handler.create ~backend:(fake_backend ())
+      ~write:(Buffer.add_string out)
+      ~close:(fun () -> closed := true)
+      ~obs ()
+  in
+  let feed s = Handler.on_data h (Bytes.of_string s) 0 (String.length s) in
+  feed "set a 0 0 3\r\nfoo\r\nget a\r\nget nope\r\n";
+  Buffer.clear out;
+  feed "metrics\r\n";
+  let body = Buffer.contents out in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "exposition contains %S" needle) true
+        (contains ~needle body))
+    [
+      "# TYPE mdcc_wire_cmd_set_total counter";
+      "mdcc_wire_cmd_set_total 1\n";
+      "mdcc_wire_cmd_get_total 2\n";
+      "mdcc_wire_get_hits_total 1\n";
+      "mdcc_wire_get_misses_total 1\n";
+      "mdcc_wire_bytes_read_total ";
+    ];
+  Alcotest.(check bool) "ends with END" true
+    (String.length body >= 5 && String.equal (String.sub body (String.length body - 5) 5) "END\r\n");
+  Buffer.clear out;
+  feed "stats detail\r\n";
+  let detail = Buffer.contents out in
+  Alcotest.(check bool) "stats detail serves verbatim registry names" true
+    (contains ~needle:"STAT wire.cmd.get 2\r\n" detail);
+  (* An HTTP scrape: headers after the request line must not echo as
+     ERROR replies — the handler answers and closes first. *)
+  Buffer.clear out;
+  feed "GET /metrics HTTP/1.1\r\nHost: localhost\r\nAccept: */*\r\n\r\n";
+  let http = Buffer.contents out in
+  Alcotest.(check bool) "HTTP status line" true
+    (contains ~needle:"HTTP/1.0 200 OK\r\n" http);
+  Alcotest.(check bool) "prometheus content type" true
+    (contains ~needle:"Content-Type: text/plain; version=0.0.4\r\n" http);
+  Alcotest.(check bool) "body carries the counters" true
+    (contains ~needle:"mdcc_wire_cmd_set_total 1\n" http);
+  Alcotest.(check bool) "no ERROR echoed for header lines" false
+    (contains ~needle:"ERROR" http);
+  Alcotest.(check bool) "connection closed after the scrape" true !closed
+
+let test_parser_resync_counter () =
+  let p = Parser.create () in
+  Parser.feed_string p "cas k 0 0 3 notanint\r\nxyz\r\nset k 0 0 3\r\nxyzJUNK\r\nversion\r\n";
+  let items = List.map render_item (drain p) in
+  Alcotest.(check (list string)) "stream re-aligns after both errors"
+    [ "BAD:bad cas token"; "BAD:bad data chunk"; "version" ]
+    items;
+  Alcotest.(check int) "both resyncs counted" 2 (Parser.resyncs p)
+
 (* ---------------- the full wire stack over the simulated runtime -------- *)
 
 let kv_schema = Schema.create [ { Schema.name = "kv"; bounds = []; master_dc = 0 } ]
@@ -410,6 +481,120 @@ let test_server_sigterm () =
   | Unix.WSIGNALED s -> Alcotest.failf "server killed by signal %d" s
   | Unix.WSTOPPED _ -> Alcotest.fail "server stopped"
 
+(* ---------------- server binary: live metrics over real TCP ------------- *)
+
+let read_until ~pred ~deadline fd =
+  let buf = Bytes.create 4096 in
+  let acc = Buffer.create 1024 in
+  let rec go () =
+    if pred (Buffer.contents acc) then Buffer.contents acc
+    else begin
+      let n = deadline_read fd buf ~deadline in
+      if n = 0 then Buffer.contents acc
+      else begin
+        Buffer.add_subbytes acc buf 0 n;
+        go ()
+      end
+    end
+  in
+  go ()
+
+let send_all fd s =
+  let n = Unix.write_substring fd s 0 (String.length s) in
+  Alcotest.(check int) "short write" (String.length s) n
+
+let test_server_metrics () =
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let out_r, out_w = Unix.pipe () in
+  let pid =
+    Unix.create_process server_exe
+      [| server_exe; "--nodes"; "3"; "--port"; "0" |]
+      Unix.stdin out_w Unix.stderr
+  in
+  Unix.close out_w;
+  let buf = Bytes.create 4096 in
+  let acc = Buffer.create 64 in
+  let rec read_port () =
+    let n = deadline_read out_r buf ~deadline in
+    if n = 0 then Alcotest.fail "server exited before announcing its port";
+    Buffer.add_subbytes acc buf 0 n;
+    match String.index_opt (Buffer.contents acc) '\n' with
+    | None -> read_port ()
+    | Some _ -> Scanf.sscanf (Buffer.contents acc) "LISTENING %d" (fun p -> p)
+  in
+  let port = read_port () in
+  let connect () =
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    Unix.connect fd (ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+    fd
+  in
+  let counter_value body name =
+    (* last space-separated token of the matching exposition line *)
+    String.split_on_char '\n' body
+    |> List.find_map (fun line ->
+           match String.split_on_char ' ' line with
+           | [ n; v ] when String.equal n name -> int_of_string_opt v
+           | _ -> None)
+  in
+  let fd = connect () in
+  let ends_with_end s =
+    String.length s >= 5 && String.equal (String.sub s (String.length s - 5) 5) "END\r\n"
+  in
+  (* one committed set, then a scrape over the ASCII command *)
+  send_all fd "set mk 0 0 5\r\nhello\r\n";
+  let stored = read_until ~pred:(contains ~needle:"STORED\r\n") ~deadline fd in
+  Alcotest.(check bool) "set answered" true (contains ~needle:"STORED\r\n" stored);
+  send_all fd "metrics\r\n";
+  let m1 = read_until ~pred:ends_with_end ~deadline fd in
+  Alcotest.(check bool) "exposition has typed counter families" true
+    (contains ~needle:"# TYPE mdcc_wire_cmd_set_total counter" m1);
+  let sets1 =
+    match counter_value m1 "mdcc_wire_cmd_set_total" with
+    | Some v -> v
+    | None -> Alcotest.fail "mdcc_wire_cmd_set_total missing from exposition"
+  in
+  Alcotest.(check int) "one set counted" 1 sets1;
+  (* more load: the same counter must move on the next scrape *)
+  send_all fd "set mk2 0 0 2\r\nhi\r\n";
+  ignore (read_until ~pred:(contains ~needle:"STORED\r\n") ~deadline fd);
+  send_all fd "metrics\r\n";
+  let m2 = read_until ~pred:ends_with_end ~deadline fd in
+  (match counter_value m2 "mdcc_wire_cmd_set_total" with
+  | Some v -> Alcotest.(check int) "counter moved under load" 2 v
+  | None -> Alcotest.fail "mdcc_wire_cmd_set_total missing from second scrape");
+  send_all fd "quit\r\n";
+  Unix.close fd;
+  (* same registry over HTTP, for curl / a scrape job *)
+  let http_fd = connect () in
+  send_all http_fd "GET /metrics HTTP/1.1\r\nHost: localhost\r\nAccept: */*\r\n\r\n";
+  let http = read_until ~pred:(fun _ -> false) ~deadline http_fd in
+  Unix.close http_fd;
+  Alcotest.(check bool) "HTTP 200" true (contains ~needle:"HTTP/1.0 200 OK\r\n" http);
+  Alcotest.(check bool) "scrape content type" true
+    (contains ~needle:"Content-Type: text/plain; version=0.0.4\r\n" http);
+  Alcotest.(check bool) "HTTP body serves the same registry" true
+    (contains ~needle:"mdcc_wire_cmd_set_total 2" http);
+  Unix.kill pid Sys.sigterm;
+  Unix.close out_r;
+  let rec wait_exit () =
+    match Unix.waitpid [ WNOHANG ] pid with
+    | 0, _ ->
+      if Unix.gettimeofday () > deadline then begin
+        Unix.kill pid Sys.sigkill;
+        Alcotest.fail "server did not exit after SIGTERM"
+      end
+      else begin
+        ignore (Unix.select [] [] [] 0.05);
+        wait_exit ()
+      end
+    | _, status -> status
+  in
+  match wait_exit () with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> Alcotest.failf "server exited %d, wanted 0" n
+  | Unix.WSIGNALED s -> Alcotest.failf "server killed by signal %d" s
+  | Unix.WSTOPPED _ -> Alcotest.fail "server stopped"
+
 let suite =
   [
     Alcotest.test_case "timer wheel: firing order" `Quick test_wheel_order;
@@ -421,7 +606,10 @@ let suite =
     Alcotest.test_case "parser: malformed input" `Quick test_parser_malformed;
     Alcotest.test_case "parser: limits and truncation" `Quick test_parser_limits;
     Alcotest.test_case "handler: pinned conversation" `Quick test_handler_conversation;
+    Alcotest.test_case "handler: live metrics exposition" `Quick test_handler_metrics;
+    Alcotest.test_case "parser: resync counter" `Quick test_parser_resync_counter;
     Alcotest.test_case "wire stack over the simulated runtime" `Quick test_wire_over_sim;
     Alcotest.test_case "socket loop meters Messages.size_of" `Quick test_loop_meter_size_of;
     Alcotest.test_case "server_cli: SIGTERM graceful drain" `Quick test_server_sigterm;
+    Alcotest.test_case "server_cli: live metrics over TCP" `Quick test_server_metrics;
   ]
