@@ -1,0 +1,186 @@
+(* The sharded Figure-4-style throughput bench.
+
+     dune exec bench/bench_shard.exe -- --out BENCH_shard.json
+     dune exec bench/bench_shard.exe -- --partitions 16 --clients 400 --items 40000
+
+   Runs the TPC-W write workload over the full MDCC protocol on a
+   multi-partition deployment — a scale-out series doubling the partition
+   count (and the closed-loop client population with it) up to
+   --partitions, all against the same --items keyspace — and reports
+   committed transactions per second with p50/p99 commit latency per
+   point.  This is Figure 4's methodology at a 10x larger keyspace than
+   the quick experiment tier (800 items), with the keyspace hash-sharded
+   across per-partition replica groups instead of one group holding
+   everything.
+
+   The optional JSON artifact (schema mdcc.bench_shard.v1) is the CI
+   hand-off: bench-smoke uploads it so a scale-out regression is visible
+   per commit. *)
+
+module Stats = Mdcc_util.Stats
+module Rng = Mdcc_util.Rng
+module Obs = Mdcc_obs.Obs
+module Json = Mdcc_obs.Json
+module Setup = Mdcc_workload.Setup
+module Tpcw = Mdcc_workload.Tpcw
+module Runner = Mdcc_workload.Runner
+module Metrics = Mdcc_workload.Metrics
+
+type point = {
+  pt_partitions : int;
+  pt_clients : int;
+  pt_tps : float;
+  pt_p50 : float;
+  pt_p99 : float;
+  pt_committed : int;
+  pt_aborted : int;
+  pt_wall_s : float;
+}
+
+let even_spread ~num_dcs clients =
+  let base = clients / num_dcs and extra = clients mod num_dcs in
+  Array.init num_dcs (fun dc -> base + if dc < extra then 1 else 0)
+
+let run_point ~seed ~items ~warmup ~duration ~drain ~partitions ~clients =
+  let t0 = Unix.gettimeofday () in
+  let rng = Rng.create ((seed * 17) + 3) in
+  let p = { Tpcw.default with items; commutative = true } in
+  let rows = Tpcw.rows p ~rng in
+  let harness =
+    Setup.make Setup.Mdcc ~seed ~schema:Tpcw.schema ~partitions ~obs:(Obs.create ()) ~rows ()
+  in
+  let spec =
+    { Runner.clients_per_dc = even_spread ~num_dcs:5 clients; warmup; duration; drain; seed }
+  in
+  let metrics = Runner.run harness (Tpcw.generator p) spec in
+  let p50, p99 =
+    match Metrics.summary metrics with
+    | Some s -> (s.Stats.p50, s.Stats.p99)
+    | None -> (0.0, 0.0)
+  in
+  {
+    pt_partitions = partitions;
+    pt_clients = clients;
+    pt_tps = Metrics.throughput metrics ~duration;
+    pt_p50 = p50;
+    pt_p99 = p99;
+    pt_committed = Metrics.commit_count metrics;
+    pt_aborted = Metrics.abort_count metrics;
+    pt_wall_s = Unix.gettimeofday () -. t0;
+  }
+
+(* The scale-out series: partition counts doubling up to [partitions],
+   clients growing proportionally so per-partition load stays constant
+   (Figure 4 grows the offered load with the deployment). *)
+let series ~partitions ~clients =
+  let rec doublings p acc = if p >= partitions then List.rev (partitions :: acc) else doublings (p * 2) (p :: acc) in
+  let ps = match doublings 1 [] with [ 1 ] -> [ 1 ] | 1 :: rest -> rest | ps -> ps in
+  List.map (fun p -> (p, max 1 (clients * p / partitions))) ps
+
+let point_json pt =
+  Json.Obj
+    [
+      ("partitions", Json.Int pt.pt_partitions);
+      ("clients", Json.Int pt.pt_clients);
+      ("txns_per_s", Json.Float pt.pt_tps);
+      ("p50_ms", Json.Float pt.pt_p50);
+      ("p99_ms", Json.Float pt.pt_p99);
+      ("committed", Json.Int pt.pt_committed);
+      ("aborted", Json.Int pt.pt_aborted);
+      ("wall_s", Json.Float pt.pt_wall_s);
+    ]
+
+let doc ~seed ~items ~warmup ~duration ~partitions ~clients points =
+  Json.Obj
+    [
+      ("schema", Json.Str "mdcc.bench_shard.v1");
+      ( "config",
+        Json.Obj
+          [
+            ("items", Json.Int items);
+            ("clients", Json.Int clients);
+            ("partitions", Json.Int partitions);
+            ("warmup_ms", Json.Float warmup);
+            ("duration_ms", Json.Float duration);
+            ("seed", Json.Int seed);
+          ] );
+      ("points", Json.List (List.map point_json points));
+    ]
+
+let bench ~seed ~items ~warmup ~duration ~drain ~partitions ~clients ~out =
+  let pts = series ~partitions ~clients in
+  Printf.printf "bench-shard: %d items, %d points up to %d partitions / %d clients\n%!" items
+    (List.length pts) partitions clients;
+  let points =
+    List.map
+      (fun (p, c) ->
+        let pt = run_point ~seed ~items ~warmup ~duration ~drain ~partitions:p ~clients:c in
+        Printf.printf
+          "  partitions=%-3d clients=%-4d  %8.1f txns/s  p50 %6.0f ms  p99 %6.0f ms  (%d c / %d a, %.1f s wall)\n%!"
+          p c pt.pt_tps pt.pt_p50 pt.pt_p99 pt.pt_committed pt.pt_aborted pt.pt_wall_s;
+        pt)
+      pts
+  in
+  (match points with
+  | first :: (_ :: _ as rest) ->
+    let last = List.nth rest (List.length rest - 1) in
+    if last.pt_tps > first.pt_tps then
+      Printf.printf "  scale-out: %.2fx throughput from %d to %d partitions\n"
+        (last.pt_tps /. first.pt_tps) first.pt_partitions last.pt_partitions
+  | _ -> ());
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      output_string oc
+        (Json.to_string (doc ~seed ~items ~warmup ~duration ~partitions ~clients points));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "  written: %s\n" path)
+    out
+
+open Cmdliner
+
+let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
+
+let items_arg =
+  Arg.(value & opt int 8_000 & info [ "items" ] ~docv:"N" ~doc:"TPC-W items (the keyspace).")
+
+let clients_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "clients" ] ~docv:"N" ~doc:"Closed-loop clients at the largest point.")
+
+let partitions_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "partitions" ] ~docv:"N" ~doc:"Largest partition count of the scale-out series.")
+
+let warmup_arg =
+  Arg.(value & opt float 2_000.0 & info [ "warmup" ] ~docv:"MS" ~doc:"Warm-up window (sim ms).")
+
+let duration_arg =
+  Arg.(
+    value & opt float 8_000.0 & info [ "duration" ] ~docv:"MS" ~doc:"Measured window (sim ms).")
+
+let drain_arg =
+  Arg.(value & opt float 20_000.0 & info [ "drain" ] ~docv:"MS" ~doc:"Drain window (sim ms).")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE" ~doc:"Write the series as JSON (schema mdcc.bench_shard.v1).")
+
+let () =
+  let doc = "TPC-W throughput scale-out across keyspace partitions (Figure-4 style)" in
+  let run seed items clients partitions warmup duration drain out =
+    bench ~seed ~items ~warmup ~duration ~drain ~partitions ~clients ~out
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "bench-shard" ~doc)
+      Term.(
+        const run $ seed_arg $ items_arg $ clients_arg $ partitions_arg $ warmup_arg
+        $ duration_arg $ drain_arg $ out_arg)
+  in
+  exit (Cmd.eval cmd)

@@ -174,11 +174,11 @@ let doc ~params ~req_s ~wall_s ~requests ~sorted ~protocol_errors ~consistency_e
       ("consistency_errors", Json.Int consistency_errors);
     ]
 
-let bench ~addr ~port ~self_host ~nodes ~conns ~depth ~ops ~keys ~value_bytes ~out =
+let bench ~addr ~port ~self_host ~nodes ~partitions ~conns ~depth ~ops ~keys ~value_bytes ~out =
   let server =
     if not self_host then None
     else begin
-      let srv = Server.create ~nodes ~port:0 () in
+      let srv = Server.create ~nodes ~partitions ~port:0 () in
       let d = Domain.spawn (fun () -> Server.run srv) in
       Some (srv, d)
     end
@@ -186,7 +186,9 @@ let bench ~addr ~port ~self_host ~nodes ~conns ~depth ~ops ~keys ~value_bytes ~o
   let port = match server with Some (srv, _) -> Server.port srv | None -> port in
   Printf.printf "bench_wire: %d conns x depth %d x %d ops -> %s:%d%s\n%!" conns depth ops
     addr port
-    (if self_host then Printf.sprintf " (self-hosted, %d nodes)" nodes else "");
+    (if self_host then
+       Printf.sprintf " (self-hosted, %d nodes x %d partitions)" nodes partitions
+     else "");
   let t0 = Unix.gettimeofday () in
   let domains =
     List.init conns (fun i ->
@@ -217,6 +219,7 @@ let bench ~addr ~port ~self_host ~nodes ~conns ~depth ~ops ~keys ~value_bytes ~o
       ("value_bytes", Json.Int value_bytes);
       ("self_host", Json.Bool self_host);
       ("nodes", Json.Int nodes);
+      ("partitions", Json.Int partitions);
     ]
   in
   let json =
@@ -249,6 +252,11 @@ let self_host_arg =
   Arg.(value & flag & info [ "self-host" ] ~doc:"Boot an in-process server on an ephemeral port.")
 
 let nodes_arg = Arg.(value & opt int 5 & info [ "nodes" ] ~docv:"N")
+
+let partitions_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "partitions" ] ~docv:"P" ~doc:"Keyspace hash partitions of the self-hosted server.")
 let conns_arg = Arg.(value & opt int 4 & info [ "conns" ] ~docv:"C")
 let depth_arg = Arg.(value & opt int 8 & info [ "depth" ] ~docv:"D" ~doc:"Pipeline depth.")
 let ops_arg = Arg.(value & opt int 2000 & info [ "ops" ] ~docv:"OPS" ~doc:"Ops per connection.")
@@ -257,13 +265,13 @@ let value_arg = Arg.(value & opt int 64 & info [ "value-bytes" ] ~docv:"B")
 let out_arg = Arg.(value & opt string "BENCH_wire.json" & info [ "out" ] ~docv:"FILE")
 
 let cmd =
-  let run addr port self_host nodes conns depth ops keys value_bytes out =
-    bench ~addr ~port ~self_host ~nodes ~conns ~depth ~ops ~keys ~value_bytes ~out
+  let run addr port self_host nodes partitions conns depth ops keys value_bytes out =
+    bench ~addr ~port ~self_host ~nodes ~partitions ~conns ~depth ~ops ~keys ~value_bytes ~out
   in
   Cmd.v
     (Cmd.info "bench_wire" ~doc:"Pipelined load generator for the MDCC wire front-end")
     Term.(
-      const run $ addr_arg $ port_arg $ self_host_arg $ nodes_arg $ conns_arg $ depth_arg
-      $ ops_arg $ keys_arg $ value_arg $ out_arg)
+      const run $ addr_arg $ port_arg $ self_host_arg $ nodes_arg $ partitions_arg $ conns_arg
+      $ depth_arg $ ops_arg $ keys_arg $ value_arg $ out_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -25,9 +25,9 @@ let workload_of_string = function
   | "mixed" -> Some Runner.Mixed
   | _ -> None
 
-let make_spec ~seed ~scenario ~workload ~txns ~items ~plant_bug ~trace =
-  Runner.spec ~seed ~scenario ~workload ~txns ~items ?fast_quorum_override:plant_bug
-    ~capture_trace:trace ()
+let make_spec ~seed ~scenario ~workload ~txns ~items ~partitions ~plant_bug ~trace =
+  Runner.spec ~seed ~scenario ~workload ~txns ~items ~partitions
+    ?fast_quorum_override:plant_bug ~capture_trace:trace ()
 
 (* The sweep's full observability export, one JSON document. *)
 let write_obs_out path runs =
@@ -53,8 +53,8 @@ let write_profile path ~jobs snapshot =
   output_char oc '\n';
   close_out oc
 
-let sweep ~seeds ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace ~obs_out ~jobs
-    ~profile =
+let sweep ~seeds ~scenario ~workload ~txns ~items ~partitions ~plant_bug ~json ~trace
+    ~obs_out ~jobs ~profile =
   let scenarios =
     match scenario with
     | None -> Nemesis.matrix
@@ -81,7 +81,8 @@ let sweep ~seeds ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace ~obs_o
     List.concat_map
       (fun scenario ->
         List.init seeds (fun i ->
-            make_spec ~seed:(i + 1) ~scenario ~workload ~txns ~items ~plant_bug ~trace))
+            make_spec ~seed:(i + 1) ~scenario ~workload ~txns ~items ~partitions ~plant_bug
+              ~trace))
       scenarios
   in
   let all =
@@ -114,7 +115,7 @@ let sweep ~seeds ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace ~obs_o
   end;
   if bad <> [] then exit 1
 
-let replay ~seed ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace =
+let replay ~seed ~scenario ~workload ~txns ~items ~partitions ~plant_bug ~json ~trace =
   let scenario =
     match Nemesis.scenario_named scenario with
     | Some s -> s
@@ -129,7 +130,7 @@ let replay ~seed ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace =
       Printf.eprintf "unknown workload %S (deltas|rmw|mixed)\n" workload;
       exit 2
   in
-  let spec = make_spec ~seed ~scenario ~workload ~txns ~items ~plant_bug ~trace in
+  let spec = make_spec ~seed ~scenario ~workload ~txns ~items ~partitions ~plant_bug ~trace in
   let r = Runner.run spec in
   if json then print_endline (Runner.report_to_json r)
   else begin
@@ -165,6 +166,14 @@ let txns_arg =
   Arg.(value & opt int 40 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per run.")
 
 let items_arg = Arg.(value & opt int 4 & info [ "items" ] ~docv:"N" ~doc:"Stock rows per run.")
+
+let partitions_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "partitions" ] ~docv:"N"
+        ~doc:
+          "Keyspace hash partitions of the deployed cluster.  A scenario that demands more \
+           (the shard_* scenarios want 4) wins over a smaller value here.")
 
 let plant_bug_arg =
   Arg.(
@@ -210,26 +219,28 @@ let profile_arg =
 
 let sweep_cmd =
   let doc = "Sweep seeds across the scenario matrix and check every history." in
-  let run seeds scenario workload txns items plant_bug json trace obs_out jobs profile =
-    sweep ~seeds ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace ~obs_out ~jobs
-      ~profile
+  let run seeds scenario workload txns items partitions plant_bug json trace obs_out jobs
+      profile =
+    sweep ~seeds ~scenario ~workload ~txns ~items ~partitions ~plant_bug ~json ~trace
+      ~obs_out ~jobs ~profile
   in
   Cmd.v
     (Cmd.info "sweep" ~doc)
     Term.(
-      const run $ seeds_arg $ scenario_opt $ workload_arg $ txns_arg $ items_arg $ plant_bug_arg
-      $ json_flag $ trace_flag $ obs_out_arg $ jobs_arg $ profile_arg)
+      const run $ seeds_arg $ scenario_opt $ workload_arg $ txns_arg $ items_arg
+      $ partitions_arg $ plant_bug_arg $ json_flag $ trace_flag $ obs_out_arg $ jobs_arg
+      $ profile_arg)
 
 let replay_cmd =
   let doc = "Re-run a single (seed, scenario) pair, verbosely." in
-  let run seed scenario workload txns items plant_bug json trace =
-    replay ~seed ~scenario ~workload ~txns ~items ~plant_bug ~json ~trace
+  let run seed scenario workload txns items partitions plant_bug json trace =
+    replay ~seed ~scenario ~workload ~txns ~items ~partitions ~plant_bug ~json ~trace
   in
   Cmd.v
     (Cmd.info "replay" ~doc)
     Term.(
-      const run $ seed_arg $ scenario_req $ workload_arg $ txns_arg $ items_arg $ plant_bug_arg
-      $ json_flag $ trace_flag)
+      const run $ seed_arg $ scenario_req $ workload_arg $ txns_arg $ items_arg
+      $ partitions_arg $ plant_bug_arg $ json_flag $ trace_flag)
 
 let baselines ~seeds ~protocol ~txns ~items ~jobs =
   let protos =

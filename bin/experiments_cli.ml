@@ -145,7 +145,7 @@ let demo_cmd =
     in
     let engine = Engine.create ~seed:1 in
     let config = Config.make ~mode:Config.Full ~replication:5 () in
-    let cluster = Cluster.create ~engine ~config ~schema () in
+    let cluster = Cluster.create ~engine ~spec:Cluster.Spec.default ~config ~schema () in
     let key i = Key.make ~table:"item" ~id:(string_of_int i) in
     Cluster.load cluster
       [

@@ -3,9 +3,10 @@
      dune exec bin/server_cli.exe -- --nodes 5 --port 11311
      printf 'set greeting 0 0 5\r\nhello\r\nget greeting\r\nquit\r\n' | nc 127.0.0.1 11311
 
-   Boots an N-replica MDCC deployment (every replica in-process, one
-   storage node per simulated data center, one coordinator) over the real
-   socket runtime and serves the ASCII wire protocol of docs/WIRE.md.
+   Boots an N-replica MDCC deployment (every replica in-process,
+   --partitions storage nodes per simulated data center, one coordinator)
+   over the real socket runtime and serves the ASCII wire protocol of
+   docs/WIRE.md.
 
    SIGTERM / SIGINT trigger a graceful drain: stop accepting, finish
    in-flight requests and transactions, flush replies, exit 0. *)
@@ -19,12 +20,16 @@ module Server = Mdcc_wire.Server
    the 50 ms poll cap) bounds the reaction latency. *)
 let want_shutdown = Atomic.make false
 
-let serve nodes port addr =
+let serve nodes partitions port addr =
   if nodes < 3 then begin
     Printf.eprintf "server_cli: --nodes must be >= 3 (got %d)\n" nodes;
     exit 2
   end;
-  let srv = Server.create ~nodes ~addr ~port () in
+  if partitions < 1 then begin
+    Printf.eprintf "server_cli: --partitions must be >= 1 (got %d)\n" partitions;
+    exit 2
+  end;
+  let srv = Server.create ~nodes ~partitions ~addr ~port () in
   let lp = Server.loop srv in
   Printf.printf "LISTENING %d\n%!" (Server.port srv);
   let on_signal _ = Atomic.set want_shutdown true in
@@ -47,6 +52,15 @@ open Cmdliner
 let nodes_arg =
   Arg.(value & opt int 5 & info [ "nodes" ] ~docv:"N" ~doc:"Replication factor (>= 3).")
 
+let partitions_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "partitions" ] ~docv:"N"
+        ~doc:
+          "Keyspace hash partitions (>= 1).  The deployment runs N storage nodes per \
+           simulated data center; keys route to their partition's replica group, and \
+           $(b,stats detail) exposes per-partition counters.")
+
 let port_arg =
   Arg.(
     value & opt int 11311
@@ -59,6 +73,6 @@ let cmd =
   let doc = "MDCC key/value server speaking the memcached-style wire protocol" in
   Cmd.v
     (Cmd.info "mdcc-server" ~doc)
-    Term.(const serve $ nodes_arg $ port_arg $ addr_arg)
+    Term.(const serve $ nodes_arg $ partitions_arg $ port_arg $ addr_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -36,7 +36,7 @@ let initial_balance = 100
 let () =
   let engine = Engine.create ~seed:2026 in
   let config = Config.make ~mode:Config.Full ~replication:5 () in
-  let cluster = Cluster.create ~engine ~config ~schema () in
+  let cluster = Cluster.create ~engine ~spec:Cluster.Spec.default ~config ~schema () in
   Cluster.start_maintenance cluster;
   Cluster.load cluster
     (List.init num_accounts (fun i ->

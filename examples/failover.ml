@@ -33,7 +33,7 @@ let item i = Key.make ~table:"item" ~id:(string_of_int i)
 let () =
   let engine = Engine.create ~seed:8 in
   let config = Config.make ~mode:Config.Full ~replication:5 () in
-  let cluster = Cluster.create ~engine ~config ~schema () in
+  let cluster = Cluster.create ~engine ~spec:Cluster.Spec.default ~config ~schema () in
   Cluster.start_maintenance cluster;
   let items = 200 in
   Cluster.load cluster

@@ -29,7 +29,7 @@ let () =
      MDCC (fast ballots + commutative options). *)
   let engine = Engine.create ~seed:42 in
   let config = Config.make ~mode:Config.Full ~replication:5 () in
-  let cluster = Cluster.create ~engine ~config ~schema () in
+  let cluster = Cluster.create ~engine ~spec:Cluster.Spec.default ~config ~schema () in
   Cluster.start_maintenance cluster;
   (* 3. Load some data (replicated to every data center). *)
   let key = Key.make ~table:"item" ~id:"ocaml-book" in

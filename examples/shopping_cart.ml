@@ -55,7 +55,7 @@ let checkout cluster engine ~dc ~customer ~qty ~stats =
 let () =
   let engine = Engine.create ~seed:7 in
   let config = Config.make ~mode:Config.Full ~replication:5 () in
-  let cluster = Cluster.create ~engine ~config ~schema () in
+  let cluster = Cluster.create ~engine ~spec:Cluster.Spec.default ~config ~schema () in
   Cluster.start_maintenance cluster;
   let initial_stock = 40 in
   Cluster.load cluster [ (hot_item, Value.of_list [ ("stock", Value.Int initial_stock) ]) ];

@@ -29,7 +29,7 @@ let schema =
 let () =
   let engine = Engine.create ~seed:11 in
   let config = Config.make ~mode:Config.Full ~replication:5 () in
-  let cluster = Cluster.create ~engine ~config ~schema () in
+  let cluster = Cluster.create ~engine ~spec:Cluster.Spec.default ~config ~schema () in
   Cluster.start_maintenance cluster;
   let session dc = Session.create (Cluster.coordinator cluster ~dc ~rank:0) in
   let seq = ref 0 in

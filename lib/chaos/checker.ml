@@ -9,7 +9,8 @@ let violation_to_string v = Printf.sprintf "[%s] %s" v.invariant v.detail
 (* Everything the checker knows about one transaction id. *)
 type info = {
   mutable txn : Txn.t option;  (* from Submitted *)
-  mutable decided : Txn.outcome option;  (* from Decided *)
+  mutable decided : Txn.outcome option;  (* first Decided *)
+  mutable decisions : Txn.outcome list;  (* every Decided, event order *)
   mutable applied : (int * Key.t * int * Value.t) list;  (* node, key, version, value *)
   mutable voided : (int * Key.t) list;  (* node, key *)
 }
@@ -20,7 +21,7 @@ let gather history =
     match Hashtbl.find_opt tbl txid with
     | Some i -> i
     | None ->
-      let i = { txn = None; decided = None; applied = []; voided = [] } in
+      let i = { txn = None; decided = None; decisions = []; applied = []; voided = [] } in
       Hashtbl.add tbl txid i;
       i
   in
@@ -30,6 +31,7 @@ let gather history =
       | History.Submitted { txn; _ } -> (get txn.Txn.id).txn <- Some txn
       | History.Decided { txid; outcome; _ } ->
         let i = get txid in
+        i.decisions <- i.decisions @ [ outcome ];
         if i.decided = None then i.decided <- Some outcome
       | History.Applied { node; txid; key; version; value; _ } ->
         let i = get txid in
@@ -82,6 +84,77 @@ let check_atomic_visibility tbl =
           add (Printf.sprintf "txn %s decided Aborted but executed at a replica" txid)
         | Some _ | None -> ()
       end)
+    tbl;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* 1b. Decision agreement                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One transaction, one fate.  A transaction can be decided more than once
+   (a recovery coordinator re-deriving the outcome of a dangling
+   transaction is allowed to re-announce it), but every announcement must
+   agree: a cross-partition transaction whose groups settle on different
+   outcomes is exactly the torn commit sharding must never produce. *)
+let check_decision_agreement tbl =
+  let out = ref [] in
+  Table.sorted_iter ~compare:String.compare
+    (fun txid info ->
+      let commits = List.exists (fun o -> o = Txn.Committed) info.decisions in
+      let aborts =
+        List.exists (function Txn.Aborted _ -> true | Txn.Committed -> false) info.decisions
+      in
+      if commits && aborts then
+        out :=
+          {
+            invariant = "decision-agreement";
+            detail =
+              Printf.sprintf "txn %s decided both Committed and Aborted (%s)" txid
+                (String.concat ", "
+                   (List.map (Format.asprintf "%a" Txn.pp_outcome) info.decisions));
+          }
+          :: !out)
+    tbl;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* 1c. Cross-partition atomicity                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Atomic visibility, attributed to partition groups.  For a transaction
+   whose write-set spans two or more hash partitions, visibility evidence
+   must point the same way in every group: a commit applied by partition A
+   but voided by partition B (or an abort that leaked an execution into
+   any group) is a torn cross-partition transaction, reported with the
+   groups named so a replay starts at the right replica set.  With one
+   partition (the default [partition_of]) the check is inert — the plain
+   atomic-visibility invariant already covers single-group mixes. *)
+let check_cross_partition ~partition_of tbl =
+  let out = ref [] in
+  let module IS = Set.Make (Int) in
+  let groups_of keys = IS.elements (IS.of_list (List.map partition_of keys)) in
+  let render ps =
+    String.concat "," (List.map (Printf.sprintf "p%02d") ps)
+  in
+  Table.sorted_iter ~compare:String.compare
+    (fun txid info ->
+      match info.txn with
+      | Some txn when List.length (groups_of (List.map fst txn.Txn.updates)) >= 2 ->
+        let applied_in = groups_of (List.map (fun (_, k, _, _) -> k) info.applied) in
+        let voided_in = groups_of (List.map snd info.voided) in
+        let add detail =
+          out := { invariant = "cross-partition-atomicity"; detail } :: !out
+        in
+        if committed info && voided_in <> [] then
+          add
+            (Printf.sprintf
+               "committed txn %s torn across groups: applied in [%s], voided in [%s]" txid
+               (render applied_in) (render voided_in))
+        else if (not (committed info)) && applied_in <> [] then
+          add
+            (Printf.sprintf "aborted txn %s leaked execution into group(s) [%s]" txid
+               (render applied_in))
+      | Some _ | None -> ())
     tbl;
   !out
 
@@ -339,11 +412,13 @@ let check_demarcation ~bounds tbl =
     tbl;
   !out
 
-let check ?(bounds = fun _ -> []) history =
+let check ?(bounds = fun _ -> []) ?(partition_of = fun _ -> 0) history =
   let tbl = gather history in
   List.concat
     [
       check_atomic_visibility tbl;
+      check_decision_agreement tbl;
+      check_cross_partition ~partition_of tbl;
       check_lost_updates tbl;
       check_read_committed tbl;
       check_serializability tbl;

@@ -10,6 +10,16 @@
     {- {b lost-update} — at most one committed physical/delete writer per
        (key, read-version): two committed transactions that both updated the
        same record from the same version overwrote each other;}
+    {- {b decision-agreement} — a transaction decided more than once (a
+       recovery coordinator may re-announce a dangling transaction's fate)
+       is decided the {e same} way every time: a cross-partition
+       transaction whose groups settle on different outcomes is a torn
+       commit;}
+    {- {b cross-partition-atomicity} — atomic visibility attributed to
+       hash-partition groups: a transaction whose write-set spans two or
+       more partitions must not commit in one group while voided in
+       another, nor leak an execution into any group after an abort (inert
+       when [partition_of] maps every key to one group);}
     {- {b read-committed} — every version a committed transaction read
        (the [vread] of its physical/guard updates) is a version that
        actually existed: installed by some committed option, or the initial
@@ -31,8 +41,14 @@ open Mdcc_storage
 
 type violation = { invariant : string; detail : string }
 
-val check : ?bounds:(Key.t -> Schema.bound list) -> Mdcc_core.History.t -> violation list
+val check :
+  ?bounds:(Key.t -> Schema.bound list) ->
+  ?partition_of:(Key.t -> int) ->
+  Mdcc_core.History.t ->
+  violation list
 (** All violations found, in invariant order.  [bounds] supplies the value
-    constraints for the demarcation check (default: none). *)
+    constraints for the demarcation check (default: none); [partition_of]
+    is the deployment's key-to-partition hash for the cross-partition
+    check (default: everything in one group, which disables it). *)
 
 val violation_to_string : violation -> string

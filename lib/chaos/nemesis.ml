@@ -85,6 +85,7 @@ let schedule_to_string schedule =
 
 type scenario = {
   sc_name : string;
+  sc_partitions : int;
   sc_build : rng:Rng.t -> cluster:Cluster.t -> horizon:float -> schedule;
 }
 
@@ -98,11 +99,14 @@ let window rng ~horizon =
 let storage_node_ids cluster =
   List.map Storage_node.node_id (Cluster.storage_nodes cluster)
 
-let clean = { sc_name = "clean"; sc_build = (fun ~rng:_ ~cluster:_ ~horizon:_ -> []) }
+let clean =
+  { sc_name = "clean"; sc_partitions = 1;
+    sc_build = (fun ~rng:_ ~cluster:_ ~horizon:_ -> []) }
 
 let dc_outage =
   {
     sc_name = "dc_outage";
+    sc_partitions = 1;
     sc_build =
       (fun ~rng ~cluster ~horizon ->
         let dc = Rng.int rng (Cluster.num_dcs cluster) in
@@ -113,6 +117,7 @@ let dc_outage =
 let asymmetric_partition =
   {
     sc_name = "asymmetric_partition";
+    sc_partitions = 1;
     sc_build =
       (fun ~rng ~cluster ~horizon ->
         let dc = Rng.int rng (Cluster.num_dcs cluster) in
@@ -123,6 +128,7 @@ let asymmetric_partition =
 let drop_spike =
   {
     sc_name = "drop_spike";
+    sc_partitions = 1;
     sc_build =
       (fun ~rng ~cluster ~horizon ->
         let base = Net.base_drop_probability (Cluster.network cluster) in
@@ -133,6 +139,7 @@ let drop_spike =
 let latency_surge =
   {
     sc_name = "latency_surge";
+    sc_partitions = 1;
     sc_build =
       (fun ~rng ~cluster:_ ~horizon ->
         let start, stop = window rng ~horizon in
@@ -142,6 +149,7 @@ let latency_surge =
 let master_failover =
   {
     sc_name = "master_failover";
+    sc_partitions = 1;
     sc_build =
       (fun ~rng ~cluster ~horizon ->
         let nodes = Array.of_list (storage_node_ids cluster) in
@@ -153,6 +161,7 @@ let master_failover =
 let random_faults =
   {
     sc_name = "random";
+    sc_partitions = 1;
     sc_build =
       (fun ~rng ~cluster ~horizon ->
         let dcs = Cluster.num_dcs cluster in
@@ -218,6 +227,7 @@ let torn_broadcast_schedule ~start ~stop cluster (d1, d2) =
 let torn_broadcast =
   {
     sc_name = "torn_broadcast";
+    sc_partitions = 1;
     sc_build =
       (fun ~rng ~cluster ~horizon ->
         let pair = two_distinct_dcs rng cluster in
@@ -228,6 +238,7 @@ let torn_broadcast =
 let torn_broadcast_crash =
   {
     sc_name = "torn_broadcast_crash";
+    sc_partitions = 1;
     sc_build =
       (fun ~rng ~cluster ~horizon ->
         let (d1, _) as pair = two_distinct_dcs rng cluster in
@@ -244,6 +255,7 @@ let torn_broadcast_crash =
 let partition_heal =
   {
     sc_name = "partition_heal";
+    sc_partitions = 1;
     sc_build =
       (fun ~rng ~cluster ~horizon ->
         let d1, d2 = two_distinct_dcs rng cluster in
@@ -257,8 +269,91 @@ let partition_heal =
         @ List.map (fun (src, dst) -> (stop, Heal_link { src; dst })) pairs);
   }
 
+(* --- shard-scoped scenarios ------------------------------------------ *)
+
+(* Partitions cut *between* shards, not between whole data centers: one
+   hash-partition's replica group degrades while every other group keeps
+   its fast path — exactly the asymmetry a cross-partition transaction has
+   to commit (or abort) atomically across.  All three demand a
+   multi-partition cluster ([sc_partitions] = 4); the runner widens the
+   deployment accordingly. *)
+
+(* Replica of partition [p] in data center [dc] (the node-id layout the
+   cluster guarantees). *)
+let shard_replica cluster ~dc ~p = (dc * Cluster.num_partitions cluster) + p
+
+let shard_replicas cluster p =
+  List.init (Cluster.num_dcs cluster) (fun dc -> shard_replica cluster ~dc ~p)
+
+(* Cut one random app server off one random partition group, both
+   directions.  Its cross-partition transactions have one write-set key
+   wedged (no proposal can reach the group) while sibling keys in other
+   groups learn immediately — the decision must wait, and recovery for the
+   wedged key must not tear the transaction. *)
+let shard_partition =
+  {
+    sc_name = "shard_partition";
+    sc_partitions = 4;
+    sc_build =
+      (fun ~rng ~cluster ~horizon ->
+        let p = Rng.int rng (Cluster.num_partitions cluster) in
+        let dc = Rng.int rng (Cluster.num_dcs cluster) in
+        let a = app_node cluster dc in
+        let start, stop = window rng ~horizon in
+        let pairs =
+          List.concat_map (fun n -> [ (a, n); (n, a) ]) (shard_replicas cluster p)
+        in
+        List.map (fun (src, dst) -> (start, Cut_link { src; dst })) pairs
+        @ List.map (fun (src, dst) -> (stop, Heal_link { src; dst })) pairs);
+  }
+
+(* Crash one partition group's replicas in two distinct DCs: that group
+   drops below the fast quorum (3 of 5 live) and must commit through
+   collisions/classic recovery, while every other group still has all 5 —
+   per-group quorum asymmetry under one transaction. *)
+let shard_outage =
+  {
+    sc_name = "shard_outage";
+    sc_partitions = 4;
+    sc_build =
+      (fun ~rng ~cluster ~horizon ->
+        let p = Rng.int rng (Cluster.num_partitions cluster) in
+        let d1, d2 = two_distinct_dcs rng cluster in
+        let start, stop = window rng ~horizon in
+        [
+          (start, Crash_node (shard_replica cluster ~dc:d1 ~p));
+          (start, Crash_node (shard_replica cluster ~dc:d2 ~p));
+          (stop, Restart_node (shard_replica cluster ~dc:d1 ~p));
+          (stop, Restart_node (shard_replica cluster ~dc:d2 ~p));
+        ]);
+  }
+
+(* Flap a single replica of one partition group: crash/restart it three
+   times inside the window.  Each restart runs the peer-directed
+   anti-entropy sweep against its own group only — repair must stay
+   shard-scoped and still converge. *)
+let shard_flap =
+  {
+    sc_name = "shard_flap";
+    sc_partitions = 4;
+    sc_build =
+      (fun ~rng ~cluster ~horizon ->
+        let p = Rng.int rng (Cluster.num_partitions cluster) in
+        let dc = Rng.int rng (Cluster.num_dcs cluster) in
+        let victim = shard_replica cluster ~dc ~p in
+        let start, stop = window rng ~horizon in
+        let flaps = 3 in
+        let slot = (stop -. start) /. float_of_int (2 * flaps) in
+        List.concat
+          (List.init flaps (fun i ->
+               let down = start +. (float_of_int (2 * i) *. slot) in
+               let up = down +. slot in
+               [ (down, Crash_node victim); (up, Restart_node victim) ])));
+  }
+
 let matrix =
   [ clean; dc_outage; asymmetric_partition; drop_spike; latency_surge; master_failover;
-    random_faults; torn_broadcast; torn_broadcast_crash; partition_heal ]
+    random_faults; torn_broadcast; torn_broadcast_crash; partition_heal; shard_partition;
+    shard_outage; shard_flap ]
 
 let scenario_named name = List.find_opt (fun s -> String.equal s.sc_name name) matrix

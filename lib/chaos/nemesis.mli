@@ -43,9 +43,13 @@ val schedule_to_string : schedule -> string
 
 (** A named schedule generator: given the run's RNG, cluster and fault
     horizon (faults are generated in [\[0, horizon\]]), produce a schedule.
-    The same RNG state yields the same schedule. *)
+    The same RNG state yields the same schedule.  [sc_partitions] is the
+    minimum keyspace partition count the scenario is meaningful at (1 for
+    the classic matrix; the shard scenarios demand a multi-partition
+    cluster, and {!Runner} widens the deployment to at least this). *)
 type scenario = {
   sc_name : string;
+  sc_partitions : int;
   sc_build : rng:Mdcc_util.Rng.t -> cluster:Cluster.t -> horizon:float -> schedule;
 }
 
@@ -84,9 +88,28 @@ val partition_heal : scenario
 (** Full bidirectional link cut between two random DCs for a window, then
     heal — the classic split-brain-and-reconcile shape. *)
 
+val shard_partition : scenario
+(** Cut one random app server off one random hash-partition's replica
+    group (both directions) for a window: its cross-partition transactions
+    have one write-set key unreachable while sibling keys in other groups
+    learn immediately — the atomic-commit rule must hold the outcome until
+    the wedged key resolves, without tearing the transaction. *)
+
+val shard_outage : scenario
+(** Crash one partition group's replicas in two distinct DCs for a window:
+    that group falls below the fast quorum and commits via
+    collision/classic recovery while every other group keeps the fast path
+    — per-group quorum asymmetry inside single transactions. *)
+
+val shard_flap : scenario
+(** Crash/restart one replica of one partition group three times inside
+    the window; every restart runs the peer anti-entropy sweep against its
+    own group only. *)
+
 val matrix : scenario list
 (** The scenario matrix the chaos CLI sweeps: [clean; dc_outage;
     asymmetric_partition; drop_spike; latency_surge; master_failover;
-    random_faults; torn_broadcast; torn_broadcast_crash; partition_heal]. *)
+    random_faults; torn_broadcast; torn_broadcast_crash; partition_heal;
+    shard_partition; shard_outage; shard_flap]. *)
 
 val scenario_named : string -> scenario option

@@ -16,6 +16,7 @@ type spec = {
   workload : workload;
   txns : int;
   items : int;
+  partitions : int;
   stock : int;
   horizon : float;
   drain : float;
@@ -24,11 +25,16 @@ type spec = {
   capture_trace : bool;
 }
 
-let spec ?(workload = Mixed) ?(txns = 40) ?(items = 4) ?(stock = 60) ?(horizon = 10_000.0)
-    ?(drain = 60_000.0) ?(mode = Config.Full) ?fast_quorum_override ?(capture_trace = false)
-    ~seed ~scenario () =
-  { seed; scenario; workload; txns; items; stock; horizon; drain; mode; fast_quorum_override;
-    capture_trace }
+let spec ?(workload = Mixed) ?(txns = 40) ?(items = 4) ?(partitions = 1) ?(stock = 60)
+    ?(horizon = 10_000.0) ?(drain = 60_000.0) ?(mode = Config.Full) ?fast_quorum_override
+    ?(capture_trace = false) ~seed ~scenario () =
+  { seed; scenario; workload; txns; items; partitions; stock; horizon; drain; mode;
+    fast_quorum_override; capture_trace }
+
+(* The deployment is at least as wide as the scenario demands: shard
+   scenarios ask for a multi-partition keyspace even when the spec left
+   [partitions] at its default. *)
+let effective_partitions s = max s.partitions s.scenario.Nemesis.sc_partitions
 
 type report = {
   r_seed : int;
@@ -122,7 +128,9 @@ let run s =
      byte-identical metrics and span JSON, so no shared ambient state. *)
   let obs = Obs.create ~spans:true () in
   let cluster =
-    Cluster.create ~engine ~ctx:(Ctx.make ~history ~obs ()) ~config ~schema:stock_schema ()
+    Cluster.create ~engine
+      ~spec:(Cluster.Spec.make ~partitions:(effective_partitions s) ())
+      ~ctx:(Ctx.make ~history ~obs ()) ~config ~schema:stock_schema ()
   in
   Cluster.load cluster (List.init s.items (fun i -> (item i, item_row s.stock)));
   Cluster.start_maintenance cluster;
@@ -189,7 +197,11 @@ let run s =
     if not was_tracing then Trace.disable ()
   end;
   (* ---- checks ---- *)
-  let violations = ref (Checker.check ~bounds:(Schema.bounds_of stock_schema) history) in
+  let violations =
+    ref
+      (Checker.check ~bounds:(Schema.bounds_of stock_schema)
+         ~partition_of:(Cluster.partition_of cluster) history)
+  in
   let add invariant detail = violations := !violations @ [ { Checker.invariant; detail } ] in
   (* Liveness: everything submitted must have decided once all faults healed. *)
   let undecided = !submitted - List.length !decided in

@@ -24,6 +24,10 @@ type spec = {
   workload : workload;
   txns : int;  (** transactions submitted over the horizon *)
   items : int;  (** pre-loaded stock rows *)
+  partitions : int;
+      (** keyspace hash partitions; the run uses
+          [max partitions scenario.sc_partitions], so shard scenarios get a
+          multi-partition cluster even at the default *)
   stock : int;  (** initial stock per item *)
   horizon : float;  (** ms: submission + fault window; healing starts here *)
   drain : float;  (** ms after the horizon for recovery to quiesce *)
@@ -36,6 +40,7 @@ val spec :
   ?workload:workload ->
   ?txns:int ->
   ?items:int ->
+  ?partitions:int ->
   ?stock:int ->
   ?horizon:float ->
   ?drain:float ->
@@ -46,8 +51,12 @@ val spec :
   scenario:Nemesis.scenario ->
   unit ->
   spec
-(** Defaults: [Mixed] workload, 40 txns, 4 items, stock 60, 10 s horizon,
-    60 s drain, [Full] mode, no override, no trace. *)
+(** Defaults: [Mixed] workload, 40 txns, 4 items, 1 partition, stock 60,
+    10 s horizon, 60 s drain, [Full] mode, no override, no trace. *)
+
+val effective_partitions : spec -> int
+(** [max spec.partitions spec.scenario.sc_partitions] — the partition count
+    the run actually deploys. *)
 
 type report = {
   r_seed : int;

@@ -3,13 +3,13 @@ module Obs = Mdcc_obs.Obs
 module Json = Mdcc_obs.Json
 module Prof = Mdcc_obs.Prof
 
-let specs ?workload ?txns ?items ?fast_quorum_override ?capture_trace ~seeds
+let specs ?workload ?txns ?items ?partitions ?fast_quorum_override ?capture_trace ~seeds
     ~scenarios () =
   List.concat_map
     (fun scenario ->
       List.init seeds (fun i ->
-          Runner.spec ?workload ?txns ?items ?fast_quorum_override ?capture_trace
-            ~seed:(i + 1) ~scenario ()))
+          Runner.spec ?workload ?txns ?items ?partitions ?fast_quorum_override
+            ?capture_trace ~seed:(i + 1) ~scenario ()))
     scenarios
 
 let run_one spec =

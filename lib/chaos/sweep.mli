@@ -13,6 +13,7 @@ val specs :
   ?workload:Runner.workload ->
   ?txns:int ->
   ?items:int ->
+  ?partitions:int ->
   ?fast_quorum_override:int ->
   ?capture_trace:bool ->
   seeds:int ->

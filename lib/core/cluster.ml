@@ -30,8 +30,53 @@ let default_master_dc ~dcs key =
   (* Decorrelated from the partition hash so masters spread evenly. *)
   Hashtbl.hash (Key.to_string key ^ "#master") mod dcs
 
-let create ~engine ?topology ?(partitions = 1) ?(app_servers_per_dc = 1) ?(jitter_sigma = 0.05)
-    ?(drop_probability = 0.0) ?master_dc_of ?(ctx = Ctx.default ()) ~config ~schema () =
+module Spec = struct
+  type t = {
+    topology : Topology.t option;
+    partitions : int;
+    app_servers_per_dc : int;
+    jitter_sigma : float;
+    drop_probability : float;
+    master_dc_of : (Key.t -> int) option;
+  }
+
+  let validate spec =
+    if spec.partitions < 1 then
+      Invariant.violate ~context:"Cluster.Spec" "partitions must be >= 1 (got %d)"
+        spec.partitions;
+    if spec.app_servers_per_dc < 1 then
+      Invariant.violate ~context:"Cluster.Spec" "app_servers_per_dc must be >= 1 (got %d)"
+        spec.app_servers_per_dc;
+    if spec.drop_probability < 0.0 || spec.drop_probability > 1.0 then
+      Invariant.violate ~context:"Cluster.Spec" "drop_probability must be in [0,1] (got %g)"
+        spec.drop_probability;
+    spec
+
+  let make ?topology ?(partitions = 1) ?(app_servers_per_dc = 1) ?(jitter_sigma = 0.05)
+      ?(drop_probability = 0.0) ?master_dc_of () =
+    validate
+      { topology; partitions; app_servers_per_dc; jitter_sigma; drop_probability;
+        master_dc_of }
+
+  let default = make ()
+
+  let with_topology topo spec = validate { spec with topology = Some topo }
+  let with_partitions partitions spec = validate { spec with partitions }
+
+  let with_app_servers app_servers_per_dc spec =
+    validate { spec with app_servers_per_dc }
+
+  let with_jitter jitter_sigma spec = validate { spec with jitter_sigma }
+  let with_drop_probability drop_probability spec = validate { spec with drop_probability }
+  let with_master_dc_of f spec = { spec with master_dc_of = Some f }
+  let partitions spec = spec.partitions
+end
+
+let create ~engine ~spec ?(ctx = Ctx.default ()) ~config ~schema () =
+  let { Spec.topology; partitions; app_servers_per_dc; jitter_sigma; drop_probability;
+        master_dc_of } =
+    Spec.validate spec
+  in
   let obs = ctx.Ctx.obs in
   let storage_topo =
     match topology with
@@ -76,12 +121,33 @@ let create ~engine ?topology ?(partitions = 1) ?(app_servers_per_dc = 1) ?(jitte
         Storage_node.create ~runtime ~config ~node_id ~schema ~replicas ~master_of ~ctx ())
   in
   let base = dcs * partitions in
+  (* Snapshot source of a data center: direct handles on its partition
+     stores, for the coordinator's zero-message [`Snapshot] read level. *)
+  let snapshot_for dc =
+    {
+      Coordinator.snap_read =
+        (fun key ->
+          let p = Key.hash key mod partitions in
+          Store.read (Storage_node.store nodes.((dc * partitions) + p)) key);
+      snap_scan =
+        (fun ~table ->
+          let rows = ref [] in
+          for p = partitions - 1 downto 0 do
+            Store.iter
+              (Storage_node.store nodes.((dc * partitions) + p))
+              (fun key row ->
+                if row.Store.exists && String.equal key.Key.table table then
+                  rows := (key, row.Store.value, row.Store.version) :: !rows)
+          done;
+          !rows);
+    }
+  in
   let coords =
     Array.init (dcs * app_servers_per_dc) (fun i ->
         let dc = i / app_servers_per_dc in
         let local_nodes = List.init partitions (fun p -> (dc * partitions) + p) in
         Coordinator.create ~runtime ~config ~node_id:(base + i) ~replicas ~master_of
-          ~ctx:(Ctx.with_local_nodes ctx local_nodes) ())
+          ~snapshot:(snapshot_for dc) ~ctx:(Ctx.with_local_nodes ctx local_nodes) ())
   in
   { engine; net; config; topo; schema; partitions; app_per_dc = app_servers_per_dc; dcs;
     nodes; coords; master_dc_of; obs }
@@ -95,6 +161,8 @@ let topology t = t.topo
 let config t = t.config
 
 let num_dcs t = t.dcs
+
+let num_partitions t = t.partitions
 
 let obs t = t.obs
 

@@ -51,6 +51,11 @@ type scan_state = {
   mutable s_rows : (Key.t * Value.t * int) list;
 }
 
+type snapshot_source = {
+  snap_read : Key.t -> (Value.t * int) option;
+  snap_scan : table:string -> (Key.t * Value.t * int) list;
+}
+
 type t = {
   runtime : Runtime.t;
   config : Config.t;
@@ -59,6 +64,7 @@ type t = {
   replicas : Key.t -> int list;
   master_of : Key.t -> int;
   local_nodes : int list;  (* storage nodes of this app-server's DC *)
+  snapshot : snapshot_source option;  (* co-located stores, for `Snapshot reads *)
   txns : (Txn.id, txn_state) Hashtbl.t;
   hints : (Key.t, float) Hashtbl.t;  (** classic-routing hint -> expiry time *)
   reads : (int, read_state) Hashtbl.t;
@@ -380,10 +386,25 @@ let read_majority t key cb =
   let rid = new_read t key ~need:(Config.classic_quorum t.config) cb in
   List.iter (fun r -> send t r (Messages.Read_request { rid; key })) (t.replicas key)
 
+(* Snapshot reads: serve straight from the co-located partition stores,
+   skipping the option machinery and the network entirely.  The callback is
+   still deferred through the runtime so `Snapshot keeps the same
+   callback-asynchrony contract as every other level.  An app-server wired
+   without co-located stores (no [snapshot] source) degrades to [`Local]. *)
+let read_snapshot t key cb =
+  match t.snapshot with
+  | Some s ->
+    Obs.incr t.obs "snapshot_fast_path";
+    Runtime.spawn t.runtime (fun () -> cb (s.snap_read key))
+  | None ->
+    Obs.incr t.obs "snapshot_fallback";
+    read_local t key cb
+
 let read ?(level = `Local) t key cb =
   match level with
   | `Local -> read_local t key cb
   | `Majority -> read_majority t key cb
+  | `Snapshot -> read_snapshot t key cb
 
 let on_read_reply t rid acceptor value version exists =
   match Hashtbl.find_opt t.reads rid with
@@ -448,9 +469,20 @@ let on_scan_reply t rid rows =
       ss.s_cb (order_rows ?order_by:ss.s_order_by ~limit:ss.s_limit ss.s_rows)
     end
 
+let scan_snapshot t ~table ?order_by ~limit cb =
+  match t.snapshot with
+  | Some s ->
+    Obs.incr t.obs "snapshot_fast_path";
+    Runtime.spawn t.runtime (fun () ->
+        cb (order_rows ?order_by ~limit (s.snap_scan ~table)))
+  | None ->
+    Obs.incr t.obs "snapshot_fallback";
+    scan_local t ~table ?order_by ~limit cb
+
 let scan ?(level = `Local) t ~table ?order_by ~limit cb =
   match level with
   | `Local -> scan_local t ~table ?order_by ~limit cb
+  | `Snapshot -> scan_snapshot t ~table ?order_by ~limit cb
   | `Majority ->
     (* Discover candidate rows with a local scan, then upgrade each one to a
        majority read so the result reflects the freshest committed state a
@@ -503,7 +535,8 @@ let rec handle t ~src payload =
   | Messages.Read_request _ | Messages.Scan_request _ -> ()
   | _ -> ()
 
-let create ~runtime ~config ~node_id ~replicas ~master_of ?(ctx = Ctx.default ()) () =
+let create ~runtime ~config ~node_id ~replicas ~master_of ?snapshot ?(ctx = Ctx.default ())
+    () =
   let history = ctx.Ctx.history
   and obs = ctx.Ctx.obs
   and local_nodes = ctx.Ctx.local_nodes in
@@ -516,6 +549,7 @@ let create ~runtime ~config ~node_id ~replicas ~master_of ?(ctx = Ctx.default ()
       replicas;
       master_of;
       local_nodes;
+      snapshot;
       txns = Hashtbl.create 256;
       hints = Hashtbl.create 256;
       reads = Hashtbl.create 64;

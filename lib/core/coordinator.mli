@@ -20,25 +20,41 @@ open Mdcc_storage
 
 type t
 
+type snapshot_source = {
+  snap_read : Key.t -> (Value.t * int) option;
+      (** committed value+version of the key at this DC's replica *)
+  snap_scan : table:string -> (Key.t * Value.t * int) list;
+      (** all live rows of a table across this DC's partition stores *)
+}
+(** Direct handles on the storage-node stores co-located with the
+    app-server, one per partition of its data center.  They power the
+    [`Snapshot] read level: a point-in-time read-committed view served with
+    {e zero} protocol messages.  Only deployments that actually co-locate
+    app-servers with storage (the simulated cluster, the wire server's
+    in-process replica group) can provide one. *)
+
 val create :
   runtime:Runtime.t ->
   config:Config.t ->
   node_id:int ->
   replicas:(Key.t -> int list) ->
   master_of:(Key.t -> int) ->
+  ?snapshot:snapshot_source ->
   ?ctx:Ctx.t ->
   unit ->
   t
 (** Registers the app-server's message handler on the runtime's transport
     ({!Runtime.register}) — the coordinator never touches a clock or a
     socket except through [runtime], so the same state machine runs under
-    the simulator and the real socket runtime.  [ctx]
-    (default {!Ctx.default}) bundles the cross-cutting dependencies:
-    [ctx.local_nodes] are the storage nodes of this app-server's data center
-    (needed only for local {!scan}s); when [ctx.history] is set, every
-    submission and decision is recorded into it (chaos testing); [ctx.obs]
-    receives protocol-path counters and, at submit/propose/learn/decide, the
-    transaction's span events. *)
+    the simulator and the real socket runtime.  [snapshot], when the
+    deployment co-locates storage with the app-server, enables the
+    [`Snapshot] read fast path (without it, [`Snapshot] degrades to
+    [`Local]).  [ctx] (default {!Ctx.default}) bundles the cross-cutting
+    dependencies: [ctx.local_nodes] are the storage nodes of this
+    app-server's data center (needed only for local {!scan}s); when
+    [ctx.history] is set, every submission and decision is recorded into it
+    (chaos testing); [ctx.obs] receives protocol-path counters and, at
+    submit/propose/learn/decide, the transaction's span events. *)
 
 val node_id : t -> int
 
@@ -47,7 +63,7 @@ val submit : t -> Txn.t -> (Txn.outcome -> unit) -> unit
     at decision time (Visibility is sent asynchronously after it). *)
 
 val read :
-  ?level:[ `Local | `Majority ] ->
+  ?level:[ `Local | `Majority | `Snapshot ] ->
   t ->
   Key.t ->
   ((Value.t * int) option -> unit) ->
@@ -56,11 +72,15 @@ val read :
     read-committed read of the replica in the app-server's own data center —
     one local round trip, possibly stale (§4.2).  [`Majority] queries all
     replicas and returns the freshest committed version once a classic
-    quorum answered — up to date, at wide-area cost.  (Session-consistent
-    reads live one layer up: {!Session.read} with its [`Session] level.) *)
+    quorum answered — up to date, at wide-area cost.  [`Snapshot] serves the
+    co-located partition store directly — zero messages, read-committed,
+    point-in-time; counted in obs as [snapshot_fast_path] (or
+    [snapshot_fallback] when no {!snapshot_source} is wired, in which case
+    it behaves as [`Local]).  (Session-consistent reads live one layer up:
+    {!Session.read} with its [`Session] level.) *)
 
 val scan :
-  ?level:[ `Local | `Majority ] ->
+  ?level:[ `Local | `Majority | `Snapshot ] ->
   t ->
   table:string ->
   ?order_by:string ->
@@ -73,7 +93,9 @@ val scan :
     scan of the local data center's replicas, possibly stale.  [`Majority]
     discovers candidate rows locally, then upgrades each to a majority read
     (rows deleted at the majority drop out, so the result may be shorter
-    than [limit]). *)
+    than [limit]).  [`Snapshot] merges the co-located partition stores in
+    process — the read-only fast path for analytics: no Scan_request
+    round-trips, no option machinery. *)
 
 val inflight : t -> int
 (** Transactions submitted but not yet decided (diagnostics). *)

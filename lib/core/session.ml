@@ -1,7 +1,7 @@
 open Mdcc_storage
 module Obs = Mdcc_obs.Obs
 
-type level = [ `Local | `Session | `Majority ]
+type level = [ `Local | `Session | `Majority | `Snapshot ]
 
 type t = {
   coordinator : Coordinator.t;
@@ -34,6 +34,10 @@ let read ?(level = `Session) t key callback =
     Coordinator.read ~level:`Local t.coordinator key (fun result ->
         (match result with Some (_, version) -> observe t key version | None -> ());
         callback result)
+  | `Snapshot ->
+    (* Point-in-time fast path: no watermark machinery at all — the caller
+       explicitly trades session guarantees for a zero-message read. *)
+    Coordinator.read ~level:`Snapshot t.coordinator key callback
   | `Majority -> Coordinator.read ~level:`Majority t.coordinator key deliver
   | `Session ->
     if Key.Tbl.mem t.dirty key then begin
@@ -79,6 +83,7 @@ let scan ?(level = `Session) t ~table ?order_by ~limit cb =
   let observe_rows rows = List.iter (fun (key, _, version) -> observe t key version) rows in
   match level with
   | `Local -> Coordinator.scan ~level:`Local t.coordinator ~table ?order_by ~limit cb
+  | `Snapshot -> Coordinator.scan ~level:`Snapshot t.coordinator ~table ?order_by ~limit cb
   | `Majority ->
     Coordinator.scan ~level:`Majority t.coordinator ~table ?order_by ~limit (fun rows ->
         observe_rows rows;

@@ -16,7 +16,12 @@
        the watermark (what {!Coordinator.read} [`Local] does);}
     {- [`Session] — serve locally when the replica is at or above the
        watermark, silently upgrade to a majority read otherwise;}
-    {- [`Majority] — always read a classic quorum.}}
+    {- [`Majority] — always read a classic quorum;}
+    {- [`Snapshot] — the zero-message point-in-time fast path
+       ({!Coordinator.read} [`Snapshot]): serve the co-located partition
+       store directly, bypassing watermarks {e and} the network.  No
+       session guarantee — it is the explicit opt-out for read-only
+       analytics.}}
 
     {b The default is [`Session]} — it is the level this module exists to
     provide, it is never weaker than what the caller already observed, and
@@ -27,8 +32,8 @@
 
 open Mdcc_storage
 
-type level = [ `Local | `Session | `Majority ]
-(** See the module description for the three guarantees. *)
+type level = [ `Local | `Session | `Majority | `Snapshot ]
+(** See the module description for the four guarantees. *)
 
 type t
 
@@ -53,8 +58,10 @@ val scan :
     scan runs locally and upgrades only the rows the session knows to be
     stale (below-watermark version, or dirtied by the session's own delta
     write) to majority reads; [`Local] is the raw analytic scan that may
-    miss the session's writes; [`Majority] upgrades every row.  Scanned
-    versions feed the watermarks at [`Session] and [`Majority]. *)
+    miss the session's writes; [`Majority] upgrades every row; [`Snapshot]
+    is the in-process merge of the co-located partition stores (zero
+    messages, no watermark interaction).  Scanned versions feed the
+    watermarks at [`Session] and [`Majority]. *)
 
 val submit : t -> Txn.t -> (Txn.outcome -> unit) -> unit
 (** {!Coordinator.submit}, additionally advancing the watermarks of the

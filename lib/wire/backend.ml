@@ -1,5 +1,6 @@
 open Mdcc_storage
 module Session = Mdcc_core.Session
+module Obs = Mdcc_obs.Obs
 
 type status = Stored | Not_stored | Exists | Not_found | Server_busy of string
 
@@ -34,9 +35,20 @@ let reason_of = function
   | Txn.Node_unreachable -> "replicas unreachable"
   | Txn.Recovered_abort -> "recovered as aborted"
 
-let of_session ?(table = "kv") ?(retries = 8) ?(stats = fun () -> []) ~next_txid session =
+let of_session ?(table = "kv") ?(retries = 8) ?(stats = fun () -> []) ?partition_of ?obs
+    ~next_txid session =
   let key_of id = Key.make ~table ~id in
+  (* Per-partition request accounting, when the deployment is partitioned:
+     [partition_of] is the server's key hash — the same routing the
+     coordinator applies — so [stats detail] shows where the keyspace load
+     actually lands ([wire.partition.p00.reads], [.writes], ...). *)
+  let tally verb id =
+    match (partition_of, obs) with
+    | Some pf, Some o -> Obs.incr o (Printf.sprintf "wire.partition.p%02d.%s" (pf id) verb)
+    | _, _ -> ()
+  in
   let get id level k =
+    tally "reads" id;
     Session.read ~level session (key_of id) (fun found -> k (Option.map (decode id) found))
   in
   let submit1 key update k =
@@ -45,6 +57,7 @@ let of_session ?(table = "kv") ?(retries = 8) ?(stats = fun () -> []) ~next_txid
   (* Read-modify-write with bounded conflict retries: each retry re-reads at
      [`Session] level, so it observes the version that beat it. *)
   let set ~key ~flags ~data k =
+    tally "writes" key;
     let value = encode ~flags ~data in
     let rec attempt budget =
       Session.read ~level:`Session session (key_of key) (fun cur ->
@@ -63,6 +76,7 @@ let of_session ?(table = "kv") ?(retries = 8) ?(stats = fun () -> []) ~next_txid
     attempt retries
   in
   let cas ~key ~flags ~data ~cas k =
+    tally "writes" key;
     Session.read ~level:`Session session (key_of key) (function
       | None -> k Not_found
       | Some (_, version) when version <> cas -> k Exists
@@ -75,6 +89,7 @@ let of_session ?(table = "kv") ?(retries = 8) ?(stats = fun () -> []) ~next_txid
           | Txn.Aborted reason -> k (Server_busy (reason_of reason))))
   in
   let delete key k =
+    tally "writes" key;
     let rec attempt budget =
       Session.read ~level:`Session session (key_of key) (function
         | None -> k Not_found
@@ -91,6 +106,10 @@ let of_session ?(table = "kv") ?(retries = 8) ?(stats = fun () -> []) ~next_txid
      collapse the buffered ops to the last write per key first; reads then
      resolve each key's current version to build the write-set. *)
   let commit ops k =
+    List.iter
+      (fun op ->
+        tally "writes" (match op with T_set { key; _ } -> key | T_delete key -> key))
+      ops;
     let module S = Set.Make (String) in
     let _, deduped =
       List.fold_left

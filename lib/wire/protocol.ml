@@ -1,4 +1,4 @@
-type level = [ `Local | `Session | `Majority ]
+type level = [ `Local | `Session | `Majority | `Snapshot ]
 
 type store = {
   s_key : string;
@@ -30,12 +30,14 @@ let level_of_string = function
   | "local" -> Some `Local
   | "session" -> Some `Session
   | "majority" -> Some `Majority
+  | "snapshot" -> Some `Snapshot
   | _ -> None
 
 let level_name = function
   | `Local -> "local"
   | `Session -> "session"
   | `Majority -> "majority"
+  | `Snapshot -> "snapshot"
 
 let render_hit buf ~with_cas h =
   Buffer.add_string buf "VALUE ";

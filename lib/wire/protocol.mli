@@ -10,13 +10,15 @@
     {ul
     {- [txn] … [commit] — buffer several [set]/[delete]s and commit them as
        {e one} MDCC transaction (atomic multi-record write-set, §2);}
-    {- [read <key> \[local|session|majority\]] — a [get] with an explicit
-       consistency level, surfacing {!Mdcc_core.Session.read}'s [?level].}}
+    {- [read <key> \[local|session|majority|snapshot\]] — a [get] with an
+       explicit consistency level, surfacing {!Mdcc_core.Session.read}'s
+       [?level] ([snapshot] is the zero-message fast path against the
+       in-process partition stores).}}
 
     This module is the pure vocabulary: request values produced by
     {!Parser} and response strings consumed by {!Handler}. *)
 
-type level = [ `Local | `Session | `Majority ]
+type level = [ `Local | `Session | `Majority | `Snapshot ]
 
 type store = {
   s_key : string;

@@ -14,6 +14,7 @@ type t = {
   sv_coord : Coordinator.t;
   sv_obs : Obs.t;
   sv_table : string;
+  sv_partitions : int;
   mutable sv_port : int;
   mutable sv_handlers : Handler.t list;
   mutable sv_txid : int;
@@ -38,6 +39,7 @@ let stats t () =
   let s = Coordinator.stats t.sv_coord in
   [
     ("uptime", string_of_int (int_of_float (Loop.now t.sv_loop /. 1000.0)));
+    ("partitions", string_of_int t.sv_partitions);
     ("uptime_ms", string_of_int (int_of_float (Loop.now t.sv_loop)));
     ("curr_connections", string_of_int (Loop.open_conns t.sv_loop));
     ("total_connections", c "wire.connections");
@@ -65,24 +67,63 @@ let stats t () =
     ("inflight", string_of_int (Coordinator.inflight t.sv_coord));
   ]
 
-let create ?(seed = 1) ?(nodes = 5) ?(table = "kv") ?(addr = "127.0.0.1") ?(port = 11311) () =
-  (* Storage node [i] plays data center [i]'s replica; the coordinator
-     (node id [nodes]) lives in DC 0 and reads node 0 locally. *)
-  let lp = Loop.create ~seed ~dc_of:(fun id -> if id < nodes then id else 0) () in
+let create ?(seed = 1) ?(nodes = 5) ?(partitions = 1) ?(table = "kv") ?(addr = "127.0.0.1")
+    ?(port = 11311) () =
+  (* The same node-id layout the simulated cluster uses: storage node
+     [dc * partitions + p] is data center [dc]'s replica of hash partition
+     [p]; the coordinator (node id [nodes * partitions]) lives in DC 0 and
+     reads its partition stores locally. *)
+  let storage_n = nodes * partitions in
+  let lp =
+    Loop.create ~seed ~dc_of:(fun id -> if id < storage_n then id / partitions else 0) ()
+  in
   let runtime = Loop.runtime lp in
   let config = Config.make ~replication:nodes () in
   let schema = Mdcc_storage.Schema.create [ { name = table; bounds = []; master_dc = 0 } ] in
   let observ = Obs.create () in
-  let ctx = Ctx.make ~obs:observ ~local_nodes:[ 0 ] () in
-  let replicas _key = List.init nodes Fun.id in
-  let master_of key = Hashtbl.hash (Key.to_string key ^ "#master") mod nodes in
+  let ctx = Ctx.make ~obs:observ ~local_nodes:(List.init partitions Fun.id) () in
+  (* Key routing: the key's partition replica in every DC — the exact hash
+     the simulated cluster's coordinator routes by. *)
+  let partition_of key = Key.hash key mod partitions in
+  let replicas key =
+    let p = partition_of key in
+    List.init nodes (fun dc -> (dc * partitions) + p)
+  in
+  let master_of key =
+    let master_dc = Hashtbl.hash (Key.to_string key ^ "#master") mod nodes in
+    (master_dc * partitions) + partition_of key
+  in
   let storage =
-    List.init nodes (fun i ->
+    List.init storage_n (fun i ->
         Storage_node.create ~runtime ~config ~node_id:i ~schema ~replicas ~master_of ~ctx ())
   in
   List.iter Storage_node.start_maintenance storage;
+  (* Snapshot source: direct handles on DC 0's partition stores (they are
+     in-process), powering the wire protocol's [read <key> snapshot]. *)
+  let snapshot =
+    {
+      Coordinator.snap_read =
+        (fun key ->
+          Mdcc_storage.Store.read
+            (Storage_node.store (List.nth storage (partition_of key)))
+            key);
+      snap_scan =
+        (fun ~table ->
+          let rows = ref [] in
+          for p = partitions - 1 downto 0 do
+            Mdcc_storage.Store.iter (Storage_node.store (List.nth storage p))
+              (fun key row ->
+                if row.Mdcc_storage.Store.exists && String.equal key.Key.table table then
+                  rows :=
+                    (key, row.Mdcc_storage.Store.value, row.Mdcc_storage.Store.version)
+                    :: !rows)
+          done;
+          !rows);
+    }
+  in
   let coord =
-    Coordinator.create ~runtime ~config ~node_id:nodes ~replicas ~master_of ~ctx ()
+    Coordinator.create ~runtime ~config ~node_id:storage_n ~replicas ~master_of ~snapshot
+      ~ctx ()
   in
   Loop.set_meter lp
     {
@@ -102,6 +143,7 @@ let create ?(seed = 1) ?(nodes = 5) ?(table = "kv") ?(addr = "127.0.0.1") ?(port
       sv_coord = coord;
       sv_obs = observ;
       sv_table = table;
+      sv_partitions = partitions;
       sv_port = 0;
       sv_handlers = [];
       sv_txid = 0;
@@ -111,8 +153,9 @@ let create ?(seed = 1) ?(nodes = 5) ?(table = "kv") ?(addr = "127.0.0.1") ?(port
     Loop.listen lp ~addr ~port (fun conn ->
         let session = Session.create coord in
         let backend =
-          Backend.of_session ~table:t.sv_table ~stats:(stats t) ~next_txid:(next_txid t)
-            session
+          Backend.of_session ~table:t.sv_table ~stats:(stats t)
+            ~partition_of:(fun id -> partition_of (Key.make ~table:t.sv_table ~id))
+            ~obs:observ ~next_txid:(next_txid t) session
         in
         let handler =
           Handler.create ~backend

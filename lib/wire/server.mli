@@ -21,15 +21,20 @@ type t
 val create :
   ?seed:int ->
   ?nodes:int ->
+  ?partitions:int ->
   ?table:string ->
   ?addr:string ->
   ?port:int ->
   unit ->
   t
-(** [nodes] (default 5, minimum 3) is the replication factor; [port]
-    (default 11311) may be 0 to bind an ephemeral port — read it back with
-    {!port}.  The value table [table] (default ["kv"]) holds records shaped
-    [{data; flags}]. *)
+(** [nodes] (default 5, minimum 3) is the replication factor (simulated
+    data centers); [partitions] (default 1) hash-partitions the keyspace —
+    the deployment runs [nodes * partitions] storage nodes laid out exactly
+    like the simulated cluster ([dc * partitions + p]), keys route to their
+    partition's replica group by the coordinator's hash, and [stats detail]
+    carries per-partition request counters.  [port] (default 11311) may be
+    0 to bind an ephemeral port — read it back with {!port}.  The value
+    table [table] (default ["kv"]) holds records shaped [{data; flags}]. *)
 
 val loop : t -> Mdcc_runtime_unix.Loop.t
 val port : t -> int

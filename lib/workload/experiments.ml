@@ -193,7 +193,7 @@ let fig4 ?(quick = false) ?pool () =
   let base = scale_of quick in
   let points =
     if quick then [ (10, 400, 1); (20, 800, 2) ]
-    else [ (50, 5_000, 2); (100, 10_000, 4); (200, 20_000, 8) ]
+    else [ (50, 5_000, 2); (100, 10_000, 4); (200, 20_000, 8); (400, 40_000, 16) ]
   in
   (* Flatten protocol x scale-point into one task list so the pool can
      schedule every simulation independently, then regroup per protocol. *)
@@ -487,8 +487,9 @@ let ablation_replication ?(quick = false) ?pool () =
             ~nodes_per_dc:scale.partitions ()
         in
         let cluster =
-          Mdcc_core.Cluster.create ~engine ~topology ~partitions:scale.partitions ~config
-            ~schema:Micro.schema ~ctx:(Mdcc_core.Ctx.make ~obs ()) ()
+          Mdcc_core.Cluster.create ~engine
+            ~spec:(Mdcc_core.Cluster.Spec.make ~topology ~partitions:scale.partitions ())
+            ~config ~schema:Micro.schema ~ctx:(Mdcc_core.Ctx.make ~obs ()) ()
         in
         Mdcc_core.Cluster.load cluster rows;
         Mdcc_core.Cluster.start_maintenance cluster;
@@ -534,8 +535,9 @@ let ablation_batching ?(quick = false) ?pool () =
           Mdcc_core.Config.make ~mode:Mdcc_core.Config.Full ~batching ~replication:5 ()
         in
         let cluster =
-          Mdcc_core.Cluster.create ~engine ~partitions:scale.partitions ~config
-            ~schema:Micro.schema ~ctx:(Mdcc_core.Ctx.make ~obs ()) ()
+          Mdcc_core.Cluster.create ~engine
+            ~spec:(Mdcc_core.Cluster.Spec.make ~partitions:scale.partitions ())
+            ~config ~schema:Micro.schema ~ctx:(Mdcc_core.Ctx.make ~obs ()) ()
         in
         Mdcc_core.Cluster.load cluster rows;
         Mdcc_core.Cluster.start_maintenance cluster;

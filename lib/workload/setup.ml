@@ -29,9 +29,9 @@ let make protocol ~seed ~schema ?(partitions = 1) ?(app_servers_per_dc = 1) ?(ga
       | Multi | Qw _ | Two_pc | Megastore -> Config.Multi
     in
     let config = Config.make ~mode ~gamma ~replication:5 () in
+    let spec = Cluster.Spec.make ~partitions ~app_servers_per_dc ?master_dc_of () in
     let cluster =
-      Cluster.create ~engine ~partitions ~app_servers_per_dc ?master_dc_of ~config ~schema
-        ~ctx:(Mdcc_core.Ctx.make ?obs ()) ()
+      Cluster.create ~engine ~spec ~config ~schema ~ctx:(Mdcc_core.Ctx.make ?obs ()) ()
     in
     Cluster.load cluster rows;
     Cluster.start_maintenance cluster;

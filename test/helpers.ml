@@ -30,7 +30,8 @@ let make_cluster ?(seed = 42) ?(mode = Config.Full) ?(gamma = 100) ?learn_timeou
     Config.make ~mode ~gamma ?learn_timeout ?txn_timeout ?dangling_scan_every ~replication:5 ()
   in
   let cluster =
-    Cluster.create ~engine ?master_dc_of ?drop_probability ~partitions ~app_servers_per_dc:1
+    Cluster.create ~engine
+      ~spec:(Cluster.Spec.make ?master_dc_of ?drop_probability ~partitions ())
       ~config ~schema:stock_schema ()
   in
   if items > 0 then

@@ -88,7 +88,9 @@ let schema = Schema.create [ { Schema.name = "item"; bounds = []; master_dc = 0 
 let make_cluster ~partitions =
   let engine = Engine.create ~seed:3 in
   let config = Config.make ~replication:5 () in
-  Cluster.create ~engine ~partitions ~app_servers_per_dc:2 ~config ~schema ()
+  Cluster.create ~engine
+    ~spec:(Cluster.Spec.make ~partitions ~app_servers_per_dc:2 ())
+    ~config ~schema ()
 
 let test_cluster_replica_groups () =
   let cluster = make_cluster ~partitions:4 in
@@ -143,7 +145,7 @@ let send_all_counts ~batching =
   let engine = Engine.create ~seed:13 in
   let config = Config.make ~batching ~replication:5 () in
   let cluster =
-    Cluster.create ~engine ~partitions:1 ~app_servers_per_dc:1 ~config ~schema ()
+    Cluster.create ~engine ~spec:Cluster.Spec.default ~config ~schema ()
   in
   Cluster.load cluster
     (List.init 4 (fun i -> (item i, Value.of_list [ ("stock", Value.Int 50) ])));

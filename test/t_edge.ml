@@ -91,7 +91,9 @@ let test_harness_of_mdcc_round_robin () =
   let config = Mdcc_core.Config.make ~replication:5 () in
   let schema = Schema.create [ { Schema.name = "item"; bounds = []; master_dc = 0 } ] in
   let cluster =
-    Mdcc_core.Cluster.create ~engine ~app_servers_per_dc:2 ~config ~schema ()
+    Mdcc_core.Cluster.create ~engine
+      ~spec:(Mdcc_core.Cluster.Spec.make ~app_servers_per_dc:2 ())
+      ~config ~schema ()
   in
   let h = Harness.of_mdcc cluster ~name:"MDCC" in
   Alcotest.(check string) "name" "MDCC" h.Harness.name;
@@ -131,7 +133,9 @@ let test_session_watermark_initial () =
   let engine = Engine.create ~seed:3 in
   let config = Mdcc_core.Config.make ~replication:5 () in
   let schema = Schema.create [ { Schema.name = "item"; bounds = []; master_dc = 0 } ] in
-  let cluster = Mdcc_core.Cluster.create ~engine ~config ~schema () in
+  let cluster =
+    Mdcc_core.Cluster.create ~engine ~spec:Mdcc_core.Cluster.Spec.default ~config ~schema ()
+  in
   let session = Mdcc_core.Session.create (Mdcc_core.Cluster.coordinator cluster ~dc:0 ~rank:0) in
   Alcotest.(check int) "no watermark" 0
     (Mdcc_core.Session.watermark session (Key.make ~table:"item" ~id:"q"))

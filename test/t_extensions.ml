@@ -13,7 +13,7 @@ let make_batched ?(batching = true) () =
   let engine = Engine.create ~seed:77 in
   let config = Config.make ~mode:Config.Full ~batching ~replication:5 () in
   let cluster =
-    Cluster.create ~engine ~partitions:1 ~app_servers_per_dc:1 ~config ~schema:stock_schema ()
+    Cluster.create ~engine ~spec:Cluster.Spec.default ~config ~schema:stock_schema ()
   in
   Cluster.load cluster (List.init 10 (fun i -> (item i, item_row 100)));
   (engine, cluster)

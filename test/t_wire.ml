@@ -338,7 +338,7 @@ let kv_schema = Schema.create [ { Schema.name = "kv"; bounds = []; master_dc = 0
 let test_wire_over_sim () =
   let engine = Engine.create ~seed:7 in
   let config = Config.make ~replication:5 () in
-  let cluster = Cluster.create ~engine ~config ~schema:kv_schema () in
+  let cluster = Cluster.create ~engine ~spec:Cluster.Spec.default ~config ~schema:kv_schema () in
   let session = Session.create (Cluster.coordinator cluster ~dc:0 ~rank:0) in
   let counter = ref 0 in
   let next_txid () = incr counter; Printf.sprintf "w%d" !counter in
