@@ -1,0 +1,191 @@
+(* Micro-benchmark of the simulation hot loop: raw Event_queue ops,
+   Engine.run dispatch, and Network.send delivery throughput.
+
+     dune exec bench/bench_events.exe -- --ops 300000
+     dune exec bench/bench_events.exe -- --out BENCH_events.json
+
+   Four sections, each timed in isolation:
+
+   - queue_push_pop:   push N events at pseudo-random times, pop them all
+   - queue_cancel:     push N, cancel every other handle (exercising the
+                       compaction path), drain the rest
+   - engine_dispatch:  K self-rescheduling timers executing N events total
+                       through Engine.run — the sweep's inner loop
+   - network_send:     ping-pong handlers over a 2-DC topology delivering
+                       N messages end to end (send + schedule + deliver)
+
+   Wall-clock throughput (ops/s) is machine-dependent and noisy on a
+   shared container; the per-op minor-allocation figure (minor_words/op,
+   from Gc.minor_words) is deterministic for a given build and is the
+   number the hot-loop allocation-purge work is judged by.  Output schema
+   mdcc.bench_events.v1; CI uploads the artifact so sequential hot-loop
+   regressions are visible independently of the parallel-sweep story. *)
+
+module Engine = Mdcc_sim.Engine
+module Event_queue = Mdcc_sim.Event_queue
+module Network = Mdcc_sim.Network
+module Topology = Mdcc_sim.Topology
+module Rng = Mdcc_util.Rng
+module Json = Mdcc_obs.Json
+
+type section = {
+  s_name : string;
+  s_ops : int;
+  s_wall_s : float;
+  s_ops_per_s : float;
+  s_minor_words_per_op : float;
+}
+
+let time_section name ops f =
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  {
+    s_name = name;
+    s_ops = ops;
+    s_wall_s = wall_s;
+    s_ops_per_s = Float.of_int ops /. wall_s;
+    s_minor_words_per_op = words /. Float.of_int ops;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Sections                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let queue_push_pop ~ops =
+  let q = Event_queue.create () in
+  let rng = Rng.create 42 in
+  let n = ops / 2 in
+  let ats = Array.init n (fun _ -> Rng.float rng 1_000_000.0) in
+  time_section "queue_push_pop" ops (fun () ->
+      for i = 0 to n - 1 do
+        ignore (Event_queue.push q ~at:ats.(i) ~seq:i ignore)
+      done;
+      for _ = 1 to n do
+        ignore (Event_queue.pop q)
+      done)
+
+let queue_cancel ~ops =
+  let q = Event_queue.create () in
+  let rng = Rng.create 43 in
+  let n = ops / 3 in
+  let ats = Array.init n (fun _ -> Rng.float rng 1_000_000.0) in
+  (* push N + cancel N/2 + pop N/2 ~= ops individual operations *)
+  time_section "queue_cancel" ops (fun () ->
+      let handles =
+        Array.init n (fun i -> Event_queue.push q ~at:ats.(i) ~seq:i ignore)
+      in
+      for i = 0 to n - 1 do
+        if i land 1 = 0 then Event_queue.cancel q handles.(i)
+      done;
+      while Event_queue.pop q <> None do
+        ()
+      done)
+
+let engine_dispatch ~ops =
+  let engine = Engine.create ~seed:7 in
+  let timers = 64 in
+  let fired = ref 0 in
+  let rec tick () =
+    incr fired;
+    if !fired + timers <= ops then ignore (Engine.schedule engine ~after:1.0 tick)
+  in
+  for _ = 1 to timers do
+    ignore (Engine.schedule engine ~after:1.0 tick)
+  done;
+  time_section "engine_dispatch" ops (fun () -> Engine.run engine)
+
+type Network.payload += Ping
+
+let network_send ~ops =
+  let engine = Engine.create ~seed:11 in
+  let topo =
+    Topology.make ~dc_names:[| "a"; "b" |]
+      ~rtt:[| [| 0.0; 20.0 |]; [| 20.0; 0.0 |] |]
+      ~nodes_per_dc:2 ()
+  in
+  let net = Network.create engine topo () in
+  let delivered = ref 0 in
+  (* Ping-pong: every delivery sends one message back until the budget is
+     spent, so the section measures send + schedule + deliver end to end. *)
+  for node = 0 to 3 do
+    Network.register net node (fun ~src payload ->
+        incr delivered;
+        if !delivered < ops then Network.send net ~src:node ~dst:src payload)
+  done;
+  (* 8 concurrent ping-pong chains keep the heap non-trivial. *)
+  let seed_msgs = 8 in
+  time_section "network_send" ops (fun () ->
+      for i = 0 to seed_msgs - 1 do
+        Network.send net ~src:(i land 3) ~dst:(i land 3 lxor 2) Ping
+      done;
+      Engine.run engine)
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let section_json s =
+  ( s.s_name,
+    Json.Obj
+      [
+        ("ops", Json.Int s.s_ops);
+        ("wall_s", Json.Float s.s_wall_s);
+        ("ops_per_s", Json.Float s.s_ops_per_s);
+        ("minor_words_per_op", Json.Float s.s_minor_words_per_op);
+      ] )
+
+let doc ~ops sections =
+  Json.Obj
+    [
+      ("schema", Json.Str "mdcc.bench_events.v1");
+      ("config", Json.Obj [ ("ops", Json.Int ops) ]);
+      ("sections", Json.Obj (List.map section_json sections));
+    ]
+
+let bench ~ops ~out =
+  Printf.printf "bench-events: %d ops per section\n%!" ops;
+  let sections =
+    [
+      queue_push_pop ~ops;
+      queue_cancel ~ops;
+      engine_dispatch ~ops;
+      network_send ~ops;
+    ]
+  in
+  List.iter
+    (fun s ->
+      Printf.printf "  %-16s %8.3f s  %10.0f ops/s  %6.2f minor words/op\n" s.s_name
+        s.s_wall_s s.s_ops_per_s s.s_minor_words_per_op)
+    sections;
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      output_string oc (Json.to_string (doc ~ops sections));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "  written: %s\n" path)
+    out
+
+open Cmdliner
+
+let ops_arg =
+  Arg.(value & opt int 300_000 & info [ "ops" ] ~docv:"N" ~doc:"Operations per section.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:"Write the measurement as JSON (schema mdcc.bench_events.v1).")
+
+let () =
+  let doc = "micro-benchmark of the DES hot loop: event queue, dispatch, network send" in
+  let cmd =
+    Cmd.v
+      (Cmd.info "bench-events" ~doc)
+      Term.(const (fun ops out -> bench ~ops ~out) $ ops_arg $ out_arg)
+  in
+  exit (Cmd.eval cmd)

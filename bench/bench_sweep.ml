@@ -28,9 +28,9 @@ module Prof = Mdcc_obs.Prof
 
 type measurement = { wall_s : float; runs_per_s : float; events_per_s : float }
 
-let measure ~jobs specs =
+let measure ~jobs ?chunk specs =
   let t0 = Unix.gettimeofday () in
-  let reports = Sweep.run ~jobs specs in
+  let reports = Sweep.run ~jobs ?chunk specs in
   let wall_s = Unix.gettimeofday () -. t0 in
   let events = List.fold_left (fun acc r -> acc + r.Runner.r_events) 0 reports in
   let n = List.length reports in
@@ -56,7 +56,10 @@ let measurement_json m =
       ("events_per_s", Json.Float m.events_per_s);
     ]
 
-let doc ~seeds ~scenarios ~runs ~jobs ~seq ~par ~speedup =
+(* [cores] is recorded so a checker can tell whether the speedup number
+   means anything: a parallel leg measured with fewer cores than domains
+   is time-slicing, and its "speedup" says nothing about the code. *)
+let doc ~seeds ~scenarios ~runs ~jobs ~cores ~seq ~par ~speedup =
   Json.Obj
     [
       ("schema", Json.Str "mdcc.bench_sweep.v1");
@@ -67,6 +70,7 @@ let doc ~seeds ~scenarios ~runs ~jobs ~seq ~par ~speedup =
             ("scenarios", Json.Int scenarios);
             ("runs", Json.Int runs);
             ("jobs", Json.Int jobs);
+            ("cores", Json.Int cores);
           ] );
       ("sequential", measurement_json seq);
       ("parallel", measurement_json par);
@@ -78,9 +82,9 @@ let doc ~seeds ~scenarios ~runs ~jobs ~seq ~par ~speedup =
    the measured legs above stay un-instrumented, and the profile rides
    its own file (wall-clock numbers are nondeterministic, so they must
    never share a channel with byte-pinned outputs). *)
-let profile_side ~jobs specs =
+let profile_side ~jobs ?chunk specs =
   let t0 = Unix.gettimeofday () in
-  let _reports, snapshot = Sweep.run_profiled ~jobs specs in
+  let _reports, snapshot = Sweep.run_profiled ~jobs ?chunk specs in
   let wall_s = Unix.gettimeofday () -. t0 in
   (wall_s, snapshot)
 
@@ -98,7 +102,7 @@ let profile_side_json (wall_s, snapshot) =
       ("profile", Prof.snapshot_to_json snapshot);
     ]
 
-let profile_doc ~seeds ~scenarios ~runs ~jobs ~seq_side ~par_side =
+let profile_doc ~seeds ~scenarios ~runs ~jobs ~cores ~seq_side ~par_side =
   Json.Obj
     [
       ("schema", Json.Str "mdcc.bench_profile.v1");
@@ -109,6 +113,7 @@ let profile_doc ~seeds ~scenarios ~runs ~jobs ~seq_side ~par_side =
             ("scenarios", Json.Int scenarios);
             ("runs", Json.Int runs);
             ("jobs", Json.Int jobs);
+            ("cores", Json.Int cores);
           ] );
       ("sequential", profile_side_json seq_side);
       ("parallel", profile_side_json par_side);
@@ -121,7 +126,15 @@ let get_float path j =
   in
   go j path
 
-let check_baseline ~path ~tolerance ~absolute ~speedup ~par =
+(* Speedup checks are gated on the measurement actually meaning something:
+   [jobs] domains on fewer than [jobs] cores just time-slice one core, and
+   the resulting ratio measures the scheduler, not this code.  The gate is
+   applied to each side independently — the current measurement (skip the
+   floor and the regression check, loudly) and the baseline (a baseline
+   recorded on a starved machine has a meaningless speedup; skip only the
+   relative comparison).  Baselines predating the [cores] field are
+   trusted, i.e. assumed recorded with enough cores. *)
+let check_baseline ~path ~tolerance ~absolute ~speedup ~speedup_meaningful ~par =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let contents = really_input_string ic len in
@@ -137,13 +150,28 @@ let check_baseline ~path ~tolerance ~absolute ~speedup ~par =
         (tolerance *. 100.0) base now;
       exit 3
     in
-    (match get_float [ "speedup" ] baseline with
-    | Some base when base > 0.0 ->
-      if speedup < base *. (1.0 -. tolerance) then fail "speedup" base speedup
-      else
-        Printf.printf "check: speedup %.2fx vs baseline %.2fx (tolerance %.0f%%): ok\n" speedup
-          base (tolerance *. 100.0)
-    | Some _ | None -> Printf.eprintf "bench-sweep: baseline %s has no speedup field\n" path);
+    let baseline_meaningful =
+      match (get_float [ "config"; "cores" ] baseline, get_float [ "config"; "jobs" ] baseline)
+      with
+      | Some cores, Some jobs -> cores >= jobs
+      | _ -> true
+    in
+    (if not speedup_meaningful then
+       Printf.printf
+         "check: SKIPPING speedup regression check (this machine has fewer cores than \
+          --jobs; the measured ratio is time-slicing, not parallelism)\n"
+     else if not baseline_meaningful then
+       Printf.printf
+         "check: SKIPPING speedup regression check (baseline %s was recorded with fewer \
+          cores than jobs; its speedup is not comparable)\n" path
+     else
+       match get_float [ "speedup" ] baseline with
+       | Some base when base > 0.0 ->
+         if speedup < base *. (1.0 -. tolerance) then fail "speedup" base speedup
+         else
+           Printf.printf "check: speedup %.2fx vs baseline %.2fx (tolerance %.0f%%): ok\n"
+             speedup base (tolerance *. 100.0)
+       | Some _ | None -> Printf.eprintf "bench-sweep: baseline %s has no speedup field\n" path);
     if absolute then
       match get_float [ "parallel"; "runs_per_s" ] baseline with
       | Some base when base > 0.0 ->
@@ -154,16 +182,22 @@ let check_baseline ~path ~tolerance ~absolute ~speedup ~par =
       | Some _ | None ->
         Printf.eprintf "bench-sweep: baseline %s has no parallel.runs_per_s field\n" path
 
-let bench ~seeds ~jobs ~out ~check ~tolerance ~min_speedup ~absolute ~profile =
+let bench ~seeds ~jobs ~chunk ~out ~check ~tolerance ~min_speedup ~absolute ~profile =
   let scenarios = Nemesis.matrix in
   let specs = Sweep.specs ~seeds ~scenarios () in
   let runs = List.length specs in
-  Printf.printf "bench-sweep: %d runs (%d seeds x %d scenarios)\n%!" runs seeds
-    (List.length scenarios);
+  let cores = Domain.recommended_domain_count () in
+  let speedup_meaningful = cores >= jobs in
+  Printf.printf "bench-sweep: %d runs (%d seeds x %d scenarios), %d cores detected\n%!" runs
+    seeds (List.length scenarios) cores;
+  if not speedup_meaningful then
+    Printf.printf
+      "  WARNING: %d cores < %d jobs — the parallel leg will time-slice; speedup \
+       assertions are skipped\n%!" cores jobs;
   let seq_reports, seq = measure ~jobs:1 specs in
   Printf.printf "  sequential: %6.2f s  %7.1f runs/s  %9.0f events/s\n%!" seq.wall_s
     seq.runs_per_s seq.events_per_s;
-  let par_reports, par = measure ~jobs specs in
+  let par_reports, par = measure ~jobs ?chunk specs in
   Printf.printf "  jobs=%-4d   %6.2f s  %7.1f runs/s  %9.0f events/s\n%!" jobs par.wall_s
     par.runs_per_s par.events_per_s;
   if not (String.equal (render seq_reports) (render par_reports)) then begin
@@ -178,7 +212,10 @@ let bench ~seeds ~jobs ~out ~check ~tolerance ~min_speedup ~absolute ~profile =
   Option.iter
     (fun path ->
       let oc = open_out path in
-      output_string oc (Json.to_string (doc ~seeds ~scenarios:(List.length scenarios) ~runs ~jobs ~seq ~par ~speedup));
+      output_string oc
+        (Json.to_string
+           (doc ~seeds ~scenarios:(List.length scenarios) ~runs ~jobs ~cores ~seq ~par
+              ~speedup));
       output_char oc '\n';
       close_out oc;
       Printf.printf "  written: %s\n" path)
@@ -188,25 +225,32 @@ let bench ~seeds ~jobs ~out ~check ~tolerance ~min_speedup ~absolute ~profile =
       Printf.printf "  profiling sequential leg...\n%!";
       let seq_side = profile_side ~jobs:1 specs in
       Printf.printf "  profiling jobs=%d leg...\n%!" jobs;
-      let par_side = profile_side ~jobs specs in
+      let par_side = profile_side ~jobs ?chunk specs in
       let oc = open_out path in
       output_string oc
         (Json.to_string
-           (profile_doc ~seeds ~scenarios:(List.length scenarios) ~runs ~jobs ~seq_side
-              ~par_side));
+           (profile_doc ~seeds ~scenarios:(List.length scenarios) ~runs ~jobs ~cores
+              ~seq_side ~par_side));
       output_char oc '\n';
       close_out oc;
       let frac (wall_s, snap) = Prof.attributed_ms snap /. (wall_s *. 1000.0) in
       Printf.printf "  profile: attributed %.0f%% (seq) / %.0f%% (jobs=%d) of wall; %s\n"
         (100.0 *. frac seq_side) (100.0 *. frac par_side) jobs path)
     profile;
-  Option.iter (fun path -> check_baseline ~path ~tolerance ~absolute ~speedup ~par) check;
+  Option.iter
+    (fun path -> check_baseline ~path ~tolerance ~absolute ~speedup ~speedup_meaningful ~par)
+    check;
   Option.iter
     (fun floor ->
-      if speedup < floor then begin
+      if not speedup_meaningful then
+        Printf.printf
+          "  SKIPPING --min-speedup %.2f floor (%d cores < %d jobs: the ratio measures \
+           time-slicing, not parallelism)\n" floor cores jobs
+      else if speedup < floor then begin
         Printf.eprintf "bench-sweep: speedup %.2fx below required %.2fx\n" speedup floor;
         exit 3
-      end)
+      end
+      else Printf.printf "  min-speedup: %.2fx >= %.2fx: ok\n" speedup floor)
     min_speedup
 
 open Cmdliner
@@ -218,6 +262,15 @@ let jobs_arg =
     value
     & opt int (Mdcc_util.Pool.default_jobs ())
     & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains for the parallel leg.")
+
+let chunk_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chunk" ] ~docv:"N"
+        ~doc:
+          "Specs claimed per work-stealing cursor bump in the parallel leg (default: about \
+           eight claims per domain).  Output is byte-identical for every value.")
 
 let out_arg =
   Arg.(
@@ -263,14 +316,14 @@ let profile_arg =
 
 let () =
   let doc = "wall-clock benchmark and regression guard for the parallel chaos sweep" in
-  let run seeds jobs out check tolerance min_speedup absolute profile =
-    bench ~seeds ~jobs ~out ~check ~tolerance ~min_speedup ~absolute ~profile
+  let run seeds jobs chunk out check tolerance min_speedup absolute profile =
+    bench ~seeds ~jobs ~chunk ~out ~check ~tolerance ~min_speedup ~absolute ~profile
   in
   let cmd =
     Cmd.v
       (Cmd.info "bench-sweep" ~doc)
       Term.(
-        const run $ seeds_arg $ jobs_arg $ out_arg $ check_arg $ tolerance_arg $ min_speedup_arg
-        $ absolute_flag $ profile_arg)
+        const run $ seeds_arg $ jobs_arg $ chunk_arg $ out_arg $ check_arg $ tolerance_arg
+        $ min_speedup_arg $ absolute_flag $ profile_arg)
   in
   exit (Cmd.eval cmd)

@@ -17,25 +17,64 @@ let run_one spec =
   if Runner.ok r || spec.Runner.capture_trace then r
   else Runner.run { spec with Runner.capture_trace = true }
 
-let run_on pool specs = Pool.map_list pool specs ~f:run_one
+(* Default claim granularity: coarse enough that cursor traffic and
+   per-task bookkeeping are a rounding error (about eight claims per
+   domain), fine enough that the domains stay load-balanced when run
+   costs vary.  Chunking never changes output: tasks keep their indices,
+   so results merge in spec order whatever the granularity. *)
+let default_chunk ~jobs ~count = max 1 (count / (max 1 jobs * 8))
 
-let run ?jobs specs = Pool.with_pool ?jobs (fun pool -> run_on pool specs)
+let resolve_chunk ?chunk ~jobs ~count () =
+  match chunk with
+  | Some c ->
+    if c < 1 then invalid_arg "Sweep: chunk < 1";
+    c
+  | None -> default_chunk ~jobs ~count
 
-(* Profiled variant: each run executes under [Prof.with_task] (a fresh
-   enabled per-domain profiler handle), and the per-task snapshots fold
-   together in task order — exactly the [Registry.merge] discipline, so
-   the aggregate is independent of which domain ran what.  The reports
-   are the same values [run] returns; only the extra snapshot channel
-   differs, keeping report/obs-out bytes identical with or without
-   profiling. *)
-let run_profiled ?jobs specs =
+let run_on ?chunk pool specs =
+  let chunk =
+    resolve_chunk ?chunk ~jobs:(Pool.jobs pool) ~count:(List.length specs) ()
+  in
+  Pool.map_list pool ~chunk specs ~f:run_one
+
+let run ?jobs ?chunk specs =
+  Pool.with_pool ?jobs (fun pool -> run_on ?chunk pool specs)
+
+(* Split [xs] into groups of [chunk] consecutive elements, in order. *)
+let chunk_list ~chunk xs =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if n = chunk then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (n + 1) rest
+  in
+  match xs with [] -> [] | x :: rest -> go [] [ x ] 1 rest
+
+(* Profiled variant: each {e chunk} of consecutive runs executes under one
+   [Prof.with_task] (a fresh enabled per-domain profiler handle), and the
+   per-chunk snapshots fold together in chunk order — exactly the
+   [Registry.merge] discipline, so the aggregate is independent of which
+   domain ran what.  Bracketing the chunk rather than every run amortizes
+   the handle/snapshot/merge cost across the chunk; the per-run
+   ["sweep.run_one"] span inside is unchanged, so phase paths and counts
+   are those of a per-run profile.  The reports are the same values [run]
+   returns; only the extra snapshot channel differs, keeping
+   report/obs-out bytes identical with or without profiling. *)
+let run_profiled ?jobs ?chunk specs =
   let pairs, pool_stats =
     Pool.with_pool ?jobs (fun pool ->
+        let chunk =
+          resolve_chunk ?chunk ~jobs:(Pool.jobs pool)
+            ~count:(List.length specs) ()
+        in
+        let groups = chunk_list ~chunk specs in
         let before = Pool.stats pool in
         let pairs =
-          Pool.map_list pool specs ~f:(fun spec ->
+          Pool.map_list pool groups ~f:(fun group ->
               Prof.with_task (fun () ->
-                  Prof.span "sweep.run_one" (fun () -> run_one spec)))
+                  List.map
+                    (fun spec -> Prof.span "sweep.run_one" (fun () -> run_one spec))
+                    group))
         in
         let after = Pool.stats pool in
         ( pairs,
@@ -46,7 +85,7 @@ let run_profiled ?jobs specs =
               stolen = after.stolen - before.stolen;
             } ))
   in
-  let reports = List.map fst pairs in
+  let reports = List.concat_map fst pairs in
   let profile =
     List.fold_left
       (fun acc (_, snap) -> Prof.merge acc snap)

@@ -28,21 +28,32 @@ val run_one : Runner.spec -> Runner.report
     the report carries the full protocol interleaving.  Deterministic — the
     re-run reproduces the violation exactly. *)
 
-val run : ?jobs:int -> Runner.spec list -> Runner.report list
+val run : ?jobs:int -> ?chunk:int -> Runner.spec list -> Runner.report list
 (** [run ~jobs specs] maps {!run_one} over [specs] on a fresh pool of
     [jobs] domains (default {!Mdcc_util.Pool.default_jobs}); reports come
-    back in spec order. *)
+    back in spec order.  [chunk] is the claim granularity — how many
+    consecutive specs one work-stealing claim takes (default: about eight
+    claims per domain, [max 1 (count / (jobs * 8))]).  Output is
+    byte-identical for every [chunk] and [jobs] combination; raises
+    [Invalid_argument] on [chunk < 1]. *)
 
-val run_on : Mdcc_util.Pool.t -> Runner.spec list -> Runner.report list
+val run_on : ?chunk:int -> Mdcc_util.Pool.t -> Runner.spec list -> Runner.report list
 (** {!run} on an existing pool. *)
 
 val run_profiled :
-  ?jobs:int -> Runner.spec list -> Runner.report list * Mdcc_obs.Prof.snapshot
-(** {!run} with every task bracketed by {!Mdcc_obs.Prof.with_task};
-    per-task snapshots merge in task order, plus [pool.batches] /
-    [pool.tasks] / [pool.stolen] counters from the pool.  The reports are
-    identical to {!run}'s — the profile rides a separate channel so the
-    byte-pinned sweep outputs are untouched by [--profile]. *)
+  ?jobs:int ->
+  ?chunk:int ->
+  Runner.spec list ->
+  Runner.report list * Mdcc_obs.Prof.snapshot
+(** {!run} with every {e chunk} of consecutive specs bracketed by one
+    {!Mdcc_obs.Prof.with_task} (so handle/snapshot overhead is amortized
+    across the chunk — a pool task is a chunk here, which is what the
+    [pool.tasks] counter counts); per-chunk snapshots merge in chunk
+    order, plus [pool.batches] / [pool.tasks] / [pool.stolen] counters
+    from the pool.  Per-run ["sweep.run_one"] spans inside the chunk keep
+    phase paths and counts identical to a per-run profile.  The reports
+    are identical to {!run}'s — the profile rides a separate channel so
+    the byte-pinned sweep outputs are untouched by [--profile]. *)
 
 val obs_doc : Runner.report list -> Mdcc_obs.Json.t
 (** The sweep's observability export:

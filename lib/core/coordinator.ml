@@ -74,6 +74,7 @@ type t = {
   rng : Rng.t;
   history : History.t option;  (* chaos-testing execution recorder *)
   obs : Obs.t;
+  trace_tag : string;  (* "app<id>", rendered once — not per trace point *)
 }
 
 let record t ev = match t.history with Some h -> History.record h ev | None -> ()
@@ -88,7 +89,12 @@ let now t = Runtime.now t.runtime
 
 let send t dst payload = Runtime.send t.runtime ~src:t.id ~dst payload
 
-let trace t fmt = Runtime.trace t.runtime ~tag:(Printf.sprintf "app%d" t.id) fmt
+let trace t fmt = Runtime.trace t.runtime ~tag:t.trace_tag fmt
+
+(* Guard for trace points whose arguments allocate (key renderings,
+   pretty-printed outcomes): [trace] itself skips formatting when nobody
+   listens, but argument evaluation happens at the call site. *)
+let tracing t = Runtime.tracing t.runtime
 
 let span t ~txid ~name ?key ~detail () =
   Obs.span_event t.obs ~txid ~at:(now t) ~node:t.id ~name ?key ~detail ()
@@ -186,10 +192,9 @@ let decide t (ts : txn_state) =
   | Txn.Aborted _ ->
     t.stats.aborts <- t.stats.aborts + 1;
     Obs.incr t.obs "abort_conflict");
-  span t ~txid:ts.txn.Txn.id ~name:"decide"
-    ~detail:(Format.asprintf "%a" Txn.pp_outcome outcome)
-    ();
-  trace t "decide %s %s" ts.txn.Txn.id (Format.asprintf "%a" Txn.pp_outcome outcome);
+  let outcome_str = Format.asprintf "%a" Txn.pp_outcome outcome in
+  span t ~txid:ts.txn.Txn.id ~name:"decide" ~detail:outcome_str ();
+  trace t "decide %s %s" ts.txn.Txn.id outcome_str;
   record t (History.Decided { time = now t; txid = ts.txn.Txn.id; outcome });
   (* Asynchronous Learned/Visibility notification: execute or void every
      option; correctness does not depend on its timing (§3.2.1). *)
@@ -244,7 +249,8 @@ let start_recovery_for t (ks : key_state) =
     end
   in
   ks.attempts <- ks.attempts + 1;
-  trace t "start_recovery %s %s via node %d" w.Woption.txid (Key.to_string key) target;
+  if tracing t then
+    trace t "start_recovery %s %s via node %d" w.Woption.txid (Key.to_string key) target;
   span t ~txid:w.Woption.txid ~name:"start_recovery" ~key:(Key.to_string key)
     ~detail:(Printf.sprintf "via node %d" target)
     ();
@@ -567,6 +573,7 @@ let create ~runtime ~config ~node_id ~replicas ~master_of ?snapshot ?(ctx = Ctx.
       rng = Rng.split (Runtime.rng runtime);
       history;
       obs;
+      trace_tag = Printf.sprintf "app%d" node_id;
     }
   in
   Runtime.register runtime node_id (fun ~src payload -> handle t ~src payload);

@@ -15,9 +15,10 @@ type t = {
   r_rng : Rng.t;
   r_dc_of : int -> int;
   r_trace : tag:string -> string -> unit;
+  r_tracing : unit -> bool;
 }
 
-let make ~now ~send ~register ~set_timer ~spawn ~rng ~dc_of ~trace () =
+let make ~now ~send ~register ~set_timer ~spawn ~rng ~dc_of ~trace ~tracing () =
   {
     r_now = now;
     r_send = send;
@@ -27,6 +28,7 @@ let make ~now ~send ~register ~set_timer ~spawn ~rng ~dc_of ~trace () =
     r_rng = rng;
     r_dc_of = dc_of;
     r_trace = trace;
+    r_tracing = tracing;
   }
 
 let now t = t.r_now ()
@@ -45,11 +47,19 @@ let rng t = t.r_rng
 
 let dc_of t node = t.r_dc_of node
 
-let trace t ~tag fmt = Printf.ksprintf (fun msg -> t.r_trace ~tag msg) fmt
+let tracing t = t.r_tracing ()
+
+(* When nobody is listening, [ikfprintf] consumes the format arguments
+   without building the string — a disabled trace point costs one indirect
+   call and zero allocation instead of a full [ksprintf] rendering. *)
+let trace t ~tag fmt =
+  if t.r_tracing () then Printf.ksprintf (fun msg -> t.r_trace ~tag msg) fmt
+  else Printf.ikfprintf ignore () fmt
 
 let of_network net =
   let engine = Net.engine net in
   let topo = Net.topology net in
+  let th = Trace.handle () in
   {
     r_now = (fun () -> Engine.now engine);
     r_send = (fun ~src ~dst payload -> Net.send net ~src ~dst payload);
@@ -61,5 +71,6 @@ let of_network net =
     r_spawn = (fun f -> ignore (Engine.schedule engine ~after:0.0 f));
     r_rng = Engine.rng engine;
     r_dc_of = (fun node -> Topology.dc_of topo node);
-    r_trace = (fun ~tag msg -> Trace.emit_at ~at:(Engine.now engine) ~tag "%s" msg);
+    r_trace = (fun ~tag msg -> Trace.record_at th ~at:(Engine.now engine) ~tag msg);
+    r_tracing = (fun () -> Trace.active th);
   }

@@ -34,6 +34,7 @@ val make :
   rng:Mdcc_util.Rng.t ->
   dc_of:(int -> int) ->
   trace:(tag:string -> string -> unit) ->
+  tracing:(unit -> bool) ->
   unit ->
   t
 (** Assemble a runtime from its primitives.  [set_timer ~after f] must run
@@ -41,7 +42,9 @@ val make :
     [spawn f] must run [f] asynchronously but promptly (the "later, not
     reentrantly" primitive used for completion callbacks); [rng] is the
     runtime's root RNG, split once per component at create time; [trace]
-    receives the rendered line and decides whether anybody is listening. *)
+    receives the rendered line; [tracing] reports whether anybody is
+    listening — {!val-trace} consults it {e before} formatting, so it must
+    be cheap and must return [true] whenever [trace] would record. *)
 
 val now : t -> float
 (** The runtime's clock, in milliseconds.  Virtual under the simulator,
@@ -74,10 +77,17 @@ val rng : t -> Mdcc_util.Rng.t
 val dc_of : t -> int -> int
 (** Data center of a node id (replica locality for local reads). *)
 
+val tracing : t -> bool
+(** Whether any trace consumer is listening.  Guard trace points whose
+    {e arguments} are expensive to build (key renderings, pretty-printed
+    outcomes) with this — {!val-trace} skips the formatting itself when
+    disabled, but OCaml evaluates arguments at the call site regardless. *)
+
 val trace : t -> tag:string -> ('a, unit, string, unit) format4 -> 'a
 (** Emit a protocol trace line attributed to [tag] at the runtime's
-    current time.  Rendering cost is only paid when tracing is enabled or
-    an event sink is installed. *)
+    current time.  When no consumer is listening the arguments are
+    consumed without formatting ({!Printf.ikfprintf}), so a disabled
+    trace point allocates nothing. *)
 
 val of_network : Mdcc_sim.Network.t -> t
 (** The simulator runtime: timers are engine events, [send] is simulated

@@ -67,6 +67,7 @@ type t = {
   diverged : (string, unit) Hashtbl.t;
       (* "src#key" pairs currently known diverged at equal version (applied
          anti-entropy digests differ); drives the diverged_replicas gauge *)
+  trace_tag : string;  (* "node<id>", rendered once — not per trace point *)
 }
 
 let record t ev = match t.history with Some h -> History.record h ev | None -> ()
@@ -146,7 +147,12 @@ let send t dst payload = Runtime.send t.runtime ~src:t.id ~dst payload
 
 let now t = Runtime.now t.runtime
 
-let trace t fmt = Runtime.trace t.runtime ~tag:(Printf.sprintf "node%d" t.id) fmt
+let trace t fmt = Runtime.trace t.runtime ~tag:t.trace_tag fmt
+
+(* Guard for trace points whose arguments allocate (key renderings,
+   verdict strings): [trace] itself skips formatting when nobody listens,
+   but argument evaluation happens at the call site. *)
+let tracing t = Runtime.tracing t.runtime
 
 let span t ~txid ~name ?key ~detail () =
   Obs.span_event t.obs ~txid ~at:(now t) ~node:t.id ~name ?key ~detail ()
@@ -224,8 +230,9 @@ let fast_propose t (w : Woption.t) =
           | Woption.Rejected, Some Rstate.Demarcation -> "rej:demarcation"
           | Woption.Rejected, None -> "rej"
         in
-        trace t "fast vote %s %s %s" w.Woption.txid (Key.to_string key) verdict_str;
-        span t ~txid:w.Woption.txid ~name:"vote" ~key:(Key.to_string key)
+        let key_str = Key.to_string key in
+        trace t "fast vote %s %s %s" w.Woption.txid key_str verdict_str;
+        span t ~txid:w.Woption.txid ~name:"vote" ~key:key_str
           ~detail:("fast " ^ verdict_str) ();
         reply decision
       end)
@@ -306,7 +313,8 @@ let visibility t txid key (update : Update.t) committed =
        stale row) and the master's committed state — whose rebase watermark
        settles this transaction — repairs us instead. *)
     if not (Hashtbl.mem t.visible (vkey txid key)) then begin
-      trace t "visibility %s %s unknown update: catching up" txid (Key.to_string key);
+      if tracing t then
+        trace t "visibility %s %s unknown update: catching up" txid (Key.to_string key);
       if t.master_of key <> t.id then
         send t (t.master_of key) (Messages.Catchup_request { key })
     end
@@ -352,11 +360,9 @@ let visibility t txid key (update : Update.t) committed =
     end
     else record t (History.Voided { time = now t; node = t.id; txid; key });
     Obs.incr t.obs (if committed then "visibility_exec" else "visibility_void");
-    span t ~txid ~name:"visible" ~key:(Key.to_string key)
-      ~detail:(if committed then "exec" else "void")
-      ();
-    trace t "visibility %s %s -> %s" txid (Key.to_string key)
-      (if committed then "exec" else "void")
+    let verdict = if committed then "exec" else "void" in
+    span t ~txid ~name:"visible" ~key:(Key.to_string key) ~detail:verdict ();
+    if tracing t then trace t "visibility %s %s -> %s" txid (Key.to_string key) verdict
   end
 
 let status_query t ~src txid key =
@@ -399,8 +405,9 @@ let rec master_phase2b t ~src key txid ballot ok _decision =
             else send t dst (Messages.Learned { key; txid; decision = r.r_dec }))
           targets;
         Obs.incr t.obs "classic_learned";
-        trace t "classic learned %s %s %s" txid (Key.to_string key)
-          (match r.r_dec with Woption.Accepted -> "acc" | Woption.Rejected -> "rej");
+        if tracing t then
+          trace t "classic learned %s %s %s" txid (Key.to_string key)
+            (match r.r_dec with Woption.Accepted -> "acc" | Woption.Rejected -> "rej");
         process_queue t key
       end
     end
@@ -1201,6 +1208,7 @@ let create ~runtime ~config ~node_id ~schema ~replicas ~master_of ?(ctx = Ctx.de
       history;
       obs;
       diverged = Hashtbl.create 16;
+      trace_tag = Printf.sprintf "node%d" node_id;
     }
   in
   Runtime.register runtime node_id (fun ~src payload -> handle t ~src payload);

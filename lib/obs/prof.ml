@@ -85,12 +85,15 @@ let span_in t name f =
         raise e
   end
 
+(* Exception-style lookup: counting happens inside measured phases, so a
+   [Some] allocated per count would inflate the very minor-words numbers
+   the profiler reports. *)
 let count_in t ?(by = 1) name =
   if t.p_enabled then begin
     let r =
-      match Hashtbl.find_opt t.p_counters name with
-      | Some r -> r
-      | None ->
+      match Hashtbl.find t.p_counters name with
+      | r -> r
+      | exception Not_found ->
           let r = ref 0 in
           Hashtbl.replace t.p_counters name r;
           r

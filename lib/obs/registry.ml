@@ -13,10 +13,13 @@ let create () =
     hists = Hashtbl.create 16;
   }
 
+(* Exception-style lookup: [find_opt] allocates a [Some] per call, and
+   [incr] runs once per counted protocol event — the found case must not
+   allocate. *)
 let cell tbl name =
-  match Hashtbl.find_opt tbl name with
-  | Some r -> r
-  | None ->
+  match Hashtbl.find tbl name with
+  | r -> r
+  | exception Not_found ->
       let r = ref 0 in
       Hashtbl.replace tbl name r;
       r
@@ -32,9 +35,9 @@ let add_gauge t name d =
   r := !r + d
 
 let hist_cell t name =
-  match Hashtbl.find_opt t.hists name with
-  | Some r -> r
-  | None ->
+  match Hashtbl.find t.hists name with
+  | r -> r
+  | exception Not_found ->
       let r = ref [] in
       Hashtbl.replace t.hists name r;
       r

@@ -115,6 +115,7 @@ let runtime t =
   match t.rt with
   | Some rt -> rt
   | None ->
+    let th = Trace.handle () in
     let rt =
       Runtime.make
         ~now:(fun () -> clock t)
@@ -126,7 +127,8 @@ let runtime t =
         ~spawn:(fun f -> Queue.add f t.run_q)
         ~rng:t.rng
         ~dc_of:t.dc_of
-        ~trace:(fun ~tag msg -> Trace.emit_at ~at:(clock t) ~tag "%s" msg)
+        ~trace:(fun ~tag msg -> Trace.record_at th ~at:(clock t) ~tag msg)
+        ~tracing:(fun () -> Trace.active th)
         ()
     in
     t.rt <- Some rt;

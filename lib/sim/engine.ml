@@ -1,50 +1,72 @@
 module Rng = Mdcc_util.Rng
+module Prof = Mdcc_obs.Prof
 
 type sim_time = float
 
+(* The clock lives in an [Event_queue.fcell] (a flat one-float record): a
+   mutable [float] field in this mixed record would allocate a box on
+   every advance, i.e. once per dispatched event. *)
 type t = {
-  mutable now : sim_time;
+  now : Event_queue.fcell;
   mutable seq : int;
   queue : Event_queue.t;
   rng : Rng.t;
+  prof : Prof.t;  (* resolved once at create — never a DLS read per event *)
 }
 
 type handle = Event_queue.event
 
-let create ~seed = { now = 0.0; seq = 0; queue = Event_queue.create (); rng = Rng.create seed }
+let create ~seed =
+  {
+    now = { Event_queue.f = 0.0 };
+    seq = 0;
+    queue = Event_queue.create ();
+    rng = Rng.create seed;
+    prof = Prof.ambient ();
+  }
 
-let now t = t.now
+let now t = t.now.Event_queue.f
 
 let rng t = t.rng
 
 let schedule_at t ~at f =
-  let at = if at < t.now then t.now else at in
+  let now = t.now.Event_queue.f in
+  let at = if at < now then now else at in
   t.seq <- t.seq + 1;
   Event_queue.push t.queue ~at ~seq:t.seq f
 
-let schedule t ~after f = schedule_at t ~at:(t.now +. Float.max 0.0 after) f
+let schedule t ~after f =
+  schedule_at t ~at:(t.now.Event_queue.f +. Float.max 0.0 after) f
 
 let cancel t h = Event_queue.cancel t.queue h
 
 let pending t = Event_queue.size t.queue
 
 let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some ev ->
-    t.now <- ev.Event_queue.at;
+  let ev = Event_queue.pop_before t.queue ~limit:Float.infinity ~now:t.now in
+  if Event_queue.is_dummy ev then false
+  else begin
     ev.Event_queue.run ();
     true
+  end
+
+(* The dispatch loop: [pop_before] hands back the next live event and
+   advances the clock cell in place, allocating nothing per event. *)
+let drain t ~limit =
+  let queue = t.queue and now = t.now in
+  let rec loop () =
+    let ev = Event_queue.pop_before queue ~limit ~now in
+    if not (Event_queue.is_dummy ev) then begin
+      ev.Event_queue.run ();
+      loop ()
+    end
+  in
+  loop ()
 
 let run ?until t =
-  Mdcc_obs.Prof.span "engine.run" (fun () ->
+  Prof.span_in t.prof "engine.run" (fun () ->
       match until with
-      | None -> while step t do () done
+      | None -> drain t ~limit:Float.infinity
       | Some limit ->
-        let continue = ref true in
-        while !continue do
-          match Event_queue.peek_time t.queue with
-          | Some at when at <= limit -> ignore (step t)
-          | Some _ | None -> continue := false
-        done;
-        if t.now < limit then t.now <- limit)
+        drain t ~limit;
+        if t.now.Event_queue.f < limit then t.now.Event_queue.f <- limit)

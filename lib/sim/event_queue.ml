@@ -1,41 +1,67 @@
+module Prof = Mdcc_obs.Prof
+
 type event = {
-  at : float;
   seq : int;
   mutable cancelled : bool;
   run : unit -> unit;
 }
 
+(* The heap is split into two parallel pre-sized arrays: [ats] holds the
+   event times unboxed ([float array] is flat), [evs] the handles.  A
+   mixed record would box its [float] field, costing two words per push
+   and a pointer chase per heap comparison; the split layout allocates
+   nothing per operation beyond the handle itself and keeps the compare
+   path inside one cache-friendly float array. *)
 type t = {
-  mutable heap : event array;
+  mutable ats : float array;
+  mutable evs : event array;
   mutable len : int;
   mutable dead : int;  (* cancelled entries still sitting in the heap *)
+  prof : Prof.t;  (* resolved once at create — never a DLS read per op *)
 }
 
-let dummy = { at = 0.0; seq = 0; cancelled = true; run = ignore }
+let dummy = { seq = 0; cancelled = true; run = ignore }
 
 (* Below this size, cancelled entries are cheap enough to leave in place. *)
 let compact_floor = 64
 
-let create () = { heap = Array.make compact_floor dummy; len = 0; dead = 0 }
+let create () =
+  {
+    ats = Array.make compact_floor 0.0;
+    evs = Array.make compact_floor dummy;
+    len = 0;
+    dead = 0;
+    prof = Prof.ambient ();
+  }
 
 let size t = t.len
 
 let is_empty t = t.len = 0
 
-let before a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+let before t i j =
+  let ai = t.ats.(i) and aj = t.ats.(j) in
+  ai < aj || (ai = aj && t.evs.(i).seq < t.evs.(j).seq)
 
 let grow t =
-  let bigger = Array.make (Array.length t.heap * 2) dummy in
-  Array.blit t.heap 0 bigger 0 t.len;
-  t.heap <- bigger
+  let cap = 2 * Array.length t.evs in
+  let ats = Array.make cap 0.0 and evs = Array.make cap dummy in
+  Array.blit t.ats 0 ats 0 t.len;
+  Array.blit t.evs 0 evs 0 t.len;
+  t.ats <- ats;
+  t.evs <- evs
+
+let swap t i j =
+  let a = t.ats.(i) and e = t.evs.(i) in
+  t.ats.(i) <- t.ats.(j);
+  t.evs.(i) <- t.evs.(j);
+  t.ats.(j) <- a;
+  t.evs.(j) <- e
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before t.heap.(i) t.heap.(parent) then begin
-      let tmp = t.heap.(i) in
-      t.heap.(i) <- t.heap.(parent);
-      t.heap.(parent) <- tmp;
+    if before t i parent then begin
+      swap t i parent;
       sift_up t parent
     end
   end
@@ -43,12 +69,10 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.len && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.len && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if l < t.len && before t l !smallest then smallest := l;
+  if r < t.len && before t r !smallest then smallest := r;
   if !smallest <> i then begin
-    let tmp = t.heap.(i) in
-    t.heap.(i) <- t.heap.(!smallest);
-    t.heap.(!smallest) <- tmp;
+    swap t i !smallest;
     sift_down t !smallest
   end
 
@@ -56,16 +80,17 @@ let rec sift_down t i =
    a function only of the [(at, seq)] total order over live entries, so pop
    order — and therefore the simulation — is unaffected. *)
 let compact t =
-  Mdcc_obs.Prof.count "event_queue.compact";
+  Prof.count_in t.prof "event_queue.compact";
   let live = ref 0 in
   for i = 0 to t.len - 1 do
-    let ev = t.heap.(i) in
+    let ev = t.evs.(i) in
     if not ev.cancelled then begin
-      t.heap.(!live) <- ev;
+      t.ats.(!live) <- t.ats.(i);
+      t.evs.(!live) <- ev;
       incr live
     end
   done;
-  Array.fill t.heap !live (t.len - !live) dummy;
+  Array.fill t.evs !live (t.len - !live) dummy;
   t.len <- !live;
   t.dead <- 0;
   for i = (t.len / 2) - 1 downto 0 do
@@ -73,14 +98,15 @@ let compact t =
   done
 
 let push t ~at ~seq run =
-  Mdcc_obs.Prof.count "event_queue.push";
-  if t.len = Array.length t.heap then begin
+  Prof.count_in t.prof "event_queue.push";
+  if t.len = Array.length t.evs then begin
     (* Reclaim dead entries before paying for a bigger array. *)
     if t.dead * 2 > t.len then compact t;
-    if t.len = Array.length t.heap then grow t
+    if t.len = Array.length t.evs then grow t
   end;
-  let ev = { at; seq; cancelled = false; run } in
-  t.heap.(t.len) <- ev;
+  let ev = { seq; cancelled = false; run } in
+  t.ats.(t.len) <- at;
+  t.evs.(t.len) <- ev;
   t.len <- t.len + 1;
   sift_up t (t.len - 1);
   ev
@@ -91,39 +117,70 @@ let push t ~at ~seq run =
    ones, so heap size stays within a constant factor of the live count. *)
 let cancel t ev =
   if not ev.cancelled then begin
-    Mdcc_obs.Prof.count "event_queue.cancel";
+    Prof.count_in t.prof "event_queue.cancel";
     ev.cancelled <- true;
     t.dead <- t.dead + 1;
     if t.len >= compact_floor && t.dead * 2 > t.len then compact t
   end
 
-let pop_any t =
-  if t.len = 0 then None
+(* Remove the root without inspecting it.  [drop_root] is the only place
+   an entry leaves the heap. *)
+let drop_root t =
+  let ev = t.evs.(0) in
+  t.len <- t.len - 1;
+  t.ats.(0) <- t.ats.(t.len);
+  t.evs.(0) <- t.evs.(t.len);
+  t.evs.(t.len) <- dummy;
+  if t.len > 0 then sift_down t 0;
+  if ev.cancelled && t.dead > 0 then t.dead <- t.dead - 1
+
+(* A single-field float record is stored flat, so writing [c.f] is a raw
+   float store — the engine's clock lives in one of these and advances
+   without a box per event. *)
+type fcell = { mutable f : float }
+
+(* The engine's dispatch primitive: remove and return the earliest live
+   event whose time is <= [limit], discarding cancelled roots on the way;
+   [dummy] when none qualifies.  The popped event's time is written into
+   [now] (the engine's clock cell).  Everything stays in unboxed floats —
+   no option, no float box, no closure — so a simulation's inner loop
+   allocates nothing per dispatched event. *)
+let rec pop_before t ~limit ~now =
+  if t.len = 0 then dummy
   else begin
-    let ev = t.heap.(0) in
-    t.len <- t.len - 1;
-    t.heap.(0) <- t.heap.(t.len);
-    t.heap.(t.len) <- dummy;
-    if t.len > 0 then sift_down t 0;
-    if ev.cancelled && t.dead > 0 then t.dead <- t.dead - 1;
-    Some ev
+    let ev = t.evs.(0) in
+    if ev.cancelled then begin
+      drop_root t;
+      pop_before t ~limit ~now
+    end
+    else if t.ats.(0) <= limit then begin
+      now.f <- t.ats.(0);
+      drop_root t;
+      Prof.count_in t.prof "event_queue.pop";
+      ev
+    end
+    else dummy
   end
 
+let is_dummy ev = ev == dummy
+
 let rec pop t =
-  match pop_any t with
-  | None -> None
-  | Some ev ->
-      if ev.cancelled then pop t
-      else begin
-        Mdcc_obs.Prof.count "event_queue.pop";
-        Some ev
-      end
+  if t.len = 0 then None
+  else begin
+    let ev = t.evs.(0) in
+    drop_root t;
+    if ev.cancelled then pop t
+    else begin
+      Prof.count_in t.prof "event_queue.pop";
+      Some ev
+    end
+  end
 
 let rec peek_time t =
   if t.len = 0 then None
-  else if t.heap.(0).cancelled then begin
+  else if t.evs.(0).cancelled then begin
     (* Lazily discard cancelled events sitting at the root. *)
-    ignore (pop_any t);
+    drop_root t;
     peek_time t
   end
-  else Some t.heap.(0).at
+  else Some t.ats.(0)

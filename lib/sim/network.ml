@@ -1,4 +1,5 @@
 module Rng = Mdcc_util.Rng
+module Prof = Mdcc_obs.Prof
 
 type payload = ..
 
@@ -20,16 +21,31 @@ type meter = {
    Each simulation is single-threaded, which makes this implicit propagation
    exact — no payload constructor needs to change to carry the id.  The
    context is domain-local: parallel sweeps each see their own cell, so a
-   worker domain cannot leak a transaction id into a sibling's run. *)
-let current_ctx : string option Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> None)
+   worker domain cannot leak a transaction id into a sibling's run.
 
-let trace_context () = Domain.DLS.get current_ctx
+   [Domain.DLS] holds one mutable {e cell} per domain rather than the value
+   itself: a network resolves its domain's cell once at [create], so the
+   per-send read is a field load, not a DLS lookup.  The module-level
+   [with_trace_context]/[trace_context] go through DLS and see the same
+   cell — semantics are identical to storing the value in DLS directly. *)
+type ctx_cell = { mutable ctx : string option }
+
+let ctx_key : ctx_cell Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { ctx = None })
+
+let trace_context () = (Domain.DLS.get ctx_key).ctx
 
 let with_trace_context ctx f =
-  let saved = Domain.DLS.get current_ctx in
-  Domain.DLS.set current_ctx ctx;
-  Fun.protect ~finally:(fun () -> Domain.DLS.set current_ctx saved) f
+  let cell = Domain.DLS.get ctx_key in
+  let saved = cell.ctx in
+  cell.ctx <- ctx;
+  match f () with
+  | v ->
+    cell.ctx <- saved;
+    v
+  | exception e ->
+    cell.ctx <- saved;
+    raise e
 
 type t = {
   engine : Engine.t;
@@ -44,6 +60,8 @@ type t = {
   cut : (Topology.node_id * Topology.node_id, unit) Hashtbl.t;
   stats : stats;
   mutable meter : meter option;
+  ctx_cell : ctx_cell;  (* this domain's trace-context cell, resolved once *)
+  prof : Prof.t;  (* likewise — never a DLS read per send *)
 }
 
 let create engine topo ?(drop_probability = 0.0) ?(jitter_sigma = 0.05) () =
@@ -60,6 +78,8 @@ let create engine topo ?(drop_probability = 0.0) ?(jitter_sigma = 0.05) () =
     cut = Hashtbl.create 64;
     stats = { sent = 0; delivered = 0; dropped = 0 };
     meter = None;
+    ctx_cell = Domain.DLS.get ctx_key;
+    prof = Prof.ambient ();
   }
 
 let set_meter t m = t.meter <- Some m
@@ -88,7 +108,7 @@ let blocked t ~src ~dst = t.failed.(src) || t.failed.(dst) || link_cut t ~src ~d
 
 let send t ~src ~dst payload =
   t.stats.sent <- t.stats.sent + 1;
-  Mdcc_obs.Prof.count "network.send";
+  Prof.count_in t.prof "network.send";
   (* Size the payload once at send time and carry the byte count into the
      delivery closure: [m_size] walks the whole message, and computing it
      again at delivery doubled the metering cost of every message. *)
@@ -97,7 +117,7 @@ let send t ~src ~dst payload =
     | Some m ->
       let bytes = m.m_size payload in
       m.m_on_send ~src ~dst ~bytes;
-      Mdcc_obs.Prof.count ~by:bytes "network.sized_bytes";
+      Prof.count_in t.prof ~by:bytes "network.sized_bytes";
       bytes
     | None -> 0
   in
@@ -106,7 +126,7 @@ let send t ~src ~dst payload =
     t.stats.dropped <- t.stats.dropped + 1
   else begin
     let delay = latency_sample t ~src ~dst in
-    let ctx = Domain.DLS.get current_ctx in
+    let ctx = t.ctx_cell.ctx in
     ignore
       (Engine.schedule t.engine ~after:delay (fun () ->
            (* Failures and link cuts that happened while the message was in
@@ -126,7 +146,16 @@ let send t ~src ~dst payload =
                  in
                  m.m_on_deliver ~src ~dst ~bytes
                | None -> ());
-               with_trace_context ctx (fun () -> handler ~src payload)
+               (* Inline context save/restore: [with_trace_context] would
+                  cost a closure and a [Fun.protect] record per delivery. *)
+               let cell = t.ctx_cell in
+               let saved = cell.ctx in
+               cell.ctx <- ctx;
+               (match handler ~src payload with
+               | () -> cell.ctx <- saved
+               | exception e ->
+                 cell.ctx <- saved;
+                 raise e)
            end))
   end
 

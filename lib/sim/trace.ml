@@ -39,6 +39,23 @@ let record ev =
   (match s.event_sink with Some f -> f ev | None -> ());
   if s.flag then s.sink (render ev)
 
+(* A handle is this domain's state cell, resolved once.  Runtimes hold one
+   so the per-trace-point liveness check is two field loads, not a DLS
+   lookup — and the check happens *before* any formatting, so a disabled
+   trace point costs no allocation at all. *)
+type handle = state
+
+let handle = state
+
+let active (h : handle) = h.flag || h.event_sink <> None
+
+let record_at (h : handle) ~at ~tag body =
+  if h.flag || h.event_sink <> None then begin
+    let ev = { at; source = tag; body } in
+    (match h.event_sink with Some f -> f ev | None -> ());
+    if h.flag then h.sink (render ev)
+  end
+
 let emit engine ~tag fmt =
   Printf.ksprintf
     (fun msg ->

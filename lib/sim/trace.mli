@@ -46,3 +46,20 @@ val set_event_sink : (event -> unit) -> unit
     force verbose logging on. *)
 
 val reset_event_sink : unit -> unit
+
+type handle
+(** This domain's trace state, resolved once (a [Domain.DLS] lookup) so a
+    runtime's per-trace-point liveness check is two field loads.  Like the
+    profiler's ambient, a handle is only valid on the domain that resolved
+    it. *)
+
+val handle : unit -> handle
+
+val active : handle -> bool
+(** [true] when tracing is enabled or an event sink is installed — i.e.
+    when building a trace line would not be wasted work.  Runtimes check
+    this {e before} formatting so disabled trace points allocate nothing. *)
+
+val record_at : handle -> at:float -> tag:string -> string -> unit
+(** Record an already-rendered message as an event at [at]; a no-op unless
+    {!active}. *)

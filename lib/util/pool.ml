@@ -15,6 +15,7 @@
 type batch = {
   b_run : int -> unit;  (* never raises; exceptions are captured in slots *)
   b_count : int;
+  b_chunk : int;  (* indices claimed per cursor bump; >= 1 *)
   b_next : int Atomic.t;
   b_completed : int Atomic.t;
 }
@@ -49,16 +50,22 @@ let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
 let jobs t = t.jobs
 
-(* Claim-and-run until the batch cursor runs past the end.  Whoever
-   completes the last task retires the batch and wakes the caller. *)
+(* Claim-and-run until the batch cursor runs past the end: each cursor bump
+   claims a contiguous run of [b_chunk] indices, so a coarse chunk turns N
+   contended fetch-and-adds into N/chunk.  Whoever completes the last task
+   retires the batch and wakes the caller. *)
 let drain ?(stolen = false) t b =
   let rec claim () =
-    let i = Atomic.fetch_and_add b.b_next 1 in
-    if i < b.b_count then begin
-      Atomic.incr t.st_tasks;
-      if stolen then Atomic.incr t.st_stolen;
-      b.b_run i;
-      let completed = 1 + Atomic.fetch_and_add b.b_completed 1 in
+    let i0 = Atomic.fetch_and_add b.b_next b.b_chunk in
+    if i0 < b.b_count then begin
+      let hi = min (i0 + b.b_chunk) b.b_count in
+      let claimed = hi - i0 in
+      Atomic.fetch_and_add t.st_tasks claimed |> ignore;
+      if stolen then Atomic.fetch_and_add t.st_stolen claimed |> ignore;
+      for i = i0 to hi - 1 do
+        b.b_run i
+      done;
+      let completed = claimed + Atomic.fetch_and_add b.b_completed claimed in
       if completed = b.b_count then begin
         Mutex.lock t.mutex;
         t.batch <- None;
@@ -125,7 +132,9 @@ let shutdown t =
   List.iter Domain.join t.domains;
   t.domains <- []
 
-let run_batch t ~count ~run =
+let run_batch t ~count ?(chunk = 1) ~run () =
+  if chunk < 1 then
+    Invariant.violate ~context:"Pool.run_batch" "chunk %d < 1" chunk;
   if count > 0 then begin
     Atomic.incr t.st_batches;
     if t.jobs = 1 || count = 1 then begin
@@ -139,6 +148,7 @@ let run_batch t ~count ~run =
         {
           b_run = run;
           b_count = count;
+          b_chunk = chunk;
           b_next = Atomic.make 0;
           b_completed = Atomic.make 0;
         }
@@ -168,14 +178,16 @@ let run_batch t ~count ~run =
 
 type 'a slot = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
 
-let map t n f =
+let map t ?chunk n f =
   if n < 0 then Invariant.violate ~context:"Pool.map" "negative count %d" n;
   let slots = Array.make n Pending in
-  run_batch t ~count:n ~run:(fun i ->
+  run_batch t ~count:n ?chunk
+    ~run:(fun i ->
       slots.(i) <-
         (match f i with
         | v -> Done v
-        | exception e -> Failed (e, Printexc.get_raw_backtrace ())));
+        | exception e -> Failed (e, Printexc.get_raw_backtrace ())))
+    ();
   (* Re-raise deterministically: the lowest-index failure wins, matching
      what a sequential loop would have raised first. *)
   Array.iter
@@ -190,9 +202,9 @@ let map t n f =
         Invariant.violate ~context:"Pool.map" "task slot left unfilled")
     slots
 
-let map_list t xs ~f =
+let map_list t ?chunk xs ~f =
   let arr = Array.of_list xs in
-  Array.to_list (map t (Array.length arr) (fun i -> f arr.(i)))
+  Array.to_list (map t ?chunk (Array.length arr) (fun i -> f arr.(i)))
 
 let with_pool ?jobs f =
   let t = create ?jobs () in

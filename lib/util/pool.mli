@@ -26,14 +26,19 @@ val create : ?jobs:int -> unit -> t
 
 val jobs : t -> int
 
-val map : t -> int -> (int -> 'a) -> 'a array
+val map : t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
 (** [map t n f] computes [|f 0; ...; f (n-1)|], stealing indices across the
-    pool.  If any task raises, the exception of the {e lowest} failing index
-    is re-raised (with its backtrace) after the batch drains — the same
-    exception a sequential loop would have raised first.  Tasks must not
-    share mutable state; each [f i] runs on an arbitrary domain. *)
+    pool.  [chunk] (default 1) is how many {e consecutive} indices one
+    cursor bump claims: coarse chunks cut contention on the shared cursor
+    from [n] atomic increments to [n/chunk], at the cost of coarser load
+    balancing.  Results, order and exception semantics are independent of
+    [chunk] — if any task raises, the exception of the {e lowest} failing
+    index is re-raised (with its backtrace) after the batch drains, the
+    same exception a sequential loop would have raised first.  Violates on
+    [chunk < 1].  Tasks must not share mutable state; each [f i] runs on
+    an arbitrary domain. *)
 
-val map_list : t -> 'a list -> f:('a -> 'b) -> 'b list
+val map_list : t -> ?chunk:int -> 'a list -> f:('a -> 'b) -> 'b list
 (** {!map} over a list, preserving order. *)
 
 val shutdown : t -> unit

@@ -80,12 +80,15 @@ let test_heap_compaction_preserves_order () =
   done;
   let expected = List.sort compare (List.rev !live) in
   let popped = ref [] in
+  (* Drain through pop_before, the engine's dispatch primitive: the popped
+     event's time arrives via the clock cell, not the handle. *)
+  let now = { Event_queue.f = 0.0 } in
   let rec drain () =
-    match Event_queue.pop q with
-    | Some ev ->
-      popped := (ev.Event_queue.at, ev.Event_queue.seq) :: !popped;
+    let ev = Event_queue.pop_before q ~limit:Float.infinity ~now in
+    if not (Event_queue.is_dummy ev) then begin
+      popped := (now.Event_queue.f, ev.Event_queue.seq) :: !popped;
       drain ()
-    | None -> ()
+    end
   in
   drain ();
   Alcotest.(check (list (pair (float 0.0) int)))
@@ -101,17 +104,64 @@ let test_heap_many () =
   Alcotest.(check int) "size" n (Event_queue.size q);
   let last = ref neg_infinity in
   let count = ref 0 in
+  let now = { Event_queue.f = 0.0 } in
   let rec drain () =
-    match Event_queue.pop q with
-    | Some e ->
-      Alcotest.(check bool) "monotone" true (e.Event_queue.at >= !last);
-      last := e.Event_queue.at;
+    let ev = Event_queue.pop_before q ~limit:Float.infinity ~now in
+    if not (Event_queue.is_dummy ev) then begin
+      Alcotest.(check bool) "monotone" true (now.Event_queue.f >= !last);
+      last := now.Event_queue.f;
       incr count;
       drain ()
-    | None -> ()
+    end
   in
   drain ();
   Alcotest.(check int) "all popped" n !count
+
+(* pop_before is the engine's allocation-free dispatch primitive; pin its
+   limit semantics at the boundaries. *)
+let test_pop_before_limit () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q ~at:5.0 ~seq:1 ignore);
+  ignore (Event_queue.push q ~at:10.0 ~seq:2 ignore);
+  let now = { Event_queue.f = 0.0 } in
+  (* Limit below the earliest event: nothing pops, clock untouched. *)
+  Alcotest.(check bool) "below earliest is dummy" true
+    (Event_queue.is_dummy (Event_queue.pop_before q ~limit:4.99 ~now));
+  Alcotest.(check (float 0.0)) "clock untouched on dummy" 0.0 now.Event_queue.f;
+  Alcotest.(check int) "nothing removed" 2 (Event_queue.size q);
+  (* Limit exactly at the event time: inclusive. *)
+  let ev = Event_queue.pop_before q ~limit:5.0 ~now in
+  Alcotest.(check bool) "limit is inclusive" false (Event_queue.is_dummy ev);
+  Alcotest.(check int) "seq of popped" 1 ev.Event_queue.seq;
+  Alcotest.(check (float 0.0)) "clock advanced to event time" 5.0 now.Event_queue.f;
+  (* Next event is past the limit again. *)
+  Alcotest.(check bool) "next beyond limit is dummy" true
+    (Event_queue.is_dummy (Event_queue.pop_before q ~limit:5.0 ~now));
+  Alcotest.(check (float 0.0)) "clock stays" 5.0 now.Event_queue.f
+
+let test_pop_before_skips_cancelled () =
+  (* Cancelled events at the root are discarded without advancing the
+     clock, even when their times are within the limit. *)
+  let q = Event_queue.create () in
+  let e1 = Event_queue.push q ~at:1.0 ~seq:1 ignore in
+  let e2 = Event_queue.push q ~at:2.0 ~seq:2 ignore in
+  ignore (Event_queue.push q ~at:3.0 ~seq:3 ignore);
+  Event_queue.cancel q e1;
+  Event_queue.cancel q e2;
+  let now = { Event_queue.f = 0.0 } in
+  let ev = Event_queue.pop_before q ~limit:10.0 ~now in
+  Alcotest.(check int) "first live event" 3 ev.Event_queue.seq;
+  Alcotest.(check (float 0.0)) "clock is the live event's time" 3.0 now.Event_queue.f;
+  Alcotest.(check bool) "drained" true
+    (Event_queue.is_dummy (Event_queue.pop_before q ~limit:10.0 ~now));
+  Alcotest.(check int) "heap empty" 0 (Event_queue.size q)
+
+let test_pop_before_empty () =
+  let q = Event_queue.create () in
+  let now = { Event_queue.f = 42.0 } in
+  Alcotest.(check bool) "empty heap is dummy" true
+    (Event_queue.is_dummy (Event_queue.pop_before q ~limit:Float.infinity ~now));
+  Alcotest.(check (float 0.0)) "clock untouched" 42.0 now.Event_queue.f
 
 let test_engine_ordering_and_clock () =
   let e = Engine.create ~seed:1 in
@@ -310,6 +360,9 @@ let suite =
       test_heap_compaction_preserves_order;
     Alcotest.test_case "heap cancel" `Quick test_heap_cancel;
     Alcotest.test_case "heap 10k monotone" `Quick test_heap_many;
+    Alcotest.test_case "pop_before limit semantics" `Quick test_pop_before_limit;
+    Alcotest.test_case "pop_before skips cancelled" `Quick test_pop_before_skips_cancelled;
+    Alcotest.test_case "pop_before on empty heap" `Quick test_pop_before_empty;
     Alcotest.test_case "engine ordering & clock" `Quick test_engine_ordering_and_clock;
     Alcotest.test_case "engine nested schedule" `Quick test_engine_nested_schedule;
     Alcotest.test_case "engine run until" `Quick test_engine_until;
